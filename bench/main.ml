@@ -1,0 +1,171 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (the printed reports are the reproduction artifacts), then
+   times each experiment with Bechamel — one Test.make per paper
+   artifact plus the RR design ablations and two micro-benchmarks of the
+   simulator core.
+
+     dune exec bench/main.exe             # full reproduction + timings
+     dune exec bench/main.exe -- --fast   # skip the Bechamel pass *)
+
+open Bechamel
+open Toolkit
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
+
+(* -- the reproduction itself: print the paper-vs-measured reports -- *)
+
+let reproduce () =
+  banner "Figure 5 -- recovery throughput under bursty loss (drop-tail)";
+  print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:3 ()));
+  print_newline ();
+  print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:6 ()));
+  print_newline ();
+  print_string
+    (Experiments.Fig5.report_background (Experiments.Fig5.run_background ()));
+  banner "Figure 6 -- recovery dynamics under RED gateways";
+  let fig6 = Experiments.Fig6.run () in
+  print_string (Experiments.Fig6.report fig6);
+  List.iter
+    (fun result ->
+      Printf.printf "\nflow 1 sequence trace, %s:\n%s"
+        (Core.Variant.name result.Experiments.Fig6.variant)
+        (Experiments.Fig6.plot result))
+    fig6.Experiments.Fig6.results;
+  banner "Figure 7 -- fitness to the square-root model";
+  let fig7 = Experiments.Fig7.run () in
+  print_string (Experiments.Fig7.report fig7);
+  print_newline ();
+  print_string (Experiments.Fig7.plot fig7);
+  banner "Table 5 -- fairness against TCP Reno";
+  print_string (Experiments.Table5.report (Experiments.Table5.run ()));
+  banner "RR design ablations";
+  print_string (Experiments.Ablation.report (Experiments.Ablation.run ()));
+  banner "Extension: Table 5 with limited transmit (RFC 3042)";
+  Printf.printf
+    "At 20 flows the fair window is ~2 segments, too small for three dup\n\
+     ACKs, so every variant above is timeout-bound. RFC 3042 restores\n\
+     dupack-based recovery - and with it the paper's case-4 ordering:\n\n";
+  print_string
+    (Experiments.Table5.report (Experiments.Table5.run ~limited_transmit:true ()));
+  banner "Extension: ACK-loss robustness (paper section 2.3)";
+  print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ()));
+  banner "Extension: global synchronization, drop-tail vs RED (section 3.3)";
+  print_string (Experiments.Sync.report (Experiments.Sync.run ()));
+  banner "Extension: Smooth-Start (paper reference [21])";
+  print_string (Experiments.Smooth.report (Experiments.Smooth.run ()));
+  banner "Extension: FACK (paper reference [13]) on the Figure 5 scenario";
+  print_string
+    (Experiments.Fig5.report
+       (Experiments.Fig5.run ~drops:6
+          ~variants:Core.Variant.[ Sack; Fack; Rr ] ()));
+  banner "Extension: Vegas decomposition (paper reference [8])";
+  print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()));
+  banner "Extension: RTT fairness and AIMD convergence (section 5)";
+  print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ()));
+  banner "Extension: two-way traffic and ACK compression (reference [22])";
+  print_string (Experiments.Two_way.report (Experiments.Two_way.run ()));
+  banner "Extension: environment-sensitivity sweep (buffer x delay grid)";
+  print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ()));
+  banner "Extension: Figure 7 under delayed ACKs (C = sqrt(3/4))";
+  print_string
+    (Experiments.Fig7.report
+       (Experiments.Fig7.run
+          ~loss_rates:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
+          ~seeds:[ 3L; 17L ] ~delayed_ack:true ()))
+
+(* -- Bechamel timing: one test per artifact -- *)
+
+let stage_unit f = Staged.stage (fun () -> ignore (f ()))
+
+let tests =
+  Test.make_grouped ~name:"rr-repro"
+    [
+      Test.make ~name:"fig5/3drops"
+        (stage_unit (fun () -> Experiments.Fig5.run ~drops:3 ()));
+      Test.make ~name:"fig5/6drops"
+        (stage_unit (fun () -> Experiments.Fig5.run ~drops:6 ()));
+      Test.make ~name:"fig6/red"
+        (stage_unit (fun () ->
+             Experiments.Fig6.run
+               ~variants:Core.Variant.[ Newreno; Sack; Rr ] ()));
+      Test.make ~name:"fig7/point"
+        (stage_unit (fun () ->
+             (* One representative sweep point; the full figure is 9 of
+                these per variant pair. *)
+             Experiments.Fig7.run ~loss_rates:[ 0.02 ] ~seeds:[ 3L ]
+               ~duration:100.0 ()));
+      Test.make ~name:"table5/all-cases"
+        (stage_unit (fun () -> Experiments.Table5.run ~deadline:60.0 ()));
+      Test.make ~name:"ablation/6drops"
+        (stage_unit (fun () -> Experiments.Ablation.run ()));
+      Test.make ~name:"ackloss/point"
+        (stage_unit (fun () ->
+             Experiments.Ack_loss.run ~rates:[ 0.1 ] ~seeds:[ 2L ] ()));
+      Test.make ~name:"sync/droptail-vs-red"
+        (stage_unit (fun () ->
+             Experiments.Sync.run ~variants:[ Core.Variant.Rr ] ~duration:10.0 ()));
+      Test.make ~name:"smooth/grid"
+        (stage_unit (fun () -> Experiments.Smooth.run ()));
+      Test.make ~name:"vegas/decomposition"
+        (stage_unit (fun () -> Experiments.Vegas_claim.run ()));
+      Test.make ~name:"two-way/ack-compression"
+        (stage_unit (fun () ->
+             Experiments.Two_way.run ~variants:[ Core.Variant.Rr ]
+               ~duration:20.0 ()));
+      Test.make ~name:"sensitivity/grid"
+        (stage_unit (fun () ->
+             Experiments.Sensitivity.run ~buffers:[ 8 ]
+               ~delays:[ Sim.Units.ms 96.0 ] ()));
+      Test.make ~name:"rtt-fairness/grid"
+        (stage_unit (fun () ->
+             Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ]
+               ~duration:40.0 ()));
+      Test.make ~name:"micro/engine-100k-events"
+        (Staged.stage (fun () ->
+             let engine = Sim.Engine.create () in
+             for i = 1 to 100_000 do
+               ignore
+                 (Sim.Engine.schedule_after engine
+                    ~delay:(float_of_int (i mod 97))
+                    (fun () -> ()))
+             done;
+             Sim.Engine.run engine));
+      Test.make ~name:"micro/rr-20s-lossy-flow"
+        (stage_unit (fun () ->
+             Experiments.Scenario.run
+               (Experiments.Scenario.make
+                  ~config:(Net.Dumbbell.paper_config ~flows:1)
+                  ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
+                  ~params:{ Tcp.Params.default with rwnd = 20 }
+                  ~seed:1L ~duration:20.0 ~uniform_loss:0.01 ())));
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  banner "Bechamel timings (wall-clock per experiment run)";
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ nanoseconds ] -> (name, nanoseconds) :: acc
+        | Some _ | None -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, nanoseconds) ->
+      Printf.printf "  %-44s %10.3f ms/run\n" name (nanoseconds /. 1e6))
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+
+let () =
+  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  reproduce ();
+  if not fast then benchmark ()

@@ -1,0 +1,440 @@
+(* rr-sim — command-line front end for the Robust-Recovery reproduction.
+
+   One sub-command per paper artifact (fig5, fig6, fig7, table5), plus
+   the RR design ablations, a free-form [run] command for ad-hoc
+   dumbbell scenarios, and [all] to regenerate everything. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed for stochastic components (RED, loss injection)." in
+  Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let variant_conv =
+  let parse s =
+    Result.map_error (fun message -> `Msg message) (Core.Variant.of_string s)
+  in
+  let print ppf v = Format.pp_print_string ppf (Core.Variant.name v) in
+  Arg.conv ~docv:"VARIANT" (parse, print)
+
+let csv_arg =
+  let doc =
+    "Directory to write per-flow CSV traces into (created if missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let write_csv dir name contents =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* fig5 *)
+
+let fig5_term =
+  let drops =
+    let doc = "Number of packets dropped within the window (3 or 6)." in
+    Arg.(value & opt int 3 & info [ "drops" ] ~docv:"N" ~doc)
+  in
+  let window =
+    let doc = "Measurement window in seconds, starting at the first drop." in
+    Arg.(value & opt float 3.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
+  in
+  let background =
+    let doc =
+      "Run the paper's literal 3-flow setup (losses from competition) \
+       instead of the controlled forced-drop mode."
+    in
+    Arg.(value & flag & info [ "background" ] ~doc)
+  in
+  let run drops window background seed =
+    if background then
+      print_string
+        (Experiments.Fig5.report_background (Experiments.Fig5.run_background ~seed ()))
+    else
+      print_string
+        (Experiments.Fig5.report (Experiments.Fig5.run ~drops ~measure_window:window ~seed ()))
+  in
+  Term.(const run $ drops $ window $ background $ seed_arg)
+
+let fig5_cmd =
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:
+         "Figure 5: effective throughput during recovery from bursty loss \
+          under drop-tail gateways.")
+    fig5_term
+
+(* fig6 *)
+
+let fig6_term =
+  let plots =
+    let doc = "Also print the flow-1 sequence-number ASCII plots." in
+    Arg.(value & flag & info [ "plots" ] ~doc)
+  in
+  let duration =
+    let doc = "Simulation length in seconds." in
+    Arg.(value & opt float 6.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let only_variant =
+    let doc = "Restrict to one TCP variant." in
+    Arg.(value & opt (some variant_conv) None & info [ "variant" ] ~doc)
+  in
+  let run plots duration only_variant seed csv =
+    let variants =
+      match only_variant with
+      | Some v -> Some [ v ]
+      | None -> None
+    in
+    let outcome = Experiments.Fig6.run ?variants ~seed ~duration () in
+    print_string (Experiments.Fig6.report outcome);
+    if plots then
+      List.iter
+        (fun result ->
+          Printf.printf "\n-- %s --\n%s\n%s"
+            (Core.Variant.name result.Experiments.Fig6.variant)
+            (Experiments.Fig6.plot result)
+            (Experiments.Fig6.plot_cwnd result))
+        outcome.Experiments.Fig6.results;
+    Option.iter
+      (fun dir ->
+        List.iter
+          (fun result ->
+            let name =
+              Printf.sprintf "fig6_%s_flow1.csv"
+                (Core.Variant.name result.Experiments.Fig6.variant)
+            in
+            let buffer = Buffer.create 4096 in
+            Buffer.add_string buffer "time,seq,kind\n";
+            List.iter
+              (fun (t, s) ->
+                Buffer.add_string buffer (Printf.sprintf "%.6f,%.0f,send\n" t s))
+              result.Experiments.Fig6.sends;
+            List.iter
+              (fun (t, s) ->
+                Buffer.add_string buffer (Printf.sprintf "%.6f,%.0f,ack\n" t s))
+              result.Experiments.Fig6.acks;
+            write_csv dir name (Buffer.contents buffer))
+          outcome.Experiments.Fig6.results)
+      csv
+  in
+  Term.(const run $ plots $ duration $ only_variant $ seed_arg $ csv_arg)
+
+let fig6_cmd =
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:
+         "Figure 6: sequence-number dynamics and effective throughput under \
+          RED gateways with ten staggered flows.")
+    fig6_term
+
+(* fig7 *)
+
+let fig7_term =
+  let duration =
+    let doc = "Per-point simulation length in seconds." in
+    Arg.(value & opt float 100.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let runs =
+    let doc = "Number of random seeds averaged per point." in
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let delack =
+    let doc =
+      "Receivers delay ACKs (extension; compares against the C = sqrt(3/4) \
+       model)."
+    in
+    Arg.(value & flag & info [ "delack" ] ~doc)
+  in
+  let run duration runs delack seed =
+    let seeds = List.init runs (fun i -> Int64.add seed (Int64.of_int i)) in
+    let outcome = Experiments.Fig7.run ~seeds ~duration ~delayed_ack:delack () in
+    print_string (Experiments.Fig7.report outcome);
+    print_newline ();
+    print_string (Experiments.Fig7.plot outcome)
+  in
+  Term.(const run $ duration $ runs $ delack $ seed_arg)
+
+let fig7_cmd =
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:
+         "Figure 7: fitness of RR and SACK to the square-root throughput \
+          model under uniform random loss.")
+    fig7_term
+
+(* table5 *)
+
+let table5_term =
+  let run seed =
+    print_string (Experiments.Table5.report (Experiments.Table5.run ~seed ()))
+  in
+  Term.(const run $ seed_arg)
+
+let table5_cmd =
+  Cmd.v
+    (Cmd.info "table5"
+       ~doc:
+         "Table 5: fairness of RR against TCP Reno (transfer delay and loss \
+          rate of a 100 KB flow).")
+    table5_term
+
+(* ablation *)
+
+let ablation_term =
+  let drops =
+    let doc = "Loss-burst size for the ablation scenario." in
+    Arg.(value & opt int 6 & info [ "drops" ] ~docv:"N" ~doc)
+  in
+  let run drops =
+    print_string (Experiments.Ablation.report (Experiments.Ablation.run ~drops ()))
+  in
+  Term.(const run $ drops)
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"RR design-decision ablation benchmarks.")
+    ablation_term
+
+(* extension experiments *)
+
+let ack_loss_cmd =
+  Cmd.v
+    (Cmd.info "ackloss"
+       ~doc:
+         "ACK-loss robustness of recovery (paper section 2.3): burst recovery \
+          under reverse-path drops.")
+    Term.(const (fun () -> print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ()))) $ const ())
+
+let sync_cmd =
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:
+         "Global synchronization and fairness: drop-tail vs RED gateways \
+          (paper section 3.3 motivation).")
+    Term.(const (fun () -> print_string (Experiments.Sync.report (Experiments.Sync.run ()))) $ const ())
+
+let smooth_cmd =
+  Cmd.v
+    (Cmd.info "smooth"
+       ~doc:
+         "Smooth-Start extension (paper reference [21]): slow-start overshoot \
+          control.")
+    Term.(const (fun () -> print_string (Experiments.Smooth.report (Experiments.Smooth.run ()))) $ const ())
+
+let rtt_cmd =
+  Cmd.v
+    (Cmd.info "rtt"
+       ~doc:
+         "RTT fairness: AIMD convergence with equal RTTs (paper section 5) \
+          and the short-RTT bias with unequal ones.")
+    Term.(const (fun () -> print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ()))) $ const ())
+
+let sensitivity_cmd =
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:
+         "Robustness sweep: the Figure 5 ordering across gateway buffer sizes \
+          and propagation delays.")
+    Term.(const (fun () -> print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ()))) $ const ())
+
+let two_way_cmd =
+  Cmd.v
+    (Cmd.info "twoway"
+       ~doc:
+         "Two-way traffic (paper reference [22]): ACK compression and loss \
+          when data flows in both directions.")
+    Term.(const (fun () -> print_string (Experiments.Two_way.report (Experiments.Two_way.run ()))) $ const ())
+
+let vegas_cmd =
+  Cmd.v
+    (Cmd.info "vegas"
+       ~doc:
+         "Vegas decomposition (paper reference [8]): does Vegas' gain come \
+          from recovery or congestion avoidance?")
+    Term.(const (fun () -> print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()))) $ const ())
+
+(* run: ad-hoc scenario *)
+
+let run_term =
+  let variant =
+    let doc = "TCP variant (tahoe, reno, newreno, sack, rr)." in
+    Arg.(value & opt variant_conv Core.Variant.Rr & info [ "variant" ] ~doc)
+  in
+  let flows =
+    let doc = "Number of concurrent flows of that variant." in
+    Arg.(value & opt int 1 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let duration =
+    let doc = "Simulation length in seconds." in
+    Arg.(value & opt float 20.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let red =
+    let doc = "Use a RED gateway (Table 4 parameters) instead of drop-tail." in
+    Arg.(value & flag & info [ "red" ] ~doc)
+  in
+  let buffer =
+    let doc = "Gateway buffer size in packets." in
+    Arg.(value & opt int 8 & info [ "buffer" ] ~docv:"PACKETS" ~doc)
+  in
+  let loss =
+    let doc = "Uniform random data-loss rate injected at R1." in
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"RATE" ~doc)
+  in
+  let rwnd =
+    let doc = "Receiver advertised window in segments." in
+    Arg.(value & opt int 20 & info [ "rwnd" ] ~docv:"SEGMENTS" ~doc)
+  in
+  let ack_loss =
+    let doc = "Uniform random ACK-loss rate on the reverse path." in
+    Arg.(value & opt float 0.0 & info [ "ack-loss" ] ~docv:"RATE" ~doc)
+  in
+  let delack =
+    let doc = "Enable delayed ACKs at the receivers." in
+    Arg.(value & flag & info [ "delack" ] ~doc)
+  in
+  let limited_transmit =
+    let doc = "Enable RFC 3042 limited transmit at the senders." in
+    Arg.(value & flag & info [ "limited-transmit" ] ~doc)
+  in
+  let tracefile =
+    let doc = "Write an ns-2-style event trace of the whole run to FILE." in
+    Arg.(value & opt (some string) None & info [ "tracefile" ] ~docv:"FILE" ~doc)
+  in
+  let run variant flows duration red buffer loss rwnd ack_loss delack
+      limited_transmit tracefile seed csv =
+    let gateway =
+      if red then
+        Net.Dumbbell.Red { capacity = buffer; params = Net.Red.paper_params }
+      else Net.Dumbbell.Droptail { capacity = buffer }
+    in
+    let config = { (Net.Dumbbell.paper_config ~flows) with gateway } in
+    let spec =
+      Experiments.Scenario.make ~config
+        ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
+        ~params:{ Tcp.Params.default with rwnd; limited_transmit }
+        ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
+        ~monitor_queue:0.1 ()
+    in
+    let t = Experiments.Scenario.run spec in
+    let mss = Tcp.Params.default.Tcp.Params.mss in
+    let header =
+      [ "flow"; "goodput (Kbps)"; "drops"; "timeouts"; "retransmits" ]
+    in
+    let rows =
+      List.init flows (fun flow ->
+          let result = t.Experiments.Scenario.results.(flow) in
+          let counters =
+            result.Experiments.Scenario.agent.Tcp.Agent.base
+              .Tcp.Sender_common.counters
+          in
+          let goodput =
+            Stats.Metrics.effective_throughput_bps
+              result.Experiments.Scenario.trace ~mss ~t0:0.0 ~t1:duration
+          in
+          [
+            string_of_int flow;
+            Printf.sprintf "%.1f" (goodput /. 1000.0);
+            string_of_int (Experiments.Scenario.drops t ~flow);
+            string_of_int counters.Tcp.Counters.timeouts;
+            string_of_int counters.Tcp.Counters.retransmits;
+          ])
+    in
+    Printf.printf "%d %s flow(s), %s gateway (buffer %d), %.0f s\n\n%s" flows
+      (Core.Variant.name variant)
+      (if red then "RED" else "drop-tail")
+      buffer duration
+      (Stats.Text_table.render ~header rows);
+    Option.iter
+      (fun dir ->
+        List.iteri
+          (fun flow result ->
+            write_csv dir
+              (Printf.sprintf "run_flow%d_una.csv" flow)
+              (Stats.Series.to_csv
+                 result.Experiments.Scenario.trace.Stats.Flow_trace.una))
+          (Array.to_list t.Experiments.Scenario.results);
+        Option.iter
+          (fun series ->
+            write_csv dir "run_queue.csv" (Stats.Series.to_csv series))
+          t.Experiments.Scenario.queue_occupancy)
+      csv;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Experiments.Scenario.tracefile t);
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      tracefile
+  in
+  Term.(
+    const run $ variant $ flows $ duration $ red $ buffer $ loss $ rwnd
+    $ ack_loss $ delack $ limited_transmit $ tracefile $ seed_arg $ csv_arg)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an ad-hoc dumbbell scenario and print per-flow stats.")
+    run_term
+
+(* all *)
+
+let all_term =
+  let run seed =
+    print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:3 ~seed ()));
+    print_newline ();
+    print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:6 ~seed ()));
+    print_newline ();
+    print_string (Experiments.Fig6.report (Experiments.Fig6.run ~seed ()));
+    print_newline ();
+    print_string (Experiments.Fig7.report (Experiments.Fig7.run ()));
+    print_newline ();
+    print_string (Experiments.Table5.report (Experiments.Table5.run ~seed ()));
+    print_newline ();
+    print_string (Experiments.Ablation.report (Experiments.Ablation.run ()));
+    print_newline ();
+    print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ()));
+    print_newline ();
+    print_string (Experiments.Sync.report (Experiments.Sync.run ~seed ()));
+    print_newline ();
+    print_string (Experiments.Smooth.report (Experiments.Smooth.run ()));
+    print_newline ();
+    print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()));
+    print_newline ();
+    print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ~seed ()));
+    print_newline ();
+    print_string (Experiments.Two_way.report (Experiments.Two_way.run ~seed ()));
+    print_newline ();
+    print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ()))
+  in
+  Term.(const run $ seed_arg)
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure of the paper.")
+    all_term
+
+let main_cmd =
+  let doc =
+    "reproduction of Robust TCP Congestion Recovery (Wang & Shin, ICDCS 2001)"
+  in
+  Cmd.group (Cmd.info "rr-sim" ~version:"1.0.0" ~doc)
+    [
+      fig5_cmd;
+      fig6_cmd;
+      fig7_cmd;
+      table5_cmd;
+      ablation_cmd;
+      ack_loss_cmd;
+      sync_cmd;
+      smooth_cmd;
+      vegas_cmd;
+      rtt_cmd;
+      two_way_cmd;
+      sensitivity_cmd;
+      run_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,237 @@
+(* verify-repro — executable scorecard for the reproduction.
+
+   Runs every experiment and checks each shape claim EXPERIMENTS.md
+   makes, printing PASS/FAIL per claim and exiting non-zero if any
+   fails. This is the one-command answer to "does this repo still
+   reproduce the paper?".
+
+     dune exec bin/verify_repro.exe *)
+
+let checks : (string * string * (unit -> bool * string)) list ref = ref []
+
+let claim ~section ~name check = checks := (section, name, check) :: !checks
+
+let fig5_bw outcome variant =
+  let row =
+    List.find
+      (fun r -> r.Experiments.Fig5.variant = variant)
+      outcome.Experiments.Fig5.rows
+  in
+  row.Experiments.Fig5.throughput_bps
+
+let fig5_row outcome variant =
+  List.find
+    (fun r -> r.Experiments.Fig5.variant = variant)
+    outcome.Experiments.Fig5.rows
+
+let kbps x = Printf.sprintf "%.1f Kbps" (x /. 1000.0)
+
+let () =
+  (* -- Figure 5 -- *)
+  let fig5_3 = Experiments.Fig5.run ~drops:3 () in
+  let fig5_6 = Experiments.Fig5.run ~drops:6 () in
+  claim ~section:"fig5" ~name:"RR > New-Reno at 3 drops" (fun () ->
+      let rr = fig5_bw fig5_3 Core.Variant.Rr in
+      let nr = fig5_bw fig5_3 Core.Variant.Newreno in
+      (rr > nr, Printf.sprintf "%s vs %s" (kbps rr) (kbps nr)));
+  claim ~section:"fig5" ~name:"RR > New-Reno at 6 drops, gap widens" (fun () ->
+      let ratio d o = fig5_bw o Core.Variant.Rr /. fig5_bw o Core.Variant.Newreno |> fun r -> (d, r) in
+      let _, r3 = ratio 3 fig5_3 and _, r6 = ratio 6 fig5_6 in
+      (r6 > r3 && r3 > 1.0, Printf.sprintf "x%.2f -> x%.2f" r3 r6));
+  claim ~section:"fig5" ~name:"RR within 25% of SACK (receiver-assisted)"
+    (fun () ->
+      let worst =
+        List.fold_left
+          (fun acc outcome ->
+            Float.min acc
+              (fig5_bw outcome Core.Variant.Rr /. fig5_bw outcome Core.Variant.Sack))
+          infinity [ fig5_3; fig5_6 ]
+      in
+      (worst > 0.75, Printf.sprintf "worst ratio %.2f" worst));
+  claim ~section:"fig5" ~name:"Tahoe > New-Reno at 6 drops" (fun () ->
+      let t = fig5_bw fig5_6 Core.Variant.Tahoe in
+      let nr = fig5_bw fig5_6 Core.Variant.Newreno in
+      (t > nr, Printf.sprintf "%s vs %s" (kbps t) (kbps nr)));
+  claim ~section:"fig5" ~name:"RR absorbs 6 losses: no timeout, 6 retx"
+    (fun () ->
+      let row = fig5_row fig5_6 Core.Variant.Rr in
+      ( row.Experiments.Fig5.timeouts = 0 && row.Experiments.Fig5.retransmits = 6,
+        Printf.sprintf "%d timeouts, %d retx" row.Experiments.Fig5.timeouts
+          row.Experiments.Fig5.retransmits ));
+  claim ~section:"fig5" ~name:"Reno worst (multi-loss forces its RTO)"
+    (fun () ->
+      let reno = fig5_row fig5_6 Core.Variant.Reno in
+      let worst =
+        List.for_all
+          (fun v -> fig5_bw fig5_6 Core.Variant.Reno <= fig5_bw fig5_6 v)
+          Core.Variant.[ Tahoe; Newreno; Sack; Rr ]
+      in
+      (worst && reno.Experiments.Fig5.timeouts > 0, "Reno lowest, with timeout"));
+
+  (* -- Figure 6 -- *)
+  let fig6 = Experiments.Fig6.run () in
+  let fig6_bw variant =
+    let r =
+      List.find
+        (fun r -> r.Experiments.Fig6.variant = variant)
+        fig6.Experiments.Fig6.results
+    in
+    r.Experiments.Fig6.throughput_bps
+  in
+  claim ~section:"fig6" ~name:"RR >> New-Reno under RED" (fun () ->
+      let rr = fig6_bw Core.Variant.Rr and nr = fig6_bw Core.Variant.Newreno in
+      (rr > 1.3 *. nr, Printf.sprintf "%s vs %s" (kbps rr) (kbps nr)));
+  claim ~section:"fig6" ~name:"RR ~ SACK under RED (within 15%)" (fun () ->
+      let ratio = fig6_bw Core.Variant.Rr /. fig6_bw Core.Variant.Sack in
+      (ratio > 0.85, Printf.sprintf "ratio %.2f" ratio));
+
+  (* -- Figure 7 -- *)
+  let fig7 = Experiments.Fig7.run ~seeds:[ 3L; 17L; 29L ] () in
+  let measured point variant =
+    let _, window, _ =
+      List.find (fun (v, _, _) -> v = variant) point.Experiments.Fig7.measured
+    in
+    window
+  in
+  let point p =
+    List.find
+      (fun pt -> Float.abs (pt.Experiments.Fig7.loss_rate -. p) < 1e-9)
+      fig7.Experiments.Fig7.points
+  in
+  claim ~section:"fig7" ~name:"RR tracks the model at p = 0.01" (fun () ->
+      let pt = point 0.01 in
+      let model = Float.min pt.Experiments.Fig7.model_window 20.0 in
+      let rr = measured pt Core.Variant.Rr in
+      (Float.abs (rr -. model) /. model < 0.3,
+       Printf.sprintf "window %.1f vs model %.1f" rr model));
+  claim ~section:"fig7" ~name:"droop below the model at p = 0.1 (timeouts)"
+    (fun () ->
+      let pt = point 0.1 in
+      let rr = measured pt Core.Variant.Rr in
+      ( rr < 0.8 *. pt.Experiments.Fig7.model_window,
+        Printf.sprintf "window %.1f vs model %.1f" rr
+          pt.Experiments.Fig7.model_window ));
+  claim ~section:"fig7" ~name:"RR fits as well as SACK (p <= 0.03)" (fun () ->
+      let ok =
+        List.for_all
+          (fun p ->
+            let pt = point p in
+            measured pt Core.Variant.Rr > 0.75 *. measured pt Core.Variant.Sack)
+          [ 0.005; 0.01; 0.02; 0.03 ]
+      in
+      (ok, "RR within 25% of SACK at every small-p point"));
+
+  (* -- Table 5 -- *)
+  let table5 = Experiments.Table5.run () in
+  let case outcome label =
+    List.find (fun c -> c.Experiments.Table5.label = label)
+      outcome.Experiments.Table5.cases
+  in
+  let delay c =
+    match c.Experiments.Table5.transfer_delay with
+    | Some d -> d
+    | None -> infinity
+  in
+  claim ~section:"table5" ~name:"RR background helps a Reno target (case 2 < 1)"
+    (fun () ->
+      let c1 = case table5 "case 1" and c2 = case table5 "case 2" in
+      ( delay c2 < delay c1
+        && c2.Experiments.Table5.loss_rate <= c1.Experiments.Table5.loss_rate,
+        Printf.sprintf "%.1fs/%.0f%% vs %.1fs/%.0f%%" (delay c2)
+          (100. *. c2.Experiments.Table5.loss_rate)
+          (delay c1)
+          (100. *. c1.Experiments.Table5.loss_rate) ));
+  claim ~section:"table5" ~name:"background bandwidth unharmed by RR" (fun () ->
+      let c1 = case table5 "case 1" and c2 = case table5 "case 2" in
+      let r =
+        c2.Experiments.Table5.mean_background_bandwidth_bps
+        /. c1.Experiments.Table5.mean_background_bandwidth_bps
+      in
+      (r > 0.95, Printf.sprintf "bg ratio %.2f" r));
+  let table5_lt = Experiments.Table5.run ~limited_transmit:true () in
+  claim ~section:"table5" ~name:"lone RR wins with RFC 3042 (case 4 < 1)"
+    (fun () ->
+      let c1 = case table5_lt "case 1" and c4 = case table5_lt "case 4" in
+      ( delay c4 < delay c1,
+        Printf.sprintf "%.1fs vs %.1fs" (delay c4) (delay c1) ));
+
+  (* -- extensions -- *)
+  let sync = Experiments.Sync.run ~variants:[ Core.Variant.Reno ] () in
+  claim ~section:"ext" ~name:"drop-tail synchronizes losses; RED does not"
+    (fun () ->
+      match sync.Experiments.Sync.rows with
+      | [ droptail; red ] ->
+        ( droptail.Experiments.Sync.sync_index
+          > 2.0 *. red.Experiments.Sync.sync_index,
+          Printf.sprintf "sync %.2f vs %.2f" droptail.Experiments.Sync.sync_index
+            red.Experiments.Sync.sync_index )
+      | _ -> (false, "unexpected rows"));
+  let vegas = Experiments.Vegas_claim.run () in
+  claim ~section:"ext" ~name:"Vegas' gain is its recovery (ref [8])" (fun () ->
+      let g label =
+        (List.find (fun r -> r.Experiments.Vegas_claim.label = label)
+           vegas.Experiments.Vegas_claim.rows)
+          .Experiments.Vegas_claim.throughput_bps
+      in
+      ( g "vegas recovery only" > 0.8 *. g "vegas (full)"
+        && g "vegas (full)" > g "reno"
+        && g "vegas avoidance only" < g "vegas (full)",
+        "recovery-only ~ full; avoidance-only ~ reno" ));
+  let rtt = Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ] () in
+  claim ~section:"ext" ~name:"equal-RTT RR converges to fair share (section 5)"
+    (fun () ->
+      match rtt.Experiments.Rtt_fairness.rows with
+      | [ row ] ->
+        ( row.Experiments.Rtt_fairness.equal_rtt_jain > 0.95,
+          Printf.sprintf "Jain %.3f" row.Experiments.Rtt_fairness.equal_rtt_jain )
+      | _ -> (false, "unexpected rows"));
+  let two_way = Experiments.Two_way.run () in
+  claim ~section:"ext" ~name:"two-way traffic hurts; RR degrades less (ref [22])"
+    (fun () ->
+      let penalty variant =
+        let row =
+          List.find (fun r -> r.Experiments.Two_way.variant = variant)
+            two_way.Experiments.Two_way.rows
+        in
+        1.0
+        -. (row.Experiments.Two_way.two_way_goodput_bps
+           /. row.Experiments.Two_way.one_way_goodput_bps)
+      in
+      let reno = penalty Core.Variant.Reno and rr = penalty Core.Variant.Rr in
+      ( reno > 0.05 && rr > 0.05 && rr <= reno,
+        Printf.sprintf "penalty reno %.0f%%, rr %.0f%%" (100. *. reno)
+          (100. *. rr) ));
+  let smooth = Experiments.Smooth.run ~variants:[ Core.Variant.Rr ] () in
+  claim ~section:"ext" ~name:"Smooth-Start sheds start-up losses (ref [21])"
+    (fun () ->
+      match smooth.Experiments.Smooth.rows with
+      | [ plain; damped ] ->
+        ( damped.Experiments.Smooth.startup_drops
+          <= plain.Experiments.Smooth.startup_drops,
+          Printf.sprintf "%d -> %d drops" plain.Experiments.Smooth.startup_drops
+            damped.Experiments.Smooth.startup_drops )
+      | _ -> (false, "unexpected rows"));
+
+  let sensitivity = Experiments.Sensitivity.run () in
+  claim ~section:"ext" ~name:"RR > New-Reno across the buffer x delay grid"
+    (fun () ->
+      ( Experiments.Sensitivity.ordering_holds sensitivity,
+        Printf.sprintf "%d cells"
+          (List.length sensitivity.Experiments.Sensitivity.cells) ));
+
+  (* -- run them all -- *)
+  let failures = ref 0 in
+  Printf.printf "reproduction scorecard\n%s\n" (String.make 72 '-');
+  List.iter
+    (fun (section, name, check) ->
+      let ok, detail =
+        try check () with exn -> (false, Printexc.to_string exn)
+      in
+      if not ok then incr failures;
+      Printf.printf "[%s] %-8s %-52s %s\n"
+        (if ok then "PASS" else "FAIL")
+        section name detail)
+    (List.rev !checks);
+  Printf.printf "%s\n%d claims checked, %d failed\n" (String.make 72 '-')
+    (List.length !checks) !failures;
+  exit (if !failures = 0 then 0 else 1)

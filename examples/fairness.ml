@@ -1,0 +1,69 @@
+(* Fairness demo: RR sharing a bottleneck with TCP Reno flows.
+
+   Five Reno flows and five RR flows compete on the paper's dumbbell
+   for 60 seconds; the per-flow goodput shows whether RR starves its
+   less aggressive neighbours (the §5 concern). Jain's fairness index
+   is printed for the whole set.
+
+     dune exec examples/fairness.exe *)
+
+let flows = 10
+
+let () =
+  let config =
+    {
+      (Net.Dumbbell.paper_config ~flows) with
+      gateway = Net.Dumbbell.Droptail { capacity = 25 };
+    }
+  in
+  let variant_of flow = if flow < 5 then Core.Variant.Reno else Core.Variant.Rr in
+  let duration = 60.0 in
+  let spec =
+    Experiments.Scenario.make ~config
+      ~flows:
+        (List.init flows (fun flow ->
+             {
+               (Experiments.Scenario.flow (variant_of flow)) with
+               Experiments.Scenario.start = 0.1 *. float_of_int flow;
+             }))
+      ~params:{ Tcp.Params.default with rwnd = 20 }
+      ~seed:3L ~duration ()
+  in
+  let t = Experiments.Scenario.run spec in
+  let mss = Tcp.Params.default.Tcp.Params.mss in
+  let goodputs =
+    List.init flows (fun flow ->
+        Stats.Metrics.effective_throughput_bps
+          t.Experiments.Scenario.results.(flow).Experiments.Scenario.trace
+          ~mss ~t0:5.0 ~t1:duration)
+  in
+  let header = [ "flow"; "variant"; "goodput (Kbps)"; "timeouts" ] in
+  let rows =
+    List.mapi
+      (fun flow goodput ->
+        let counters =
+          t.Experiments.Scenario.results.(flow).Experiments.Scenario.agent
+            .Tcp.Agent.base.Tcp.Sender_common.counters
+        in
+        [
+          string_of_int flow;
+          Core.Variant.name (variant_of flow);
+          Printf.sprintf "%.1f" (goodput /. 1000.0);
+          string_of_int counters.Tcp.Counters.timeouts;
+        ])
+      goodputs
+  in
+  print_string (Stats.Text_table.render ~header rows);
+  let mean_of label flows_of =
+    let selected = List.filteri (fun i _ -> flows_of i) goodputs in
+    let mean =
+      List.fold_left ( +. ) 0.0 selected /. float_of_int (List.length selected)
+    in
+    Format.printf "mean %s goodput: %.1f Kbps@." label (mean /. 1000.0)
+  in
+  mean_of "reno" (fun i -> i < 5);
+  mean_of "rr" (fun i -> i >= 5);
+  let sum = List.fold_left ( +. ) 0.0 goodputs in
+  let sum_sq = List.fold_left (fun a x -> a +. (x *. x)) 0.0 goodputs in
+  Format.printf "Jain fairness index: %.3f (1.0 = perfectly fair)@."
+    (sum *. sum /. (float_of_int flows *. sum_sq))

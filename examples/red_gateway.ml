@@ -1,0 +1,33 @@
+(* Ten flows through a RED gateway — the paper's Figure 6 scenario.
+
+   Runs the same staggered-start workload as the paper's §3.3 with the
+   chosen variant (default RR) and draws the first flow's
+   sequence-number trace as an ASCII plot, the same visualization the
+   paper uses to contrast recovery mechanisms.
+
+     dune exec examples/red_gateway.exe            # RR
+     dune exec examples/red_gateway.exe newreno    # watch the stall *)
+
+let () =
+  let variant =
+    if Array.length Sys.argv > 1 then
+      match Core.Variant.of_string Sys.argv.(1) with
+      | Ok v -> v
+      | Error message ->
+        prerr_endline message;
+        exit 2
+    else Core.Variant.Rr
+  in
+  let outcome = Experiments.Fig6.run ~variants:[ variant ] () in
+  match outcome.Experiments.Fig6.results with
+  | [ result ] ->
+    Format.printf
+      "flow 1 of 10 %s flows behind a RED gateway (0.8 Mbps, 6 s)@.@."
+      (Core.Variant.name variant);
+    print_string (Experiments.Fig6.plot result);
+    Format.printf
+      "@.flow-1 goodput %.1f Kbps; %d timeouts; %d recovery entries@."
+      (result.Experiments.Fig6.throughput_bps /. 1000.0)
+      result.Experiments.Fig6.timeouts
+      result.Experiments.Fig6.fast_recoveries
+  | _ -> assert false

@@ -1,0 +1,33 @@
+type t = Tahoe | Reno | Newreno | Sack | Fack | Vegas | Rr
+
+let all = [ Tahoe; Reno; Newreno; Sack; Fack; Vegas; Rr ]
+
+let name = function
+  | Tahoe -> "tahoe"
+  | Reno -> "reno"
+  | Newreno -> "newreno"
+  | Sack -> "sack"
+  | Fack -> "fack"
+  | Vegas -> "vegas"
+  | Rr -> "rr"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "tahoe" -> Ok Tahoe
+  | "reno" -> Ok Reno
+  | "newreno" | "new-reno" -> Ok Newreno
+  | "sack" -> Ok Sack
+  | "fack" -> Ok Fack
+  | "vegas" -> Ok Vegas
+  | "rr" | "robust" | "robust-recovery" -> Ok Rr
+  | other -> Error (Printf.sprintf "unknown TCP variant %S" other)
+
+let create t ~engine ~params ~flow ~emit () =
+  match t with
+  | Tahoe -> Tcp.Tahoe.create ~engine ~params ~flow ~emit ()
+  | Reno -> Tcp.Reno.create ~engine ~params ~flow ~emit ()
+  | Newreno -> Tcp.Newreno.create ~engine ~params ~flow ~emit ()
+  | Sack -> Tcp.Sack.create ~engine ~params ~flow ~emit ()
+  | Fack -> Tcp.Fack.create ~engine ~params ~flow ~emit ()
+  | Vegas -> Tcp.Vegas.create ~engine ~params ~flow ~emit ()
+  | Rr -> Rr.create ~engine ~params ~flow ~emit ()

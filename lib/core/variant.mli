@@ -1,0 +1,28 @@
+(** Uniform selection of TCP congestion-control variants.
+
+    The paper compares RR against Tahoe, (New-)Reno and SACK; this
+    module gives experiments, examples and the CLI one switch point for
+    all five. *)
+
+type t = Tahoe | Reno | Newreno | Sack | Fack | Vegas | Rr
+
+(** All variants, in the paper's presentation order. *)
+val all : t list
+
+(** [name t] is the lowercase identifier (["rr"], ["newreno"], …). *)
+val name : t -> string
+
+(** [of_string s] parses {!name} output (case-insensitive). *)
+val of_string : string -> (t, string) result
+
+(** [create t ~engine ~params ~flow ~emit ()] builds a sender agent of
+    the given variant. Check the agent's [wants_sack] to configure the
+    peer receiver. *)
+val create :
+  t ->
+  engine:Sim.Engine.t ->
+  params:Tcp.Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Tcp.Agent.t

@@ -1,0 +1,26 @@
+(** Ablation benches for the three RR design decisions DESIGN.md calls
+    out, evaluated on the Figure 5 6-loss scenario:
+
+    - retreat pacing: 1 new segment per 2 dup ACKs (paper) vs per 1
+      (right-edge style, which §1 argues "adds fuel to the fire");
+    - further-loss back-off: [actnum <- ndup] (linear, paper) vs
+      halving;
+    - exit window: [cwnd <- actnum] (paper, no big-ACK burst) vs
+      [cwnd <- ssthresh] (New-Reno style). *)
+
+type row = {
+  label : string;
+  ablation : Core.Rr.ablation;
+  throughput_bps : float;
+  recovery_seconds : float option;
+  timeouts : int;
+}
+
+type outcome = { drops : int; measure_window : float; rows : row list }
+
+(** [run ()] measures the paper design and each single-flag flip on the
+    6-drop Figure 5 scenario. *)
+val run : ?drops:int -> ?measure_window:float -> unit -> outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

@@ -1,0 +1,107 @@
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;
+  timeouts : float;
+}
+
+type point = { ack_loss_rate : float; cells : cell list }
+
+type outcome = { points : point list }
+
+let params = { Tcp.Params.default with initial_ssthresh = 16.0; rwnd = 20 }
+
+let burst = List.init 4 (fun i -> { Net.Loss.flow = 0; seq = 33 + i; occurrence = 1 })
+
+let measure_window = 4.0
+
+let run_one ~seed ~ack_loss variant =
+  let t =
+    Scenario.run
+      (Scenario.make
+         ~config:(Net.Dumbbell.paper_config ~flows:1)
+         ~flows:[ Scenario.flow variant ] ~params ~seed ~forced_drops:burst
+         ~ack_loss ())
+  in
+  let result = t.Scenario.results.(0) in
+  let t0 =
+    (* The first *data* drop (ACK drops also land in the log). *)
+    let rec scan = function
+      | [] -> failwith "Ack_loss: burst did not occur"
+      | (time, 0, seq) :: _ when seq >= 0 -> time
+      | _ :: rest -> scan rest
+    in
+    scan t.Scenario.drop_log
+  in
+  let throughput =
+    Stats.Metrics.effective_throughput_bps result.Scenario.trace
+      ~mss:params.Tcp.Params.mss ~t0 ~t1:(t0 +. measure_window)
+  in
+  let timeouts =
+    result.Scenario.agent.Tcp.Agent.base.Tcp.Sender_common.counters
+      .Tcp.Counters.timeouts
+  in
+  (throughput, timeouts)
+
+let run ?(rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ])
+    ?(variants = Core.Variant.[ Newreno; Sack; Rr ])
+    ?(seeds = [ 2L; 19L; 47L; 83L; 151L ]) () =
+  let points =
+    List.map
+      (fun ack_loss_rate ->
+        let cells =
+          List.map
+            (fun variant ->
+              let runs =
+                List.map
+                  (fun seed -> run_one ~seed ~ack_loss:ack_loss_rate variant)
+                  seeds
+              in
+              {
+                variant;
+                throughput_bps = Stats.Metrics.mean (List.map fst runs);
+                timeouts =
+                  Stats.Metrics.mean
+                    (List.map (fun (_, t) -> float_of_int t) runs);
+              })
+            variants
+        in
+        { ack_loss_rate; cells })
+      rates
+  in
+  { points }
+
+let report outcome =
+  let variants =
+    match outcome.points with
+    | [] -> []
+    | point :: _ -> List.map (fun c -> c.variant) point.cells
+  in
+  let header =
+    "ACK loss rate"
+    :: List.concat_map
+         (fun v ->
+           [
+             Core.Variant.name v ^ " goodput (Kbps)";
+             Core.Variant.name v ^ " timeouts";
+           ])
+         variants
+  in
+  let rows =
+    List.map
+      (fun point ->
+        Printf.sprintf "%.0f%%" (100.0 *. point.ack_loss_rate)
+        :: List.concat_map
+             (fun cell ->
+               [
+                 Printf.sprintf "%.1f" (cell.throughput_bps /. 1000.0);
+                 Printf.sprintf "%.1f" cell.timeouts;
+               ])
+             point.cells)
+      outcome.points
+  in
+  Printf.sprintf
+    "ACK-loss robustness (4-loss burst recovery under reverse-path drops, §2.3)\n\
+     paper shape: RR degrades gracefully and stays ahead of New-Reno;\n\
+     SACK is the least ACK-sensitive\n\n\
+     %s"
+    (Stats.Text_table.render ~header rows)

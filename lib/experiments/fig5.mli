@@ -1,0 +1,82 @@
+(** Figure 5 — effective throughput during congestion recovery when 3
+    (left) or 6 (right) packets are lost within one window of data,
+    under drop-tail gateways.
+
+    The paper engineers the loss pattern with two background flows and
+    an 8-packet buffer, noting any setup that yields the same pattern is
+    equivalent; here a deterministic drop list at R1 forces exactly the
+    requested first-transmission losses inside one window (see
+    DESIGN.md). The flow's advertised window is capped at the pipe size
+    so no incidental drops pollute the measurement.
+
+    Reported per variant: effective throughput over a fixed window
+    starting at the first drop, the time to repair the whole loss
+    window (cumulative ACK passing the last dropped segment), and
+    timeout/retransmission counts. *)
+
+type row = {
+  variant : Core.Variant.t;
+  throughput_bps : float;  (** over [first drop, first drop + window] *)
+  recovery_seconds : float option;
+      (** first drop → cumulative ACK past the loss window *)
+  timeouts : int;
+  retransmits : int;
+}
+
+type outcome = {
+  drops : int;
+  drop_seqs : int list;
+  measure_window : float;
+  rows : row list;  (** one per variant, paper order *)
+}
+
+(** [run ~drops ()] executes the scenario for every variant.
+    [measure_window] defaults to 3 s (≈15 RTTs, covering recovery for
+    all variants); [variants] defaults to the paper's four (Tahoe,
+    New-Reno, SACK, RR) plus Reno. *)
+val run :
+  drops:int ->
+  ?measure_window:float ->
+  ?variants:Core.Variant.t list ->
+  ?seed:int64 ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the comparison table with the paper's
+    expected ordering noted. *)
+val report : outcome -> string
+
+(** {1 The paper's literal setup}
+
+    §3.2 engineers the loss pattern with two infinite background flows
+    behind an 8-packet buffer while the measured first connection sends
+    a limited amount of data; its effective throughput is then
+    [file size / transfer time]. This mode reproduces that literal
+    arrangement (one deterministic run — drop-tail phase effects and
+    all); the forced-drop mode above is the controlled version. *)
+
+type background_row = {
+  b_variant : Core.Variant.t;
+  transfer_seconds : float option;
+  effective_throughput_bps : float option;
+  target_drops : int;
+  b_timeouts : int;
+}
+
+type background_outcome = {
+  file_bytes : int;
+  target_start : float;
+  b_rows : background_row list;
+}
+
+(** [run_background ()] runs the 3-flow setup per variant (all three
+    flows use the same recovery mechanism, as in §3.3's convention). *)
+val run_background :
+  ?file_bytes:int ->
+  ?variants:Core.Variant.t list ->
+  ?seed:int64 ->
+  unit ->
+  background_outcome
+
+(** [report_background outcome] renders the table. *)
+val report_background : background_outcome -> string

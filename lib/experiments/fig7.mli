@@ -1,0 +1,47 @@
+(** Figure 7 — fitness to the square-root (Mathis) model.
+
+    One TCP connection runs for 100 s over the Table 3 topology while
+    uniform random losses at rate [p] are injected at gateway R1; MSS is
+    1000 bytes and the no-load RTT ≈ 200 ms. The measured window
+    [BW·RTT/MSS] is compared against the model bound [C/√p] for SACK
+    and RR across a grid of loss rates. The paper's shape: both track
+    the model at small [p] and fall below it at large [p], where
+    retransmission losses and tiny windows force timeouts; RR fits at
+    least as well as SACK. The Padhye (PFTK) model, which includes
+    timeouts, is also printed as the §4-referenced refinement. *)
+
+type point = {
+  loss_rate : float;
+  model_window : float;  (** C = √(3/2) *)
+  model_window_paper_c : float;  (** C = 4, as the paper's text states *)
+  padhye_window : float;
+  measured : (Core.Variant.t * float * int) list;
+      (** variant, measured window, timeouts (averaged over seeds) *)
+}
+
+type outcome = {
+  rtt : float;
+  c_model : float;  (** the Mathis constant used for [model_window] *)
+  points : point list;
+}
+
+(** [run ()] sweeps the loss-rate grid (default the paper's 0.001–0.1)
+    for SACK and RR, averaging over [seeds] runs. With [delayed_ack]
+    (an extension — the paper's receivers ACK every packet) receivers
+    delay ACKs and the model column uses the delayed-ACK constant
+    [C = sqrt(3/4)] and [b = 2]. *)
+val run :
+  ?loss_rates:float list ->
+  ?variants:Core.Variant.t list ->
+  ?seeds:int64 list ->
+  ?duration:float ->
+  ?delayed_ack:bool ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the comparison table. *)
+val report : outcome -> string
+
+(** [plot outcome] draws measured windows and the model curve against
+    [1/√p]. *)
+val plot : outcome -> string

@@ -1,0 +1,32 @@
+(** §5's convergence claim — "RR strictly follows the AIMD rule and is
+    TCP-friendly. It converges to the optimal point if competing TCP
+    connections have same RTTs" — plus the implied converse (AIMD's
+    well-known RTT bias when they do not).
+
+    Four same-variant flows share the bottleneck:
+
+    - {b equal RTTs}: all four at the Table 3 delay — Jain's index must
+      approach 1 (the convergence claim);
+    - {b heterogeneous RTTs}: access delays staggered so the nominal
+      RTTs are roughly 0.2/0.28/0.36/0.44 s — shorter-RTT flows win
+      bandwidth, quantified by the goodput ratio of the fastest to the
+      slowest flow. *)
+
+type row = {
+  variant : Core.Variant.t;
+  equal_rtt_jain : float;
+  hetero_jain : float;
+  hetero_bias : float;
+      (** goodput of the shortest-RTT flow / longest-RTT flow *)
+  goodputs_hetero : float list;  (** per flow, ascending RTT *)
+}
+
+type outcome = { duration : float; rows : row list }
+
+(** [run ()] measures RR and Reno (default). *)
+val run :
+  ?variants:Core.Variant.t list -> ?seed:int64 -> ?duration:float -> unit ->
+  outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

@@ -1,0 +1,217 @@
+type source = Infinite | File_bytes of int
+
+type agent_maker =
+  engine:Sim.Engine.t ->
+  params:Tcp.Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Tcp.Agent.t
+
+type flow_spec = {
+  label : string;
+  make : agent_maker;
+  start : float;
+  source : source;
+  direction : Net.Dumbbell.direction;
+}
+
+let flow ?(start = 0.0) ?(source = Infinite) ?(direction = Net.Dumbbell.Forward)
+    variant =
+  {
+    label = Core.Variant.name variant;
+    make =
+      (fun ~engine ~params ~flow ~emit () ->
+        Core.Variant.create variant ~engine ~params ~flow ~emit ());
+    start;
+    source;
+    direction;
+  }
+
+type spec = {
+  config : Net.Dumbbell.config;
+  flows : flow_spec list;
+  params : Tcp.Params.t;
+  seed : int64;
+  duration : float;
+  forced_drops : Net.Loss.rule list;
+  uniform_loss : float;
+  ack_loss : float;
+  delayed_ack : bool;
+  monitor_queue : float option;
+  side_delays : float array option;
+}
+
+let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
+    ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
+    ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays () =
+  {
+    config;
+    flows;
+    params;
+    seed;
+    duration;
+    forced_drops;
+    uniform_loss;
+    ack_loss;
+    delayed_ack;
+    monitor_queue;
+    side_delays;
+  }
+
+type flow_result = {
+  spec : flow_spec;
+  agent : Tcp.Agent.t;
+  receiver : Tcp.Receiver.t;
+  trace : Stats.Flow_trace.t;
+  mutable completion : Workload.Ftp.completion option;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  topology : Net.Dumbbell.t;
+  results : flow_result array;
+  drop_log : (float * int * int) list;
+  queue_occupancy : Stats.Series.t option;
+}
+
+let rtt_estimate config ~mss ~ack_size =
+  let open Net.Dumbbell in
+  let tx size bandwidth =
+    Sim.Units.transmission_time ~size_bytes:size ~bandwidth_bps:bandwidth
+  in
+  let one_way size =
+    (2.0 *. config.side_delay)
+    +. config.bottleneck_delay
+    +. (2.0 *. tx size config.side_bandwidth_bps)
+    +. tx size config.bottleneck_bandwidth_bps
+  in
+  one_way mss +. one_way ack_size
+
+let run spec =
+  if List.length spec.flows <> spec.config.Net.Dumbbell.flows then
+    invalid_arg "Scenario.run: flow specs do not match topology width";
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create spec.seed in
+  let drop_log = ref [] in
+  let log_drop packet =
+    let seq =
+      match packet.Net.Packet.kind with
+      | Net.Packet.Data { seq } -> seq
+      | Net.Packet.Ack _ -> -1
+    in
+    drop_log :=
+      (Sim.Engine.now engine, packet.Net.Packet.flow, seq) :: !drop_log
+  in
+  (* The topology is needed inside the loss wrappers for per-flow drop
+     accounting, but the wrappers are topology constructor arguments;
+     route the callbacks through a cell. *)
+  let topology_cell = ref None in
+  let injected_drop packet =
+    (match !topology_cell with
+    | Some topology -> Net.Dumbbell.count_drop topology packet
+    | None -> ());
+    log_drop packet
+  in
+  let wrap_bottleneck next =
+    let next =
+      if spec.uniform_loss > 0.0 then
+        Net.Loss.uniform ~rng:(Sim.Rng.split rng) ~rate:spec.uniform_loss
+          ~on_drop:injected_drop next
+      else next
+    in
+    if spec.forced_drops <> [] then
+      Net.Loss.drop_list ~rules:spec.forced_drops ~on_drop:injected_drop next
+    else next
+  in
+  let wrap_reverse next =
+    if spec.ack_loss > 0.0 then
+      Net.Loss.uniform ~rng:(Sim.Rng.split rng) ~rate:spec.ack_loss
+        ~data_only:false ~on_drop:injected_drop next
+    else next
+  in
+  let directions =
+    Array.of_list (List.map (fun f -> f.direction) spec.flows)
+  in
+  let topology =
+    Net.Dumbbell.create ~engine ~config:spec.config ~rng ~wrap_bottleneck
+      ~wrap_reverse ~on_drop:log_drop ?side_delays:spec.side_delays
+      ~directions ()
+  in
+  topology_cell := Some topology;
+  let make_flow flow_id flow_spec =
+    let agent =
+      flow_spec.make ~engine ~params:spec.params ~flow:flow_id
+        ~emit:(fun packet -> Net.Dumbbell.inject_data topology ~flow:flow_id packet)
+        ()
+    in
+    let receiver =
+      Tcp.Receiver.create ~engine ~flow:flow_id
+        ~emit:(fun packet -> Net.Dumbbell.inject_ack topology ~flow:flow_id packet)
+        ~sack:agent.Tcp.Agent.wants_sack
+        ~ack_size:spec.params.Tcp.Params.ack_size
+        ~delayed_ack:spec.delayed_ack ()
+    in
+    Net.Dumbbell.on_data topology ~flow:flow_id (Tcp.Receiver.deliver receiver);
+    Net.Dumbbell.on_ack topology ~flow:flow_id agent.Tcp.Agent.deliver_ack;
+    let trace = Stats.Flow_trace.attach agent in
+    let result = { spec = flow_spec; agent; receiver; trace; completion = None } in
+    (match flow_spec.source with
+    | Infinite ->
+      Workload.Ftp.persistent ~engine ~agent ~at:flow_spec.start
+    | File_bytes bytes ->
+      Workload.Ftp.file ~engine ~agent ~at:flow_spec.start ~bytes
+        ~on_complete:(fun completion -> result.completion <- Some completion));
+    result
+  in
+  let results = Array.of_list (List.mapi make_flow spec.flows) in
+  let queue_occupancy =
+    Option.map
+      (fun interval ->
+        let queue = Net.Dumbbell.bottleneck_queue topology in
+        Stats.Queue_monitor.sample ~engine
+          ~probe:queue.Net.Queue_disc.length ~interval ~until:spec.duration)
+      spec.monitor_queue
+  in
+  Sim.Engine.run_until engine ~time:spec.duration;
+  { engine; topology; results; drop_log = List.rev !drop_log; queue_occupancy }
+
+let drops t ~flow = Net.Dumbbell.drops_of_flow t.topology flow
+
+let tracefile t =
+  (* Merge per-flow send/ack traces and the drop log into time-ordered
+     ns-2-style lines. Node 0 stands for the sender side, node 1 for
+     the receiver side. *)
+  let line event time kind size flow seq =
+    Printf.sprintf "%c %.6f 0 1 %s %d ------- %d 0.0 1.0 %d" event time kind
+      size flow seq
+  in
+  let events = ref [] in
+  Array.iteri
+    (fun flow result ->
+      let trace = result.trace in
+      List.iter
+        (fun (time, seq) ->
+          events := (time, line '+' time "tcp" 1000 flow (int_of_float seq)) :: !events)
+        (Stats.Series.to_list trace.Stats.Flow_trace.sends);
+      List.iter
+        (fun (time, ackno) ->
+          events := (time, line 'r' time "ack" 40 flow (int_of_float ackno)) :: !events)
+        (Stats.Series.to_list trace.Stats.Flow_trace.acks))
+    t.results;
+  List.iter
+    (fun (time, flow, seq) ->
+      let kind, size = if seq >= 0 then ("tcp", 1000) else ("ack", 40) in
+      events := (time, line 'd' time kind size flow (max seq 0)) :: !events)
+    t.drop_log;
+  let ordered =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
+  in
+  String.concat "\n" (List.map snd ordered) ^ "\n"
+
+let first_drop_time t ~flow =
+  let rec scan = function
+    | [] -> None
+    | (time, f, _) :: rest -> if f = flow then Some time else scan rest
+  in
+  scan t.drop_log

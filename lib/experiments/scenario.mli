@@ -1,0 +1,117 @@
+(** Generic dumbbell-scenario runner.
+
+    Every experiment in the paper's evaluation is an instance of: build
+    the Figure 4 dumbbell, attach one TCP sender/receiver pair per flow,
+    drive them with FTP sources, optionally inject losses at R1, run for
+    a while, and read traces back. This module is that instance
+    machinery; the per-figure modules only choose parameters. *)
+
+type source = Infinite | File_bytes of int
+
+type agent_maker =
+  engine:Sim.Engine.t ->
+  params:Tcp.Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Tcp.Agent.t
+
+type flow_spec = {
+  label : string;
+  make : agent_maker;
+  start : float;
+  source : source;
+  direction : Net.Dumbbell.direction;
+      (** [Backward] flows send data over the reverse trunk (two-way
+          traffic, the paper's [22]) *)
+}
+
+(** [flow ?start ?source ?direction variant] is the spec for a
+    standard-variant flow ([start] defaults to 0, [source] to
+    [Infinite], [direction] to [Forward]). *)
+val flow :
+  ?start:float ->
+  ?source:source ->
+  ?direction:Net.Dumbbell.direction ->
+  Core.Variant.t ->
+  flow_spec
+
+type spec = {
+  config : Net.Dumbbell.config;
+  flows : flow_spec list;  (** one per flow id, in order *)
+  params : Tcp.Params.t;
+  seed : int64;
+  duration : float;
+  forced_drops : Net.Loss.rule list;
+      (** deterministic drops at R1 (Figure 5) *)
+  uniform_loss : float;  (** random data-drop rate at R1, 0 = none (§4) *)
+  ack_loss : float;
+      (** random ACK-drop rate on the reverse path, 0 = none (§2.3) *)
+  delayed_ack : bool;  (** receivers delay ACKs (extension; off = paper) *)
+  monitor_queue : float option;
+      (** sample the bottleneck queue length every this many seconds *)
+  side_delays : float array option;
+      (** per-flow access-link delay override (heterogeneous RTTs) *)
+}
+
+(** [make ~config ~flows ()] builds a spec with the defaults the paper's
+    experiments share: default TCP parameters, seed 7, 30 s horizon, no
+    injected losses, immediate ACKs. *)
+val make :
+  config:Net.Dumbbell.config ->
+  flows:flow_spec list ->
+  ?params:Tcp.Params.t ->
+  ?seed:int64 ->
+  ?duration:float ->
+  ?forced_drops:Net.Loss.rule list ->
+  ?uniform_loss:float ->
+  ?ack_loss:float ->
+  ?delayed_ack:bool ->
+  ?monitor_queue:float ->
+  ?side_delays:float array ->
+  unit ->
+  spec
+
+type flow_result = {
+  spec : flow_spec;
+  agent : Tcp.Agent.t;
+  receiver : Tcp.Receiver.t;
+  trace : Stats.Flow_trace.t;
+  mutable completion : Workload.Ftp.completion option;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  topology : Net.Dumbbell.t;
+  results : flow_result array;
+  drop_log : (float * int * int) list;
+      (** (time, flow, seq) of dropped data packets, oldest first;
+          seq -1 for ACKs *)
+  queue_occupancy : Stats.Series.t option;
+      (** bottleneck queue length over time, when monitoring was on *)
+}
+
+(** [run spec] builds and executes the scenario to [spec.duration]. *)
+val run : spec -> t
+
+(** [drops t ~flow] is that flow's total drop count. *)
+val drops : t -> flow:int -> int
+
+(** [first_drop_time t ~flow] is when the flow first lost a packet. *)
+val first_drop_time : t -> flow:int -> float option
+
+(** [rtt_estimate t] is the nominal no-queueing round-trip time of the
+    topology for an [mss]-sized data packet and its ACK, including
+    transmission times — the paper's "RTT" (~200 ms for the Table 3
+    configuration). *)
+val rtt_estimate : Net.Dumbbell.config -> mss:int -> ack_size:int -> float
+
+(** [tracefile t] renders the run as an ns-2-style event trace, one
+    line per transmission ([+], sender into its access link), ACK
+    arrival back at the sender ([r]) and drop ([d]), time-ordered:
+
+    {v + 1.2345 0 1 tcp 1000 ------- 2 0.0 1.0 41 v}
+
+    (event, time, from-node, to-node, type, bytes, flags, flow id,
+    src, dst, seqno). Useful for feeding ns-2 post-processing tools. *)
+val tracefile : t -> string

@@ -1,0 +1,26 @@
+(** Smooth-Start (the paper's reference [21]) — reducing the slow-start
+    overshoot that creates multi-loss windows.
+
+    With an unbounded advertised window, slow start doubles straight
+    through the path capacity and dumps a burst of losses into the
+    gateway — the very event §1 says robust recovery exists for. The
+    cited Smooth-Start refinement damps growth to half rate above
+    [ssthresh/2]. This experiment runs a single flow with and without
+    the refinement and reports losses in the start-up phase, timeouts,
+    and longer-horizon goodput, for both RR and New-Reno senders. *)
+
+type row = {
+  variant : Core.Variant.t;
+  smooth : bool;
+  startup_drops : int;  (** drops during the first 5 s *)
+  timeouts : int;
+  goodput_bps : float;  (** over the whole 20 s run *)
+}
+
+type outcome = { rows : row list }
+
+(** [run ()] measures the 2×2 grid (variant × smooth-start). *)
+val run : ?variants:Core.Variant.t list -> ?seed:int64 -> unit -> outcome
+
+(** [report outcome] renders the grid. *)
+val report : outcome -> string

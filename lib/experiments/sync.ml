@@ -1,0 +1,130 @@
+type row = {
+  gateway : string;
+  variant : Core.Variant.t;
+  sync_index : float;
+  loss_events : int;
+  utilization : float;
+  jain : float;
+  queue_cov : float;
+}
+
+type outcome = { duration : float; rows : row list }
+
+let flows = 10
+
+let params = { Tcp.Params.default with rwnd = 20 }
+
+(* Cluster the drop log into loss events separated by at least one RTT,
+   and average the fraction of flows each event touches. *)
+let synchronization ~rtt drop_log =
+  let data_drops =
+    List.filter_map
+      (fun (time, flow, seq) -> if seq >= 0 then Some (time, flow) else None)
+      drop_log
+  in
+  let rec cluster events current last_time = function
+    | [] -> List.rev (if current = [] then events else current :: events)
+    | (time, flow) :: rest ->
+      if current <> [] && time -. last_time > rtt then
+        cluster (current :: events) [ flow ] time rest
+      else cluster events (flow :: current) time rest
+  in
+  let events = cluster [] [] 0.0 data_drops in
+  let fraction event =
+    let distinct = List.sort_uniq compare event in
+    float_of_int (List.length distinct) /. float_of_int flows
+  in
+  match events with
+  | [] -> (0.0, 0)
+  | _ ->
+    (Stats.Metrics.mean (List.map fraction events), List.length events)
+
+let run_gateway ~seed ~duration ~variant gateway_label gateway =
+  let config = { (Net.Dumbbell.paper_config ~flows) with gateway } in
+  let flow_specs =
+    List.init flows (fun flow ->
+        {
+          (Scenario.flow variant) with
+          Scenario.start = 0.2 *. float_of_int flow;
+        })
+  in
+  let t =
+    Scenario.run
+      (Scenario.make ~config ~flows:flow_specs ~params ~seed ~duration
+         ~monitor_queue:0.05 ())
+  in
+  let mss = params.Tcp.Params.mss in
+  let goodputs =
+    List.init flows (fun flow ->
+        Stats.Metrics.effective_throughput_bps
+          t.Scenario.results.(flow).Scenario.trace ~mss ~t0:5.0 ~t1:duration)
+  in
+  let rtt = Scenario.rtt_estimate config ~mss ~ack_size:params.Tcp.Params.ack_size in
+  let sync_index, loss_events = synchronization ~rtt t.Scenario.drop_log in
+  let queue_cov =
+    match t.Scenario.queue_occupancy with
+    | Some series ->
+      let steady = Stats.Series.between series ~t0:5.0 ~t1:duration in
+      Stats.Metrics.coefficient_of_variation (List.map snd steady)
+    | None -> 0.0
+  in
+  {
+    gateway = gateway_label;
+    variant;
+    sync_index;
+    loss_events;
+    utilization =
+      List.fold_left ( +. ) 0.0 goodputs
+      /. config.Net.Dumbbell.bottleneck_bandwidth_bps;
+    jain = Stats.Metrics.jain_index goodputs;
+    queue_cov;
+  }
+
+let run ?(variants = Core.Variant.[ Reno; Rr ]) ?(seed = 31L)
+    ?(duration = 30.0) () =
+  let rows =
+    List.concat_map
+      (fun variant ->
+        [
+          run_gateway ~seed ~duration ~variant "drop-tail"
+            (Net.Dumbbell.Droptail { capacity = 25 });
+          run_gateway ~seed ~duration ~variant "red"
+            (Net.Dumbbell.Red { capacity = 25; params = Net.Red.paper_params });
+        ])
+      variants
+  in
+  { duration; rows }
+
+let report outcome =
+  let header =
+    [
+      "gateway";
+      "variant";
+      "sync index";
+      "loss events";
+      "utilization";
+      "Jain index";
+      "queue CoV";
+    ]
+  in
+  let rows =
+    List.map
+      (fun row ->
+        [
+          row.gateway;
+          Core.Variant.name row.variant;
+          Printf.sprintf "%.2f" row.sync_index;
+          string_of_int row.loss_events;
+          Printf.sprintf "%.1f%%" (100.0 *. row.utilization);
+          Printf.sprintf "%.3f" row.jain;
+          Printf.sprintf "%.2f" row.queue_cov;
+        ])
+      outcome.rows
+  in
+  Printf.sprintf
+    "Global synchronization: drop-tail vs RED (10 flows, %.0f s; §3.3)\n\
+     expected shape: drop-tail loss events hit a larger fraction of the\n\
+     flows at once (higher sync index) than RED's randomized early drops\n\n\
+     %s"
+    outcome.duration
+    (Stats.Text_table.render ~header rows)

@@ -1,0 +1,41 @@
+(** §3.3 motivation — global synchronization under drop-tail vs. RED.
+
+    Drop-tail gateways drop bursts of arrivals when the buffer fills,
+    hitting many flows within one RTT and synchronizing their back-offs
+    (Zhang, Shenker & Clark's observation, the paper's [22]); RED's
+    randomized early drops spread losses over flows and time. This
+    experiment runs the same ten-flow workload over both gateways and
+    reports:
+
+    - a {b synchronization index}: losses are clustered into events
+      (gaps < one RTT); the index is the mean fraction of active flows
+      hit per event — 1.0 means every loss event hits everybody;
+    - bottleneck {b utilization} (may slightly exceed 100% because the
+      backlog queued at the measurement-window start also drains);
+    - {b Jain's fairness index} over per-flow goodputs. *)
+
+type row = {
+  gateway : string;
+  variant : Core.Variant.t;
+  sync_index : float;
+  loss_events : int;
+  utilization : float;  (** aggregate goodput / bottleneck rate *)
+  jain : float;
+  queue_cov : float;
+      (** coefficient of variation of the bottleneck queue length —
+          synchronized flows make the queue saw-tooth in unison *)
+}
+
+type outcome = { duration : float; rows : row list }
+
+(** [run ()] measures drop-tail and RED for the given variants (default
+    Reno and RR). *)
+val run :
+  ?variants:Core.Variant.t list ->
+  ?seed:int64 ->
+  ?duration:float ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

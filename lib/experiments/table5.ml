@@ -1,0 +1,179 @@
+type case = {
+  label : string;
+  background : Core.Variant.t;
+  target : Core.Variant.t;
+  transfer_delay : float option;
+  loss_rate : float;
+  target_bandwidth_bps : float option;
+  mean_background_bandwidth_bps : float;
+  target_timeouts : int;
+}
+
+type outcome = { cases : case list; fair_share_bps : float }
+
+let flows = 20
+
+let target_flow = flows - 1
+
+let file_bytes = 100_000
+
+let target_start = 4.8
+
+let config =
+  {
+    (Net.Dumbbell.paper_config ~flows) with
+    gateway = Net.Dumbbell.Droptail { capacity = 25 };
+  }
+
+let params = { Tcp.Params.default with rwnd = 20 }
+
+let cases_spec =
+  Core.Variant.
+    [
+      ("case 1", Reno, Reno);
+      ("case 2", Rr, Reno);
+      ("case 3", Rr, Rr);
+      ("case 4", Reno, Rr);
+    ]
+
+(* A drop-tail network of equal-RTT flows is deterministic and strongly
+   phase-sensitive: shifting the target's start by tens of milliseconds
+   changes its transfer delay several-fold (the bias RED was designed to
+   remove, §3.3). Each case is therefore run at several target-start
+   phases spread across one RTT and averaged. *)
+let phases = [ 0.0; 0.03; 0.06; 0.09; 0.12; 0.15; 0.18; 0.21 ]
+
+let run_instance ~params ~seed ~deadline ~background ~target ~phase =
+  let flow_specs =
+    List.init flows (fun flow ->
+        if flow = target_flow then
+          {
+            (Scenario.flow target) with
+            Scenario.start = target_start +. phase;
+            source = Scenario.File_bytes file_bytes;
+          }
+        else
+          {
+            (Scenario.flow background) with
+            Scenario.start = 0.5 *. float_of_int flow;
+          })
+  in
+  let t =
+    Scenario.run
+      (Scenario.make ~config ~flows:flow_specs ~params ~seed ~duration:deadline ())
+  in
+  let result = t.Scenario.results.(target_flow) in
+  let transfer_delay =
+    Option.map
+      (fun c -> c.Workload.Ftp.finished -. c.Workload.Ftp.started)
+      result.Scenario.completion
+  in
+  let counters =
+    result.Scenario.agent.Tcp.Agent.base.Tcp.Sender_common.counters
+  in
+  let loss_rate =
+    Stats.Metrics.loss_rate
+      ~drops:(Scenario.drops t ~flow:target_flow)
+      ~transmissions:(Stats.Metrics.transmissions counters)
+  in
+  (* Background per-flow goodput over the fully-loaded steady window
+     (all 19 background flows are running from 9.5 s on). *)
+  let steady_t0 = 10.0 in
+  let mean_background =
+    let sum =
+      List.fold_left
+        (fun acc flow ->
+          acc
+          +. Stats.Metrics.effective_throughput_bps
+               t.Scenario.results.(flow).Scenario.trace
+               ~mss:params.Tcp.Params.mss ~t0:steady_t0 ~t1:deadline)
+        0.0
+        (List.init (flows - 1) Fun.id)
+    in
+    sum /. float_of_int (flows - 1)
+  in
+  (transfer_delay, loss_rate, mean_background, counters.Tcp.Counters.timeouts)
+
+let run_case ~params ~seed ~deadline (label, background, target) =
+  let instances =
+    List.map
+      (fun phase ->
+        run_instance ~params ~seed ~deadline ~background ~target ~phase)
+      phases
+  in
+  let n = float_of_int (List.length instances) in
+  let mean f = List.fold_left (fun acc i -> acc +. f i) 0.0 instances /. n in
+  let finished =
+    List.filter_map (fun (delay, _, _, _) -> delay) instances
+  in
+  let transfer_delay =
+    if List.length finished = List.length instances then
+      Some (List.fold_left ( +. ) 0.0 finished /. n)
+    else None
+  in
+  {
+    label;
+    background;
+    target;
+    transfer_delay;
+    loss_rate = mean (fun (_, loss, _, _) -> loss);
+    target_bandwidth_bps =
+      Option.map
+        (fun delay -> float_of_int (8 * file_bytes) /. delay)
+        transfer_delay;
+    mean_background_bandwidth_bps = mean (fun (_, _, bg, _) -> bg);
+    target_timeouts =
+      int_of_float (Float.round (mean (fun (_, _, _, t) -> float_of_int t)));
+  }
+
+let run ?(seed = 23L) ?(deadline = 160.0) ?(limited_transmit = false) () =
+  let params = { params with Tcp.Params.limited_transmit } in
+  {
+    cases = List.map (run_case ~params ~seed ~deadline) cases_spec;
+    fair_share_bps =
+      config.Net.Dumbbell.bottleneck_bandwidth_bps /. float_of_int flows;
+  }
+
+let report outcome =
+  let header =
+    [
+      "case";
+      "background";
+      "target";
+      "transfer delay (s)";
+      "target loss rate";
+      "target bw (Kbps)";
+      "bg per-flow bw (Kbps)";
+      "target timeouts";
+    ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.label;
+          Core.Variant.name c.background;
+          Core.Variant.name c.target;
+          (match c.transfer_delay with
+          | Some d -> Printf.sprintf "%.1f" d
+          | None -> "unfinished");
+          Printf.sprintf "%.1f%%" (100.0 *. c.loss_rate);
+          (match c.target_bandwidth_bps with
+          | Some bw -> Printf.sprintf "%.1f" (bw /. 1000.0)
+          | None -> "-");
+          Printf.sprintf "%.1f" (c.mean_background_bandwidth_bps /. 1000.0);
+          string_of_int c.target_timeouts;
+        ])
+      outcome.cases
+  in
+  Printf.sprintf
+    "Table 5 (fairness: 100 KB transfer among 19 background flows, drop-tail)\n\
+     each case averaged over %d target-start phases (drop-tail phase bias)\n\
+     fair share = %.1f Kbps per flow\n\
+     paper shape: Reno target improves when background switches Reno->RR\n\
+     (case 2 <= case 1 delay and loss); a lone RR among Renos (case 4) gets\n\
+     a shorter delay and lower loss without stealing from Reno flows\n\n\
+     %s"
+    (List.length phases)
+    (outcome.fair_share_bps /. 1000.0)
+    (Stats.Text_table.render ~header rows)

@@ -1,0 +1,31 @@
+(** Two-way traffic (Zhang, Shenker & Clark — the paper's reference
+    [22], the §3.3 citation for drop-tail pathologies).
+
+    When data flows in both directions, the reverse trunk's queue is
+    shared by the forward flows' ACKs and the backward flows' data:
+    ACKs are delayed behind 1000-byte data packets and dropped when the
+    buffer fills (ACK compression and ACK loss), which bursts and
+    starves the forward flows' self-clocking. The experiment compares
+    forward-flow performance with and without backward traffic, for
+    Reno and RR senders; §2.3's claim that RR tolerates ACK loss
+    gracefully gets an ecological test here. *)
+
+type row = {
+  variant : Core.Variant.t;
+  one_way_goodput_bps : float;  (** mean over forward flows, no reverse data *)
+  two_way_goodput_bps : float;  (** same flows against backward traffic *)
+  ack_drops : int;  (** ACKs lost in the two-way run *)
+  forward_timeouts : int;  (** forward-flow timeouts in the two-way run *)
+  backward_goodput_bps : float;  (** mean over backward flows *)
+}
+
+type outcome = { duration : float; rows : row list }
+
+(** [run ()] measures both directions for each variant (default Reno
+    and RR). *)
+val run :
+  ?variants:Core.Variant.t list -> ?seed:int64 -> ?duration:float -> unit ->
+  outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

@@ -1,0 +1,30 @@
+(** §1's Vegas decomposition claim (Hengartner, Bolliger & Gross — the
+    paper's reference [8]): "the performance gain of TCP Vegas over TCP
+    Reno is due mainly to TCP Vegas' new techniques for slow-start and
+    congestion recovery … not the innovative congestion-avoidance
+    mechanism."
+
+    The Vegas implementation exposes its three mechanisms independently,
+    so the claim is directly testable: a 3-loss burst recovery scenario
+    is run for Reno, full Vegas, Vegas with only the recovery mechanism
+    (fine-grained retransmission), and Vegas with only the
+    congestion-avoidance mechanism. If [8] is right — and the paper's
+    premise holds — the recovery-only configuration captures most of
+    full Vegas' gain over Reno, while the avoidance-only one behaves
+    like Reno. *)
+
+type row = {
+  label : string;
+  throughput_bps : float;  (** over the recovery window *)
+  recovery_seconds : float option;
+  timeouts : int;
+}
+
+type outcome = { drops : int; rows : row list }
+
+(** [run ()] executes the four configurations on the Figure 5-style
+    burst scenario. *)
+val run : ?drops:int -> ?seed:int64 -> unit -> outcome
+
+(** [report outcome] renders the decomposition. *)
+val report : outcome -> string

@@ -1,0 +1,20 @@
+let c_ack_every_packet = sqrt 1.5
+
+let c_delayed_ack = sqrt 0.75
+
+let c_paper = 4.0
+
+let window ~c ~loss_rate =
+  if loss_rate <= 0.0 || loss_rate > 1.0 then
+    invalid_arg "Mathis.window: loss_rate out of (0, 1]";
+  if c <= 0.0 then invalid_arg "Mathis.window: c <= 0";
+  c /. sqrt loss_rate
+
+let window_limited ~c ~loss_rate ~rwnd =
+  if rwnd < 1 then invalid_arg "Mathis.window_limited: rwnd < 1";
+  Float.min (window ~c ~loss_rate) (float_of_int rwnd)
+
+let bandwidth_bps ~c ~mss ~rtt ~loss_rate =
+  if mss <= 0 then invalid_arg "Mathis.bandwidth_bps: mss <= 0";
+  if rtt <= 0.0 then invalid_arg "Mathis.bandwidth_bps: rtt <= 0";
+  window ~c ~loss_rate *. float_of_int (8 * mss) /. rtt

@@ -1,0 +1,36 @@
+(** The square-root TCP model (Mathis, Semke, Mahdavi & Ott 1997) the
+    paper's §4 fits RR against:
+
+    {[ BW = C * MSS / (RTT * sqrt p) ]}
+
+    where [p] is the random packet-loss rate and [C] lumps constant
+    factors including the ACK strategy. With an ACK per packet the
+    derivation gives [C = sqrt (3/2) ≈ 1.22]; the paper's text sets
+    [C = 4], so both are provided and EXPERIMENTS.md reports both. *)
+
+(** [c_ack_every_packet] is [sqrt (3/2)]. *)
+val c_ack_every_packet : float
+
+(** [c_delayed_ack] is [sqrt (3/4)], the delayed-ACK constant. *)
+val c_delayed_ack : float
+
+(** [c_paper] is [4.0], the constant §4 states. *)
+val c_paper : float
+
+(** [bandwidth_bps ~c ~mss ~rtt ~loss_rate] is the model's upper bound
+    on achievable throughput.
+
+    @raise Invalid_argument if [loss_rate <= 0] or parameters are
+    non-positive. *)
+val bandwidth_bps : c:float -> mss:int -> rtt:float -> loss_rate:float -> float
+
+(** [window ~c ~loss_rate] is the model in window units —
+    [BW * RTT / MSS = C / sqrt p] — the y-axis of the paper's
+    Figure 7. *)
+val window : c:float -> loss_rate:float -> float
+
+(** [window_limited ~c ~loss_rate ~rwnd] additionally caps the model at
+    the receiver's advertised window, the binding constraint at small
+    loss rates (the paper's §4 assumes "a sufficient receiver window";
+    the simulated connection has a concrete one). *)
+val window_limited : c:float -> loss_rate:float -> rwnd:int -> float

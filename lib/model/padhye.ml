@@ -1,0 +1,21 @@
+let check ~rtt ~rto ~b ~loss_rate =
+  if rtt <= 0.0 then invalid_arg "Padhye: rtt <= 0";
+  if rto <= 0.0 then invalid_arg "Padhye: rto <= 0";
+  if b < 1 then invalid_arg "Padhye: b < 1";
+  if loss_rate <= 0.0 || loss_rate > 1.0 then
+    invalid_arg "Padhye: loss_rate out of (0, 1]"
+
+let window ~rtt ~rto ~b ~loss_rate =
+  check ~rtt ~rto ~b ~loss_rate;
+  let p = loss_rate in
+  let bf = float_of_int b in
+  let fast_retransmit_term = rtt *. sqrt (2.0 *. bf *. p /. 3.0) in
+  let timeout_probability = Float.min 1.0 (3.0 *. sqrt (3.0 *. bf *. p /. 8.0)) in
+  let timeout_term =
+    rto *. timeout_probability *. p *. (1.0 +. (32.0 *. p *. p))
+  in
+  rtt /. (fast_retransmit_term +. timeout_term)
+
+let bandwidth_bps ~mss ~rtt ~rto ~b ~loss_rate =
+  if mss <= 0 then invalid_arg "Padhye: mss <= 0";
+  window ~rtt ~rto ~b ~loss_rate *. float_of_int (8 * mss) /. rtt

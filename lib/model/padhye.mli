@@ -1,0 +1,22 @@
+(** The PFTK throughput model (Padhye, Firoiu, Towsley & Kurose 1998),
+    which the paper's §4 cites as the refinement capturing
+    retransmission timeouts — the cause of the droop it observes at
+    high loss rates:
+
+    {[
+      BW ≈ MSS / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p²))
+    ]}
+
+    with [b] ACKed-packets-per-ACK (1 here — no delayed ACKs) and [T0]
+    the base retransmission timeout. *)
+
+(** [bandwidth_bps ~mss ~rtt ~rto ~b ~loss_rate] evaluates the full
+    model.
+
+    @raise Invalid_argument on non-positive parameters. *)
+val bandwidth_bps :
+  mss:int -> rtt:float -> rto:float -> b:int -> loss_rate:float -> float
+
+(** [window ~rtt ~rto ~b ~loss_rate] is the model in window units
+    ([BW * RTT / MSS]), comparable with {!Mathis.window}. *)
+val window : rtt:float -> rto:float -> b:int -> loss_rate:float -> float

@@ -1,0 +1,14 @@
+(** Drop-tail (FIFO, finite buffer) queueing discipline.
+
+    The widely-deployed gateway discipline the paper's §3.2 evaluates
+    under: packets are served first-in first-out and arrivals that find
+    the buffer full are discarded. Capacity is counted in packets, as in
+    the paper's simulations. *)
+
+(** [create ~capacity ?on_drop ()] returns a drop-tail queue holding at
+    most [capacity] packets. [on_drop] is invoked for every discarded
+    packet (used for per-flow loss accounting).
+
+    @raise Invalid_argument if [capacity < 1]. *)
+val create :
+  capacity:int -> ?on_drop:(Packet.t -> unit) -> unit -> Queue_disc.t

@@ -1,0 +1,190 @@
+type gateway =
+  | Droptail of { capacity : int }
+  | Red of { capacity : int; params : Red.params }
+
+type direction = Forward | Backward
+
+type config = {
+  flows : int;
+  side_bandwidth_bps : float;
+  side_delay : float;
+  bottleneck_bandwidth_bps : float;
+  bottleneck_delay : float;
+  gateway : gateway;
+  access_capacity : int;
+  reverse_capacity : int;
+}
+
+let paper_config ~flows =
+  {
+    flows;
+    side_bandwidth_bps = Sim.Units.mbps 10.0;
+    side_delay = Sim.Units.ms 1.0;
+    bottleneck_bandwidth_bps = Sim.Units.mbps 0.8;
+    bottleneck_delay = Sim.Units.ms 96.0;
+    gateway = Droptail { capacity = 8 };
+    access_capacity = 1000;
+    reverse_capacity = 1000;
+  }
+
+type t = {
+  config : config;
+  directions : direction array;
+  forward_access : Link.t array;  (* S_i -> R1 *)
+  reverse_access : Link.t array;  (* K_i -> R2 *)
+  data_handlers : (Packet.t -> unit) ref array;
+  ack_handlers : (Packet.t -> unit) ref array;
+  bottleneck : Link.t;
+  red_stats : Red.drop_stats option;
+  drops : int array;  (* per-flow drop ledger *)
+}
+
+let count_drop t packet =
+  let flow = packet.Packet.flow in
+  if flow >= 0 && flow < Array.length t.drops then
+    t.drops.(flow) <- t.drops.(flow) + 1
+
+let drops_of_flow t flow = t.drops.(flow)
+
+let total_drops t = Array.fold_left ( + ) 0 t.drops
+
+let create ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
+    ?(wrap_reverse = fun next -> next) ?(on_drop = fun _ -> ()) ?side_delays
+    ?directions () =
+  if config.flows < 1 then invalid_arg "Dumbbell.create: flows < 1";
+  (match side_delays with
+  | Some delays when Array.length delays <> config.flows ->
+    invalid_arg "Dumbbell.create: side_delays length mismatch"
+  | Some _ | None -> ());
+  let directions =
+    match directions with
+    | Some array ->
+      if Array.length array <> config.flows then
+        invalid_arg "Dumbbell.create: directions length mismatch";
+      array
+    | None -> Array.make config.flows Forward
+  in
+  let side_delay_of flow =
+    match side_delays with
+    | Some delays -> delays.(flow)
+    | None -> config.side_delay
+  in
+  let drops = Array.make config.flows 0 in
+  let record_drop packet =
+    let flow = packet.Packet.flow in
+    if flow >= 0 && flow < config.flows then drops.(flow) <- drops.(flow) + 1;
+    on_drop packet
+  in
+  let data_handlers =
+    Array.init config.flows (fun flow ->
+        ref (fun (_ : Packet.t) ->
+            failwith (Printf.sprintf "no data handler for flow %d" flow)))
+  in
+  let ack_handlers =
+    Array.init config.flows (fun flow ->
+        ref (fun (_ : Packet.t) ->
+            failwith (Printf.sprintf "no ack handler for flow %d" flow)))
+  in
+  let droptail capacity =
+    Droptail.create ~capacity ~on_drop:record_drop ()
+  in
+  (* Delivery fan-out off each trunk: one exit link per host so
+     concurrent flows do not serialize behind each other. The forward
+     trunk carries a Forward flow's data (to its receiver) but a
+     Backward flow's ACKs (to its sender); the reverse trunk is the
+     mirror image. *)
+  let exit_forward_trunk =
+    Array.init config.flows (fun flow ->
+        Link.create ~engine ~bandwidth_bps:config.side_bandwidth_bps
+          ~delay:(side_delay_of flow)
+          ~queue:(droptail config.access_capacity)
+          ~dst:(fun packet ->
+            match directions.(flow) with
+            | Forward -> !(data_handlers.(flow)) packet
+            | Backward -> !(ack_handlers.(flow)) packet)
+          ())
+  in
+  let exit_reverse_trunk =
+    Array.init config.flows (fun flow ->
+        Link.create ~engine ~bandwidth_bps:config.side_bandwidth_bps
+          ~delay:(side_delay_of flow)
+          ~queue:(droptail config.reverse_capacity)
+          ~dst:(fun packet ->
+            match directions.(flow) with
+            | Forward -> !(ack_handlers.(flow)) packet
+            | Backward -> !(data_handlers.(flow)) packet)
+          ())
+  in
+  let route_to array packet =
+    let flow = packet.Packet.flow in
+    if flow < 0 || flow >= config.flows then
+      invalid_arg "Dumbbell: packet with unknown flow id"
+    else Link.send array.(flow) packet
+  in
+  let gateway_queue, red_stats =
+    match config.gateway with
+    | Droptail { capacity } -> (droptail capacity, None)
+    | Red { capacity; params } ->
+      let disc, stats =
+        Red.create ~engine ~capacity ~params ~rng:(Sim.Rng.split rng)
+          ~bandwidth_bps:config.bottleneck_bandwidth_bps ~on_drop:record_drop
+          ()
+      in
+      (disc, Some stats)
+  in
+  let bottleneck =
+    Link.create ~engine ~bandwidth_bps:config.bottleneck_bandwidth_bps
+      ~delay:config.bottleneck_delay ~queue:gateway_queue
+      ~dst:(route_to exit_forward_trunk) ()
+  in
+  let reverse_bottleneck =
+    Link.create ~engine ~bandwidth_bps:config.bottleneck_bandwidth_bps
+      ~delay:config.bottleneck_delay
+      ~queue:(droptail config.reverse_capacity)
+      ~dst:(route_to exit_reverse_trunk) ()
+  in
+  let bottleneck_entry = wrap_bottleneck (fun p -> Link.send bottleneck p) in
+  let forward_access =
+    Array.init config.flows (fun flow ->
+        Link.create ~engine ~bandwidth_bps:config.side_bandwidth_bps
+          ~delay:(side_delay_of flow)
+          ~queue:(droptail config.access_capacity)
+          ~dst:bottleneck_entry ())
+  in
+  let reverse_entry = wrap_reverse (fun p -> Link.send reverse_bottleneck p) in
+  let reverse_access =
+    Array.init config.flows (fun flow ->
+        Link.create ~engine ~bandwidth_bps:config.side_bandwidth_bps
+          ~delay:(side_delay_of flow)
+          ~queue:(droptail config.reverse_capacity)
+          ~dst:reverse_entry ())
+  in
+  {
+    config;
+    directions;
+    forward_access;
+    reverse_access;
+    data_handlers;
+    ack_handlers;
+    bottleneck;
+    red_stats;
+    drops;
+  }
+
+let inject_data t ~flow packet =
+  match t.directions.(flow) with
+  | Forward -> Link.send t.forward_access.(flow) packet
+  | Backward -> Link.send t.reverse_access.(flow) packet
+
+let inject_ack t ~flow packet =
+  match t.directions.(flow) with
+  | Forward -> Link.send t.reverse_access.(flow) packet
+  | Backward -> Link.send t.forward_access.(flow) packet
+
+let on_data t ~flow handler = t.data_handlers.(flow) := handler
+
+let on_ack t ~flow handler = t.ack_handlers.(flow) := handler
+
+let bottleneck_queue t = Link.queue t.bottleneck
+
+let red_stats t = t.red_stats

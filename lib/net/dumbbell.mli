@@ -1,0 +1,97 @@
+(** The paper's experimental topology (Figure 4): [n] senders S_i and
+    receivers K_i joined by two gateways R1, R2. Every flow crosses its
+    own side links and the shared bottleneck between the gateways; ACKs
+    return over a symmetric reverse path. Congestion is engineered at
+    R1's outbound (forward bottleneck) queue, which is the gateway
+    discipline under test; all other queues are generously provisioned
+    drop-tails. *)
+
+type gateway =
+  | Droptail of { capacity : int }
+  | Red of { capacity : int; params : Red.params }
+
+(** Which way a flow's data travels. [Forward] is the paper's S→K
+    direction; [Backward] flows send data K→S over the reverse trunk,
+    their ACKs returning on the forward trunk — the two-way traffic of
+    the paper's reference [22], whose data packets queue behind (and
+    compress) the forward flows' ACKs. *)
+type direction = Forward | Backward
+
+type config = {
+  flows : int;
+  side_bandwidth_bps : float;
+  side_delay : float;
+  bottleneck_bandwidth_bps : float;
+  bottleneck_delay : float;  (** one-way *)
+  gateway : gateway;
+  access_capacity : int;  (** per-flow access-link buffers *)
+  reverse_capacity : int;  (** reverse-trunk buffer (ACKs, and data of
+                               [Backward] flows) *)
+}
+
+(** Table 3 parameters: 10 Mbps / 1 ms side links, 0.8 Mbps bottleneck,
+    96 ms one-way bottleneck delay (giving the ~200 ms RTT of §4),
+    8-packet drop-tail gateway. *)
+val paper_config : flows:int -> config
+
+type t
+
+(** [create ~engine ~config ~rng ?wrap_bottleneck ?on_drop ()] builds
+    the topology. [wrap_bottleneck] interposes on packets entering the
+    forward bottleneck at R1 — the paper's loss-injection point; compose
+    it from {!Loss} wrappers. [wrap_reverse] likewise interposes on the
+    ACK path entering the reverse bottleneck at R2, for the §2.3
+    ACK-loss experiments. [rng] seeds the RED gateway when one is
+    configured. [on_drop] observes every queue drop in the topology (in
+    addition to the per-flow ledger). [side_delays] overrides
+    [config.side_delay] per flow (applied to all four of that flow's
+    access links), giving flows heterogeneous RTTs; its length must be
+    [config.flows]. [directions] assigns each flow a {!direction}
+    (default all [Forward]); a [Backward] flow's [inject_data] rides
+    the reverse trunk and its [inject_ack] the forward trunk, so
+    two-way experiments share queues exactly as in the paper's [22]. *)
+val create :
+  engine:Sim.Engine.t ->
+  config:config ->
+  rng:Sim.Rng.t ->
+  ?wrap_bottleneck:((Packet.t -> unit) -> Packet.t -> unit) ->
+  ?wrap_reverse:((Packet.t -> unit) -> Packet.t -> unit) ->
+  ?on_drop:(Packet.t -> unit) ->
+  ?side_delays:float array ->
+  ?directions:direction array ->
+  unit ->
+  t
+
+(** [inject_data t ~flow packet] is sender [flow] putting a packet on
+    its access link. *)
+val inject_data : t -> flow:int -> Packet.t -> unit
+
+(** [inject_ack t ~flow packet] is receiver [flow] sending an ACK back. *)
+val inject_ack : t -> flow:int -> Packet.t -> unit
+
+(** [on_data t ~flow handler] registers the receiver-side delivery
+    callback for [flow]. *)
+val on_data : t -> flow:int -> (Packet.t -> unit) -> unit
+
+(** [on_ack t ~flow handler] registers the sender-side ACK delivery
+    callback for [flow]. *)
+val on_ack : t -> flow:int -> (Packet.t -> unit) -> unit
+
+(** [bottleneck_queue t] is the gateway discipline under test. *)
+val bottleneck_queue : t -> Queue_disc.t
+
+(** [red_stats t] classifies RED drops when the gateway is RED. *)
+val red_stats : t -> Red.drop_stats option
+
+(** [count_drop t packet] records a drop of [packet] against its flow in
+    the topology-wide ledger. Queue drops are recorded automatically;
+    pass this as [on_drop] to {!Loss} wrappers so injected losses land
+    in the same ledger. *)
+val count_drop : t -> Packet.t -> unit
+
+(** [drops_of_flow t flow] is the number of that flow's packets dropped
+    anywhere in the topology (including injected losses). *)
+val drops_of_flow : t -> int -> int
+
+(** [total_drops t] sums {!drops_of_flow} over all flows. *)
+val total_drops : t -> int

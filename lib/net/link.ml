@@ -1,0 +1,44 @@
+type t = {
+  engine : Sim.Engine.t;
+  bandwidth_bps : float;
+  delay : float;
+  queue : Queue_disc.t;
+  dst : Packet.t -> unit;
+  mutable busy : bool;
+  mutable delivered : int;
+}
+
+let create ~engine ~bandwidth_bps ~delay ~queue ~dst () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth <= 0";
+  if delay < 0.0 then invalid_arg "Link.create: negative delay";
+  { engine; bandwidth_bps; delay; queue; dst; busy = false; delivered = 0 }
+
+let queue t = t.queue
+
+let busy t = t.busy
+
+let delivered t = t.delivered
+
+(* Serve the queue head: serialize for size/bandwidth, then put the
+   packet on the wire (delivery [delay] later) and start on the next
+   queued packet, if any. *)
+let rec transmit_next t =
+  match t.queue.Queue_disc.dequeue () with
+  | None -> t.busy <- false
+  | Some packet ->
+    t.busy <- true;
+    let tx_time =
+      Sim.Units.transmission_time ~size_bytes:packet.Packet.size_bytes
+        ~bandwidth_bps:t.bandwidth_bps
+    in
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:tx_time (fun () ->
+           ignore
+             (Sim.Engine.schedule_after t.engine ~delay:t.delay (fun () ->
+                  t.delivered <- t.delivered + 1;
+                  t.dst packet));
+           transmit_next t)
+        : Sim.Engine.handle)
+
+let send t packet =
+  if t.queue.Queue_disc.enqueue packet && not t.busy then transmit_next t

@@ -1,0 +1,38 @@
+(** Unidirectional point-to-point link.
+
+    A link serializes packets at its bandwidth out of an attached queue
+    discipline, then delivers each packet to the downstream consumer
+    after the propagation delay. Transmission and propagation overlap as
+    on a real wire: the next packet starts serializing as soon as the
+    previous one has left the interface, so a link of bandwidth [b] and
+    delay [d] delivers back-to-back packets [size/b] apart, each [d]
+    after its transmission completes. *)
+
+type t
+
+(** [create ~engine ~bandwidth_bps ~delay ~queue ~dst ()] builds a link
+    that serves [queue] and delivers to [dst].
+
+    @raise Invalid_argument if [bandwidth_bps <= 0] or [delay < 0]. *)
+val create :
+  engine:Sim.Engine.t ->
+  bandwidth_bps:float ->
+  delay:float ->
+  queue:Queue_disc.t ->
+  dst:(Packet.t -> unit) ->
+  unit ->
+  t
+
+(** [send t packet] offers [packet] to the link's queue; the queue
+    discipline may drop it. Transmission starts immediately when the
+    link is idle. *)
+val send : t -> Packet.t -> unit
+
+(** [queue t] exposes the attached discipline (for stats and tests). *)
+val queue : t -> Queue_disc.t
+
+(** [busy t] reports whether a packet is currently being serialized. *)
+val busy : t -> bool
+
+(** [delivered t] is the number of packets handed to [dst] so far. *)
+val delivered : t -> int

@@ -1,0 +1,30 @@
+let uniform ~rng ~rate ?(data_only = true) ?(on_drop = fun _ -> ()) next =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Loss.uniform: bad rate";
+  fun packet ->
+    let eligible = (not data_only) || Packet.is_data packet in
+    if eligible && Sim.Rng.bernoulli rng rate then on_drop packet
+    else next packet
+
+type rule = { flow : int; seq : int; occurrence : int }
+
+let drop_list ~rules ?(on_drop = fun _ -> ()) next =
+  (* (flow, seq) -> number of times seen so far. *)
+  let seen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rules_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun { flow; seq; occurrence } ->
+      if occurrence < 1 then invalid_arg "Loss.drop_list: occurrence < 1";
+      Hashtbl.replace rules_tbl (flow, seq) occurrence)
+    rules;
+  fun packet ->
+    match packet.Packet.kind with
+    | Packet.Ack _ -> next packet
+    | Packet.Data { seq } ->
+      let key = (packet.Packet.flow, seq) in
+      let count = 1 + Option.value ~default:0 (Hashtbl.find_opt seen key) in
+      Hashtbl.replace seen key count;
+      (match Hashtbl.find_opt rules_tbl key with
+      | Some occurrence when occurrence = count ->
+        Hashtbl.remove rules_tbl key;
+        on_drop packet
+      | Some _ | None -> next packet)

@@ -1,0 +1,42 @@
+(** Loss-injection modules.
+
+    Both experiments that need engineered loss are expressed as wrappers
+    around a packet consumer: the wrapper either forwards the packet or
+    silently discards it (invoking [on_drop] for accounting).
+
+    - {!uniform} reproduces the paper's §4 setup, where "artificial
+      losses are introduced at the gateway R1" with a uniform random
+      per-packet probability.
+    - {!drop_list} forces a deterministic loss pattern — e.g. Figure 5's
+      "3 (6) packet losses within a window of data" — by dropping listed
+      (flow, seq) pairs on a chosen transmission occurrence, letting
+      retransmissions through. *)
+
+(** [uniform ~rng ~rate ?data_only ?on_drop next] drops each packet with
+    probability [rate] before handing survivors to [next]. With
+    [data_only] (default [true]) ACKs always pass.
+
+    @raise Invalid_argument if [rate] is outside [\[0, 1\]]. *)
+val uniform :
+  rng:Sim.Rng.t ->
+  rate:float ->
+  ?data_only:bool ->
+  ?on_drop:(Packet.t -> unit) ->
+  (Packet.t -> unit) ->
+  Packet.t ->
+  unit
+
+(** A deterministic drop rule: drop the [occurrence]-th time (1-based)
+    that data segment [seq] of flow [flow] passes this point. With
+    [occurrence = 1] the first transmission is lost and retransmissions
+    pass — the Figure 5 pattern. *)
+type rule = { flow : int; seq : int; occurrence : int }
+
+(** [drop_list ~rules ?on_drop next] applies the rules; packets matching
+    no rule are forwarded. Each rule fires at most once. *)
+val drop_list :
+  rules:rule list ->
+  ?on_drop:(Packet.t -> unit) ->
+  (Packet.t -> unit) ->
+  Packet.t ->
+  unit

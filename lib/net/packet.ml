@@ -1,0 +1,36 @@
+type kind =
+  | Data of { seq : int }
+  | Ack of { ackno : int; sack : (int * int) list }
+
+type t = {
+  uid : int;
+  flow : int;
+  kind : kind;
+  size_bytes : int;
+  born : float;
+}
+
+let data ~uid ~flow ~seq ~size_bytes ~born =
+  { uid; flow; kind = Data { seq }; size_bytes; born }
+
+let ack ~uid ~flow ~ackno ?(sack = []) ~size_bytes ~born () =
+  { uid; flow; kind = Ack { ackno; sack }; size_bytes; born }
+
+let is_data t = match t.kind with Data _ -> true | Ack _ -> false
+
+let seq_exn t =
+  match t.kind with
+  | Data { seq } -> seq
+  | Ack _ -> invalid_arg "Packet.seq_exn: ACK packet"
+
+let pp ppf t =
+  match t.kind with
+  | Data { seq } ->
+    Format.fprintf ppf "data[flow=%d seq=%d uid=%d %dB]" t.flow seq t.uid
+      t.size_bytes
+  | Ack { ackno; sack } ->
+    Format.fprintf ppf "ack[flow=%d ackno=%d sack=%a uid=%d]" t.flow ackno
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         (fun ppf (a, b) -> Format.fprintf ppf "%d-%d" a b))
+      sack t.uid

@@ -1,0 +1,47 @@
+(** Simulated packets.
+
+    Following ns-2's one-way TCP agents — the substrate the paper's
+    evaluation ran on — sequence numbers count fixed-size segments rather
+    than bytes: data segment [seq] carries bytes
+    [seq * mss .. (seq+1) * mss - 1] of the flow. An ACK with [ackno = k]
+    acknowledges all segments [0..k] cumulatively; duplicate ACKs repeat
+    the same [ackno]. SACK blocks are half-open segment ranges
+    [(first, last_plus_one)] describing out-of-order data held by the
+    receiver, most recent first. *)
+
+type kind =
+  | Data of { seq : int }
+  | Ack of { ackno : int; sack : (int * int) list }
+
+type t = {
+  uid : int;  (** unique per simulation, for tracing *)
+  flow : int;  (** flow (connection) identifier *)
+  kind : kind;
+  size_bytes : int;  (** on-the-wire size, drives transmission delay *)
+  born : float;  (** creation time, for end-to-end delay tracing *)
+}
+
+(** [data ~uid ~flow ~seq ~size_bytes ~born] builds a data segment. *)
+val data : uid:int -> flow:int -> seq:int -> size_bytes:int -> born:float -> t
+
+(** [ack ~uid ~flow ~ackno ?sack ~size_bytes ~born ()] builds an ACK. *)
+val ack :
+  uid:int ->
+  flow:int ->
+  ackno:int ->
+  ?sack:(int * int) list ->
+  size_bytes:int ->
+  born:float ->
+  unit ->
+  t
+
+(** [is_data t] reports whether [t] carries data. *)
+val is_data : t -> bool
+
+(** [seq_exn t] is the sequence number of a data packet.
+
+    @raise Invalid_argument on an ACK. *)
+val seq_exn : t -> int
+
+(** [pp] formats a packet for debugging and traces. *)
+val pp : Format.formatter -> t -> unit

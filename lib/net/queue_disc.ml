@@ -1,0 +1,18 @@
+type stats = {
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable dequeued : int;
+  mutable bytes_dropped : int;
+}
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> bool;
+  dequeue : unit -> Packet.t option;
+  length : unit -> int;
+  byte_length : unit -> int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  { enqueued = 0; dropped = 0; dequeued = 0; bytes_dropped = 0 }

@@ -1,0 +1,29 @@
+(** Common interface for queueing disciplines attached to links.
+
+    A discipline decides, per arriving packet, whether to accept or drop
+    it, and hands packets back to the link in its service order. Concrete
+    disciplines ({!Droptail}, {!Red}) construct values of this closure
+    record; the record style keeps links independent of the discipline's
+    internal state type. *)
+
+type stats = {
+  mutable enqueued : int;  (** packets accepted *)
+  mutable dropped : int;  (** packets refused (all causes) *)
+  mutable dequeued : int;  (** packets handed to the link *)
+  mutable bytes_dropped : int;
+}
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> bool;
+      (** [enqueue p] accepts [p] into the queue, returning [false] when
+          the discipline drops it instead. *)
+  dequeue : unit -> Packet.t option;
+      (** next packet to transmit, [None] when empty *)
+  length : unit -> int;  (** packets currently queued *)
+  byte_length : unit -> int;  (** bytes currently queued *)
+  stats : stats;
+}
+
+(** [fresh_stats ()] is an all-zero counter record. *)
+val fresh_stats : unit -> stats

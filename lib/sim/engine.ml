@@ -1,0 +1,69 @@
+type event = { fire : unit -> unit; mutable cancelled : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  mutable stopped : bool;
+  (* Live (non-cancelled) events, so [pending] and the run loop can avoid
+     being fooled by lazily-deleted cancellations. *)
+  mutable live : int;
+}
+
+let create () = { clock = 0.0; queue = Heap.create (); stopped = false; live = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time fire =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let event = { fire; cancelled = false } in
+  Heap.push t.queue ~priority:time event;
+  t.live <- t.live + 1;
+  event
+
+let schedule_after t ~delay fire =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) fire
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, event) ->
+    if event.cancelled then true
+    else begin
+      t.live <- t.live - 1;
+      t.clock <- time;
+      event.fire ();
+      true
+    end
+
+let run t =
+  t.stopped <- false;
+  let rec loop () = if (not t.stopped) && step t then loop () in
+  loop ()
+
+let run_until t ~time =
+  t.stopped <- false;
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Heap.peek t.queue with
+      | Some (next, _) when next <= time -> if step t then loop ()
+      | Some _ | None -> ()
+  in
+  loop ();
+  if time > t.clock then t.clock <- time
+
+let stop t = t.stopped <- true

@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    An engine owns virtual time and a queue of pending events. Components
+    schedule closures to run at future instants; [run] drains the queue in
+    time order (stable for simultaneous events) and advances the clock.
+    Engines are ordinary values — no global state — so tests can run many
+    independent simulations in one process. *)
+
+type t
+
+(** Cancellation handle for a scheduled event. *)
+type handle
+
+(** [create ()] returns an engine with the clock at time 0. *)
+val create : unit -> t
+
+(** [now t] is the current virtual time in seconds. *)
+val now : t -> float
+
+(** [schedule_at t ~time f] runs [f ()] when the clock reaches [time].
+    [time] must not be in the past.
+
+    @raise Invalid_argument if [time < now t]. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+
+(** [schedule_after t ~delay f] runs [f ()] after [delay] seconds.
+    [delay] must be non-negative. *)
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+
+(** [cancel t handle] prevents the event from firing. Cancelling an event
+    that already fired or was already cancelled is a no-op. *)
+val cancel : t -> handle -> unit
+
+(** [pending t] is the number of events still queued (including cancelled
+    ones not yet discarded). *)
+val pending : t -> int
+
+(** [run t] processes events until the queue is empty. *)
+val run : t -> unit
+
+(** [run_until t ~time] processes events with timestamps [<= time], then
+    sets the clock to [time]. *)
+val run_until : t -> time:float -> unit
+
+(** [stop t] makes the current [run]/[run_until] return after the event
+    being processed completes. *)
+val stop : t -> unit

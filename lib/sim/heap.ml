@@ -1,0 +1,81 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* [a] comes before [b] when it has strictly lower priority, or equal
+   priority and earlier insertion: this makes ties stable. *)
+let precedes a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t =
+  let capacity = max 16 (2 * Array.length t.data) in
+  let fresh = Array.make capacity t.data.(0) in
+  Array.blit t.data 0 fresh 0 t.size;
+  t.data <- fresh
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && precedes t.data.(left) t.data.(!smallest) then
+    smallest := left;
+  if right < t.size && precedes t.data.(right) t.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~priority value =
+  let entry = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let entry = t.data.(0) in
+    Some (entry.priority, entry.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let entry = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (entry.priority, entry.value)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]

@@ -1,0 +1,32 @@
+type t = {
+  engine : Engine.t;
+  callback : unit -> unit;
+  mutable armed : (Engine.handle * float) option;
+}
+
+let create engine ~callback = { engine; callback; armed = None }
+
+let is_armed t = t.armed <> None
+
+let expiry t = Option.map snd t.armed
+
+let cancel t =
+  match t.armed with
+  | None -> ()
+  | Some (handle, _) ->
+    Engine.cancel t.engine handle;
+    t.armed <- None
+
+let start t ~after =
+  if is_armed t then invalid_arg "Timer.start: already armed";
+  let time = Engine.now t.engine +. after in
+  let handle =
+    Engine.schedule_at t.engine ~time (fun () ->
+        t.armed <- None;
+        t.callback ())
+  in
+  t.armed <- Some (handle, time)
+
+let restart t ~after =
+  cancel t;
+  start t ~after

@@ -1,0 +1,15 @@
+let ms x = x /. 1000.0
+
+let us x = x /. 1_000_000.0
+
+let kbps x = x *. 1_000.0
+
+let mbps x = x *. 1_000_000.0
+
+let kilobytes x = int_of_float (x *. 1000.0)
+
+let bits_of_bytes n = 8.0 *. float_of_int n
+
+let transmission_time ~size_bytes ~bandwidth_bps =
+  assert (bandwidth_bps > 0.0);
+  bits_of_bytes size_bytes /. bandwidth_bps

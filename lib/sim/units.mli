@@ -1,0 +1,27 @@
+(** Unit helpers shared across the simulator.
+
+    The simulator's base units are seconds, bytes and bits per second.
+    These helpers keep scenario definitions readable ([Units.mbps 0.8]
+    rather than [800_000.0]) and conversions explicit. *)
+
+(** [ms x] is [x] milliseconds in seconds. *)
+val ms : float -> float
+
+(** [us x] is [x] microseconds in seconds. *)
+val us : float -> float
+
+(** [kbps x] is [x] kilobits per second in bits per second. *)
+val kbps : float -> float
+
+(** [mbps x] is [x] megabits per second in bits per second. *)
+val mbps : float -> float
+
+(** [kilobytes x] is [x] kB in bytes. *)
+val kilobytes : float -> int
+
+(** [transmission_time ~size_bytes ~bandwidth_bps] is the serialization
+    delay of a packet of [size_bytes] on a link of [bandwidth_bps]. *)
+val transmission_time : size_bytes:int -> bandwidth_bps:float -> float
+
+(** [bits_of_bytes n] is [8 * n] as a float. *)
+val bits_of_bytes : int -> float

@@ -1,0 +1,58 @@
+type spec = { label : string; glyph : char; points : (float * float) list }
+
+let bounds specs =
+  let fold f init =
+    List.fold_left
+      (fun acc spec ->
+        List.fold_left (fun acc point -> f acc point) acc spec.points)
+      init specs
+  in
+  let x_min = fold (fun acc (x, _) -> Float.min acc x) infinity in
+  let x_max = fold (fun acc (x, _) -> Float.max acc x) neg_infinity in
+  let y_min = fold (fun acc (_, y) -> Float.min acc y) infinity in
+  let y_max = fold (fun acc (_, y) -> Float.max acc y) neg_infinity in
+  (x_min, x_max, y_min, y_max)
+
+let render ~width ~height ~x_label ~y_label specs =
+  let populated = List.filter (fun spec -> spec.points <> []) specs in
+  if populated = [] then "(no data to plot)\n"
+  else begin
+    let x_min, x_max, y_min, y_max = bounds populated in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let canvas = Array.make_matrix height width ' ' in
+    let place (x, y) glyph =
+      let column =
+        int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+      in
+      let row =
+        height - 1
+        - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+      in
+      if row >= 0 && row < height && column >= 0 && column < width then
+        canvas.(row).(column) <- glyph
+    in
+    List.iter
+      (fun spec -> List.iter (fun point -> place point spec.glyph) spec.points)
+      populated;
+    let buffer = Buffer.create (width * height * 2) in
+    Buffer.add_string buffer
+      (Printf.sprintf "%s  (%.4g .. %.4g)\n" y_label y_min y_max);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buffer "  |";
+        Array.iter (Buffer.add_char buffer) row;
+        Buffer.add_char buffer '\n')
+      canvas;
+    Buffer.add_string buffer "  +";
+    Buffer.add_string buffer (String.make width '-');
+    Buffer.add_char buffer '\n';
+    Buffer.add_string buffer
+      (Printf.sprintf "   %s  (%.4g .. %.4g)\n" x_label x_min x_max);
+    List.iter
+      (fun spec ->
+        Buffer.add_string buffer
+          (Printf.sprintf "   %c = %s\n" spec.glyph spec.label))
+      populated;
+    Buffer.contents buffer
+  end

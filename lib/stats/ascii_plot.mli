@@ -1,0 +1,18 @@
+(** Terminal scatter plots, for the sequence-number-vs-time figures.
+
+    Multiple series share one canvas; each series draws with its own
+    glyph, later series overwriting earlier ones where they collide. *)
+
+type spec = { label : string; glyph : char; points : (float * float) list }
+
+(** [render ~width ~height ~x_label ~y_label specs] draws the series
+    onto a [width]×[height] character canvas with axes, ranges inferred
+    from the data, and a legend line per series. Returns the multi-line
+    string ready for printing. Empty input yields a note instead. *)
+val render :
+  width:int ->
+  height:int ->
+  x_label:string ->
+  y_label:string ->
+  spec list ->
+  string

@@ -1,0 +1,56 @@
+type t = {
+  sends : Series.t;
+  retransmissions : Series.t;
+  acks : Series.t;
+  una : Series.t;
+  cwnd : Series.t;
+  mutable recovery_entries : float list;
+  mutable recovery_exits : float list;
+  mutable timeouts : float list;
+}
+
+let attach agent =
+  let t =
+    {
+      sends = Series.create ();
+      retransmissions = Series.create ();
+      acks = Series.create ();
+      una = Series.create ();
+      cwnd = Series.create ();
+      recovery_entries = [];
+      recovery_exits = [];
+      timeouts = [];
+    }
+  in
+  let base = agent.Tcp.Agent.base in
+  let hooks = base.Tcp.Sender_common.hooks in
+  hooks.Tcp.Sender_common.on_send <-
+    (fun ~time ~seq ~retx ->
+      Series.add t.sends ~time ~value:(float_of_int seq);
+      if retx then Series.add t.retransmissions ~time ~value:(float_of_int seq));
+  hooks.Tcp.Sender_common.on_ack <-
+    (fun ~time ~ackno ->
+      Series.add t.acks ~time ~value:(float_of_int ackno);
+      Series.add t.cwnd ~time ~value:base.Tcp.Sender_common.cwnd;
+      match Series.last t.una with
+      | Some (_, previous) when float_of_int ackno <= previous -> ()
+      | Some _ | None -> Series.add t.una ~time ~value:(float_of_int ackno));
+  hooks.Tcp.Sender_common.on_recovery_enter <-
+    (fun ~time -> t.recovery_entries <- time :: t.recovery_entries);
+  hooks.Tcp.Sender_common.on_recovery_exit <-
+    (fun ~time -> t.recovery_exits <- time :: t.recovery_exits);
+  hooks.Tcp.Sender_common.on_timeout <-
+    (fun ~time -> t.timeouts <- time :: t.timeouts);
+  t
+
+let recovery_episodes t =
+  let entries = List.rev t.recovery_entries in
+  let exits = List.rev t.recovery_exits in
+  let rec pair entries exits acc =
+    match (entries, exits) with
+    | entry :: more_entries, exit :: more_exits ->
+      if exit >= entry then pair more_entries more_exits ((entry, exit) :: acc)
+      else pair entries more_exits acc
+    | _, _ -> List.rev acc
+  in
+  pair entries exits []

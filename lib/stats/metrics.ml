@@ -1,0 +1,47 @@
+let effective_throughput_bps trace ~mss ~t0 ~t1 =
+  if t1 <= t0 then 0.0
+  else begin
+    let una = trace.Flow_trace.una in
+    let at time = Option.value ~default:(-1.0) (Series.value_at una ~time) in
+    let delivered_segments = at t1 -. at t0 in
+    if delivered_segments <= 0.0 then 0.0
+    else delivered_segments *. float_of_int (8 * mss) /. (t1 -. t0)
+  end
+
+let recovery_completion_time trace ~target_seq =
+  Series.first_time_at_or_above trace.Flow_trace.una
+    ~value:(float_of_int target_seq)
+
+let loss_rate ~drops ~transmissions =
+  if transmissions <= 0 then 0.0
+  else float_of_int drops /. float_of_int transmissions
+
+let transmissions counters =
+  counters.Tcp.Counters.segments_sent + counters.Tcp.Counters.retransmits
+
+let jain_index allocations =
+  match allocations with
+  | [] -> 1.0
+  | _ ->
+    let n = float_of_int (List.length allocations) in
+    let sum = List.fold_left ( +. ) 0.0 allocations in
+    let sum_sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 allocations in
+    if sum_sq = 0.0 then 1.0 else sum *. sum /. (n *. sum_sq)
+
+let mean values =
+  match values with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let coefficient_of_variation values =
+  match values with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean values in
+    if m = 0.0 then 0.0
+    else begin
+      let variance =
+        mean (List.map (fun x -> (x -. m) *. (x -. m)) values)
+      in
+      sqrt variance /. m
+    end

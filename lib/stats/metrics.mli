@@ -1,0 +1,35 @@
+(** Performance metrics computed from flow traces.
+
+    "Effective throughput" follows the paper's usage: the rate at which
+    data is cumulatively acknowledged at the sender — i.e. goodput, not
+    counting retransmissions of data the receiver already holds. *)
+
+(** [effective_throughput_bps trace ~mss ~t0 ~t1] is the goodput in bits
+    per second over the window [\[t0, t1\]], from the cumulative-ACK
+    trajectory. Zero when the window is empty or degenerate. *)
+val effective_throughput_bps :
+  Flow_trace.t -> mss:int -> t0:float -> t1:float -> float
+
+(** [recovery_completion_time trace ~target_seq] is the earliest time
+    the cumulative ACK reaches [target_seq] — when every segment of a
+    loss window has been repaired. *)
+val recovery_completion_time : Flow_trace.t -> target_seq:int -> float option
+
+(** [loss_rate ~drops ~transmissions] is the fraction of this flow's
+    transmissions that were dropped (Table 5's "packet loss rate"). *)
+val loss_rate : drops:int -> transmissions:int -> float
+
+(** [transmissions counters] is first transmissions plus retransmissions. *)
+val transmissions : Tcp.Counters.t -> int
+
+(** [jain_index allocations] is Jain's fairness index
+    [(Σx)² / (n·Σx²)] — 1.0 when all [n] allocations are equal, 1/n
+    when one flow takes everything. Empty input yields 1.0. *)
+val jain_index : float list -> float
+
+(** [mean values] is the arithmetic mean ([nan] on empty input). *)
+val mean : float list -> float
+
+(** [coefficient_of_variation values] is stddev/mean, a scale-free
+    oscillation measure used for queue-length traces. *)
+val coefficient_of_variation : float list -> float

@@ -1,0 +1,16 @@
+(** Periodic sampling of a queue-occupancy (or any integer-valued)
+    probe into a time series — the data behind queue-dynamics plots and
+    the oscillation statistics of the synchronization experiment. *)
+
+(** [sample ~engine ~probe ~interval ~until] schedules probe reads every
+    [interval] seconds from the current time up to and including
+    [until], returning the series that will fill as the simulation
+    runs.
+
+    @raise Invalid_argument if [interval <= 0]. *)
+val sample :
+  engine:Sim.Engine.t ->
+  probe:(unit -> int) ->
+  interval:float ->
+  until:float ->
+  Series.t

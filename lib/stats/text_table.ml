@@ -1,0 +1,37 @@
+let render ~header rows =
+  let columns = List.length header in
+  let pad row =
+    let missing = columns - List.length row in
+    if missing > 0 then row @ List.init missing (fun _ -> "") else row
+  in
+  let rows = List.map pad rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < columns then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           cell ^ String.make (widths.(i) - String.length cell) ' ')
+         row)
+  in
+  let separator =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (render_row header);
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer separator;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buffer (render_row row);
+      Buffer.add_char buffer '\n')
+    rows;
+  Buffer.contents buffer

@@ -1,0 +1,6 @@
+(** Aligned plain-text tables for experiment reports. *)
+
+(** [render ~header rows] lays the table out with column widths fitted
+    to content, a separator under the header, and two-space gutters.
+    Rows shorter than the header are padded with empty cells. *)
+val render : header:string list -> string list list -> string

@@ -1,0 +1,24 @@
+type t = {
+  mutable segments_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable acks_received : int;
+  mutable dupacks_received : int;
+}
+
+let create () =
+  {
+    segments_sent = 0;
+    retransmits = 0;
+    timeouts = 0;
+    fast_retransmits = 0;
+    acks_received = 0;
+    dupacks_received = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sent=%d retx=%d timeouts=%d fast_retx=%d acks=%d dupacks=%d"
+    t.segments_sent t.retransmits t.timeouts t.fast_retransmits
+    t.acks_received t.dupacks_received

@@ -1,0 +1,16 @@
+(** Per-sender event counters, for metrics and tests. *)
+
+type t = {
+  mutable segments_sent : int;  (** first transmissions *)
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;  (** recovery entries via 3 dup ACKs *)
+  mutable acks_received : int;  (** cumulative-progress ACKs *)
+  mutable dupacks_received : int;
+}
+
+(** [create ()] is an all-zero record. *)
+val create : unit -> t
+
+(** [pp] renders the counters on one line. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+open Sender_common
+
+type state = {
+  scoreboard : Seqset.t;
+  retransmitted : Seqset.t;  (* holes resent this recovery, still unacked *)
+  mutable recover : int;
+}
+
+let update_scoreboard state ~sack =
+  List.iter
+    (fun (first, last_plus_one) ->
+      if first < last_plus_one then
+        Seqset.add_range state.scoreboard ~first ~last:(last_plus_one - 1))
+    sack
+
+(* The forward-most data the receiver holds; [una] when nothing is
+   SACKed. *)
+let fack base state =
+  match Seqset.max_elt state.scoreboard with
+  | Some highest -> max highest base.una
+  | None -> base.una
+
+(* awnd = data sent beyond fack (still plausibly in flight) plus the
+   retransmissions we have re-injected. *)
+let awnd base state =
+  max 0 (base.maxseq - fack base state) + Seqset.cardinal state.retransmitted
+
+let next_hole base state =
+  let rec search candidate =
+    if candidate > fack base state then None
+    else if
+      Seqset.mem state.scoreboard candidate
+      || Seqset.mem state.retransmitted candidate
+    then search (candidate + 1)
+    else Some candidate
+  in
+  search (base.una + 1)
+
+let send_while_awnd_allows base state =
+  let budget =
+    if base.params.Params.max_burst = 0 then max_int
+    else base.params.Params.max_burst
+  in
+  let rec loop sent =
+    if sent >= budget || float_of_int (awnd base state) >= base.cwnd then ()
+    else
+      match next_hole base state with
+      | Some seq ->
+        ignore (Seqset.add state.retransmitted seq : bool);
+        send_segment base ~seq ~retx:true;
+        loop (sent + 1)
+      | None ->
+        if app_has_data base ~seq:base.t_seqno then begin
+          send_segment base ~seq:base.t_seqno ~retx:false;
+          base.t_seqno <- base.t_seqno + 1;
+          loop (sent + 1)
+        end
+  in
+  loop 0
+
+let enter_recovery base state =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  base.recover_mark <- base.maxseq;
+  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  state.recover <- base.maxseq;
+  Seqset.clear state.retransmitted;
+  ignore (halve_ssthresh base : float);
+  base.cwnd <- base.ssthresh;
+  base.phase <- Recovery;
+  base.timed <- None;
+  (* The first hole goes out unconditionally; awnd gates the rest. *)
+  (match next_hole base state with
+  | Some seq ->
+    ignore (Seqset.add state.retransmitted seq : bool);
+    send_segment base ~seq ~retx:true
+  | None -> ());
+  send_while_awnd_allows base state;
+  restart_rtx_timer base
+
+let exit_recovery base state =
+  base.cwnd <- base.ssthresh;
+  base.phase <- Congestion_avoidance;
+  base.dupacks <- 0;
+  Seqset.clear state.retransmitted;
+  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+
+(* FACK's trigger: enough data is known to have left the network,
+   whether or not three literal duplicate ACKs arrived. *)
+let loss_evident base state =
+  fack base state - base.una - 1 > base.params.Params.dupack_threshold
+  || base.dupacks = base.params.Params.dupack_threshold
+
+let recv_ack base state ~ackno ~sack =
+  update_scoreboard state ~sack;
+  if ackno > base.una then begin
+    Seqset.remove_below state.scoreboard (ackno + 1);
+    Seqset.remove_below state.retransmitted (ackno + 1);
+    if base.phase = Recovery then begin
+      if ackno >= state.recover then begin
+        exit_recovery base state;
+        advance_una base ~ackno;
+        send_much base
+      end
+      else begin
+        advance_una base ~ackno;
+        restart_rtx_timer base;
+        send_while_awnd_allows base state
+      end
+    end
+    else begin
+      base.dupacks <- 0;
+      advance_una base ~ackno;
+      open_cwnd base;
+      (* A cumulative advance can still reveal a hole below fack. *)
+      if loss_evident base state && may_fast_retransmit base then
+        enter_recovery base state
+      else send_much base
+    end
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if base.phase = Recovery then send_while_awnd_allows base state
+    else if loss_evident base state && may_fast_retransmit base then
+      enter_recovery base state
+    else limited_transmit base
+  end
+
+let timeout state base =
+  Seqset.clear state.retransmitted;
+  timeout_common base
+
+let create ~engine ~params ~flow ~emit () =
+  let state =
+    { scoreboard = Seqset.create (); retransmitted = Seqset.create (); recover = -1 }
+  in
+  let base =
+    create ~engine ~params ~flow ~emit ~timeout_action:(timeout state) ()
+  in
+  let deliver_ack packet =
+    match packet.Net.Packet.kind with
+    | Net.Packet.Data _ -> invalid_arg "Fack: data packet delivered to sender"
+    | Net.Packet.Ack { ackno; sack } ->
+      if not base.completed then recv_ack base state ~ackno ~sack
+  in
+  { Agent.name = "fack"; flow; deliver_ack; base; wants_sack = true }

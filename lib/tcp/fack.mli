@@ -1,0 +1,24 @@
+(** TCP FACK sender (Mathis & Mahdavi, SIGCOMM 1996 — the paper's
+    reference [13], cited alongside SACK as the receiver-assisted
+    recovery RR competes with).
+
+    Forward ACK keeps the SACK scoreboard but drives recovery from
+    [fack], the highest sequence number the receiver is known to hold:
+
+    - recovery triggers as soon as more than [dupack_threshold] segments
+      are known to have left the network ([fack - una - 1 > 3]), even
+      before three literal duplicate ACKs arrive;
+    - the in-flight estimate is exact: [awnd = snd.nxt - fack +
+      retransmitted_data], so transmission continues smoothly whenever
+      [awnd < cwnd], repairing all holes below [fack] first.
+
+    Requires a SACK-generating receiver, like {!Sack}. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds a FACK sender. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

@@ -1,0 +1,76 @@
+open Sender_common
+
+type state = { mutable recover : int }
+
+let enter_recovery base state =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  state.recover <- base.maxseq;
+  base.recover_mark <- base.maxseq;
+  let ssthresh = halve_ssthresh base in
+  base.cwnd <- ssthresh +. float_of_int base.params.Params.dupack_threshold;
+  base.phase <- Recovery;
+  base.timed <- None;
+  send_segment base ~seq:(base.una + 1) ~retx:true;
+  restart_rtx_timer base
+
+let exit_recovery base =
+  base.cwnd <- base.ssthresh;
+  base.phase <- Congestion_avoidance;
+  base.dupacks <- 0;
+  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+
+let recv_ack base state ~ackno =
+  if ackno > base.una then begin
+    if base.phase = Recovery then begin
+      if ackno >= state.recover then begin
+        (* Full ACK: recovery is over; the window deflates to ssthresh
+           and growth resumes with the next ACK. *)
+        exit_recovery base;
+        advance_una base ~ackno;
+        send_much base
+      end
+      else begin
+        (* Partial ACK: deflate by the amount acknowledged, re-inflate
+           by one, retransmit the next hole, stay in recovery. *)
+        let acked = ackno - base.una in
+        advance_una base ~ackno;
+        base.cwnd <- Float.max 1.0 (base.cwnd -. float_of_int acked +. 1.0);
+        send_segment base ~seq:(base.una + 1) ~retx:true;
+        restart_rtx_timer base;
+        send_much base
+      end
+    end
+    else begin
+      base.dupacks <- 0;
+      advance_una base ~ackno;
+      open_cwnd base;
+      send_much base
+    end
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if base.phase = Recovery then begin
+      base.cwnd <- base.cwnd +. 1.0;
+      send_much base
+    end
+    else if
+      base.dupacks = base.params.Params.dupack_threshold
+      && may_fast_retransmit base
+    then enter_recovery base state
+    else limited_transmit base
+  end
+
+let create ~engine ~params ~flow ~emit () =
+  let state = { recover = -1 } in
+  let base = create ~engine ~params ~flow ~emit ~timeout_action:timeout_common () in
+  let deliver_ack packet =
+    match packet.Net.Packet.kind with
+    | Net.Packet.Data _ ->
+      invalid_arg "Newreno: data packet delivered to sender"
+    | Net.Packet.Ack { ackno; _ } ->
+      if not base.completed then recv_ack base state ~ackno
+  in
+  { Agent.name = "newreno"; flow; deliver_ack; base; wants_sack = false }

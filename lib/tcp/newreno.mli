@@ -1,0 +1,19 @@
+(** TCP New-Reno sender (Hoe 1996 / RFC 2582, "slow-but-steady").
+
+    Fast recovery is kept open across partial ACKs: each partial ACK
+    retransmits the next hole, deflates the window by the amount newly
+    acknowledged plus re-inflates by one, and restarts the
+    retransmission timer. Recovery ends only when the ACK reaches the
+    [recover] point recorded at entry. One lost segment is repaired per
+    RTT, and roughly one new segment is sent per two duplicate ACKs —
+    the exponentially-decaying transmission the paper's §1 identifies
+    as the cause of self-clocking loss under bursty drops. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds a New-Reno sender. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

@@ -1,0 +1,64 @@
+open Sender_common
+
+let enter_recovery base =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  base.recover_mark <- base.maxseq;
+  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  let ssthresh = halve_ssthresh base in
+  base.cwnd <- ssthresh +. float_of_int base.params.Params.dupack_threshold;
+  base.phase <- Recovery;
+  base.timed <- None;
+  send_segment base ~seq:(base.una + 1) ~retx:true;
+  restart_rtx_timer base
+
+let exit_recovery base =
+  base.cwnd <- base.ssthresh;
+  base.phase <-
+    (if base.cwnd < base.ssthresh then Slow_start else Congestion_avoidance);
+  base.dupacks <- 0;
+  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+
+let recv_ack base ~ackno =
+  if ackno > base.una then begin
+    if base.phase = Recovery then begin
+      (* Any new ACK — full or partial — deflates and leaves recovery. *)
+      exit_recovery base;
+      advance_una base ~ackno;
+      send_much base
+    end
+    else begin
+      base.dupacks <- 0;
+      advance_una base ~ackno;
+      open_cwnd base;
+      send_much base
+    end
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if base.phase = Recovery then begin
+      (* Window inflation: each dup ACK signals a departure. *)
+      base.cwnd <- base.cwnd +. 1.0;
+      send_much base
+    end
+    else if
+      base.dupacks = base.params.Params.dupack_threshold
+      && may_fast_retransmit base
+    then enter_recovery base
+    else limited_transmit base
+  end
+
+let timeout base =
+  base.phase <- Slow_start;
+  timeout_common base
+
+let create ~engine ~params ~flow ~emit () =
+  let base = create ~engine ~params ~flow ~emit ~timeout_action:timeout () in
+  let deliver_ack packet =
+    match packet.Net.Packet.kind with
+    | Net.Packet.Data _ -> invalid_arg "Reno: data packet delivered to sender"
+    | Net.Packet.Ack { ackno; _ } ->
+      if not base.completed then recv_ack base ~ackno
+  in
+  { Agent.name = "reno"; flow; deliver_ack; base; wants_sack = false }

@@ -1,0 +1,16 @@
+(** TCP Reno sender: Tahoe plus fast recovery (Jacobson 1990).
+
+    The congestion window is halved once per fast retransmit and
+    inflated by one segment per further duplicate ACK; {e any} new ACK —
+    including a partial one — deflates the window and exits recovery,
+    which is exactly the weakness under bursty loss that motivates the
+    paper: each loss in a window costs another halving or a timeout. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds a Reno sender. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

@@ -1,0 +1,52 @@
+type estimate = { mutable srtt : float; mutable rttvar : float }
+
+type t = {
+  min_rto : float;
+  max_rto : float;
+  initial_rto : float;
+  tick : float;
+  mutable estimate : estimate option;
+  mutable backoff_factor : float;
+}
+
+let create ~min_rto ~max_rto ~initial_rto ?(tick = 0.0) () =
+  if min_rto <= 0.0 || max_rto < min_rto || initial_rto < min_rto then
+    invalid_arg "Rto.create: inconsistent bounds";
+  if tick < 0.0 then invalid_arg "Rto.create: negative tick";
+  { min_rto; max_rto; initial_rto; tick; estimate = None; backoff_factor = 1.0 }
+
+(* Coarse clock: measurements land on tick boundaries, never below one
+   tick. *)
+let quantize t rtt =
+  if t.tick <= 0.0 then rtt
+  else Float.max t.tick (Float.round (rtt /. t.tick) *. t.tick)
+
+let sample t rtt =
+  if rtt < 0.0 then invalid_arg "Rto.sample: negative RTT";
+  let rtt = quantize t rtt in
+  (match t.estimate with
+  | None -> t.estimate <- Some { srtt = rtt; rttvar = rtt /. 2.0 }
+  | Some e ->
+    let error = rtt -. e.srtt in
+    e.srtt <- e.srtt +. (error /. 8.0);
+    e.rttvar <- e.rttvar +. ((abs_float error -. e.rttvar) /. 4.0));
+  t.backoff_factor <- 1.0
+
+let base_value t =
+  match t.estimate with
+  | None -> t.initial_rto
+  | Some e -> e.srtt +. (4.0 *. e.rttvar)
+
+let value t =
+  (* Backoff doubles the effective (already clamped) timeout, so a
+     1-second floor backs off 1, 2, 4, ... as classic TCP does. *)
+  let base = Float.max t.min_rto (base_value t) in
+  let v = Float.min t.max_rto (base *. t.backoff_factor) in
+  if t.tick <= 0.0 then v else ceil (v /. t.tick) *. t.tick
+
+let backoff t =
+  t.backoff_factor <- Float.min (t.backoff_factor *. 2.0) 64.0
+
+let srtt t = Option.map (fun e -> e.srtt) t.estimate
+
+let rttvar t = Option.map (fun e -> e.rttvar) t.estimate

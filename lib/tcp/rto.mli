@@ -1,0 +1,32 @@
+(** Retransmission-timeout estimation: Jacobson/Karels smoothed RTT with
+    exponential backoff and Karn's rule (callers must not feed samples
+    from retransmitted segments; the sender base enforces this by
+    cancelling the in-progress timing on retransmission). *)
+
+type t
+
+(** [create ~min_rto ~max_rto ~initial_rto ?tick ()] starts with no RTT
+    estimate and an RTO of [initial_rto]. A non-zero [tick] emulates the
+    classic coarse clock (ns-2's [tcpTick_], BSD's 500 ms timer): RTT
+    samples are rounded to the nearest tick (at least one) and timeout
+    values up to a tick boundary. [tick] defaults to 0 — exact timing. *)
+val create :
+  min_rto:float -> max_rto:float -> initial_rto:float -> ?tick:float -> unit -> t
+
+(** [sample t rtt] feeds a round-trip measurement (seconds) and clears
+    any backoff. *)
+val sample : t -> float -> unit
+
+(** [value t] is the current timeout, backoff included, clamped to
+    [\[min_rto, max_rto\]]. *)
+val value : t -> float
+
+(** [backoff t] doubles the timeout (exponential backoff), saturating at
+    [max_rto]. *)
+val backoff : t -> unit
+
+(** [srtt t] is the smoothed RTT, if at least one sample arrived. *)
+val srtt : t -> float option
+
+(** [rttvar t] is the mean RTT deviation, if estimated. *)
+val rttvar : t -> float option

@@ -1,0 +1,157 @@
+open Sender_common
+
+type state = {
+  scoreboard : Seqset.t;  (* segments the receiver reported holding *)
+  retransmitted : Seqset.t;  (* holes already resent this recovery *)
+  mutable recover : int;
+  mutable pipe : int;
+}
+
+let update_scoreboard state ~sack =
+  List.iter
+    (fun (first, last_plus_one) ->
+      if first < last_plus_one then
+        Seqset.add_range state.scoreboard ~first ~last:(last_plus_one - 1))
+    sack
+
+(* The oldest segment above [una] that the receiver does not hold and
+   that we have not already retransmitted this recovery, provided the
+   scoreboard proves data above it arrived. *)
+let next_hole base state =
+  let rec search candidate =
+    match Seqset.max_elt state.scoreboard with
+    | None -> None
+    | Some highest_sacked ->
+      if candidate > highest_sacked then None
+      else if
+        Seqset.mem state.scoreboard candidate
+        || Seqset.mem state.retransmitted candidate
+      then search (candidate + 1)
+      else Some candidate
+  in
+  search (base.una + 1)
+
+(* In recovery, transmit while the pipe has room: holes first, then new
+   data; every transmission adds one packet to the pipe. *)
+let send_while_pipe_allows base state =
+  let budget =
+    if base.params.Params.max_burst = 0 then max_int
+    else base.params.Params.max_burst
+  in
+  let rec loop sent =
+    if sent >= budget || float_of_int state.pipe >= base.cwnd then ()
+    else
+      match next_hole base state with
+      | Some seq ->
+        ignore (Seqset.add state.retransmitted seq : bool);
+        send_segment base ~seq ~retx:true;
+        state.pipe <- state.pipe + 1;
+        loop (sent + 1)
+      | None ->
+        if app_has_data base ~seq:base.t_seqno then begin
+          send_segment base ~seq:base.t_seqno ~retx:false;
+          base.t_seqno <- base.t_seqno + 1;
+          state.pipe <- state.pipe + 1;
+          loop (sent + 1)
+        end
+  in
+  loop 0
+
+let enter_recovery base state =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  state.recover <- base.maxseq;
+  base.recover_mark <- base.maxseq;
+  Seqset.clear state.retransmitted;
+  (* ns-2 sack1 (the implementation the paper compares against) seeds
+     the pipe from the pre-halving window minus the duplicate ACKs'
+     evidence of departures; transmission resumes once enough further
+     dup ACKs drain it below the halved cwnd. *)
+  state.pipe <-
+    max 0
+      (int_of_float (window base) - base.params.Params.dupack_threshold);
+  let ssthresh = halve_ssthresh base in
+  base.cwnd <- ssthresh;
+  base.phase <- Recovery;
+  base.timed <- None;
+  send_segment base ~seq:(base.una + 1) ~retx:true;
+  ignore (Seqset.add state.retransmitted (base.una + 1) : bool);
+  state.pipe <- state.pipe + 1;
+  restart_rtx_timer base
+
+let exit_recovery base state =
+  base.cwnd <- base.ssthresh;
+  base.phase <- Congestion_avoidance;
+  base.dupacks <- 0;
+  state.pipe <- 0;
+  Seqset.clear state.retransmitted;
+  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+
+let recv_ack base state ~ackno ~sack =
+  update_scoreboard state ~sack;
+  if ackno > base.una then begin
+    Seqset.remove_below state.scoreboard (ackno + 1);
+    Seqset.remove_below state.retransmitted (ackno + 1);
+    if base.phase = Recovery then begin
+      if ackno >= state.recover then begin
+        (* Full ACK: deflate to ssthresh; growth resumes next ACK. *)
+        exit_recovery base state;
+        advance_una base ~ackno;
+        send_much base
+      end
+      else begin
+        advance_una base ~ackno;
+        (* Partial ACK: the original and its retransmission left. *)
+        state.pipe <- max 0 (state.pipe - 2);
+        restart_rtx_timer base;
+        send_while_pipe_allows base state
+      end
+    end
+    else begin
+      base.dupacks <- 0;
+      advance_una base ~ackno;
+      open_cwnd base;
+      send_much base
+    end
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if base.phase = Recovery then begin
+      state.pipe <- max 0 (state.pipe - 1);
+      send_while_pipe_allows base state
+    end
+    else if
+      base.dupacks = base.params.Params.dupack_threshold
+      && may_fast_retransmit base
+    then enter_recovery base state
+    else limited_transmit base
+  end
+
+let timeout state base =
+  (* Retransmission timing restarts from scratch: the scoreboard keeps
+     receiver knowledge, but per-recovery bookkeeping resets. *)
+  state.pipe <- 0;
+  Seqset.clear state.retransmitted;
+  timeout_common base
+
+let create ~engine ~params ~flow ~emit () =
+  let state =
+    {
+      scoreboard = Seqset.create ();
+      retransmitted = Seqset.create ();
+      recover = -1;
+      pipe = 0;
+    }
+  in
+  let base =
+    create ~engine ~params ~flow ~emit ~timeout_action:(timeout state) ()
+  in
+  let deliver_ack packet =
+    match packet.Net.Packet.kind with
+    | Net.Packet.Data _ -> invalid_arg "Sack: data packet delivered to sender"
+    | Net.Packet.Ack { ackno; sack } ->
+      if not base.completed then recv_ack base state ~ackno ~sack
+  in
+  { Agent.name = "sack"; flow; deliver_ack; base; wants_sack = true }

@@ -1,0 +1,21 @@
+(** TCP SACK sender (Fall & Floyd 1996, ns-2 "sack1" style).
+
+    Requires a SACK-generating receiver. The sender keeps a scoreboard
+    of selectively-acknowledged segments and a [pipe] estimate of
+    packets in flight: during recovery it may transmit whenever
+    [pipe < cwnd], preferring the oldest un-SACKed hole and falling back
+    to new data. Each duplicate ACK decrements [pipe] by one and a
+    partial ACK by two (the original and its retransmission both left
+    the path). This is the strongest of the paper's baselines, at the
+    cost of receiver cooperation. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds a SACK sender. Its
+    [wants_sack] flag tells the wiring layer to enable SACK generation
+    at the peer receiver. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

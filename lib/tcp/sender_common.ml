@@ -1,0 +1,245 @@
+type phase = Slow_start | Congestion_avoidance | Recovery
+
+type hooks = {
+  mutable on_send : time:float -> seq:int -> retx:bool -> unit;
+  mutable on_ack : time:float -> ackno:int -> unit;
+  mutable on_recovery_enter : time:float -> unit;
+  mutable on_recovery_exit : time:float -> unit;
+  mutable on_timeout : time:float -> unit;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  flow : int;
+  emit : Net.Packet.t -> unit;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable una : int;
+  mutable t_seqno : int;
+  mutable maxseq : int;
+  mutable dupacks : int;
+  mutable phase : phase;
+  mutable app_limit : int option;
+  rto : Rto.t;
+  mutable rtx_timer : Sim.Timer.t option;
+  mutable timed : (int * float) option;
+  mutable uid_counter : int;
+  mutable recover_mark : int;
+  counters : Counters.t;
+  hooks : hooks;
+  mutable completed : bool;
+  mutable on_complete : unit -> unit;
+}
+
+let no_op_hooks () =
+  {
+    on_send = (fun ~time:_ ~seq:_ ~retx:_ -> ());
+    on_ack = (fun ~time:_ ~ackno:_ -> ());
+    on_recovery_enter = (fun ~time:_ -> ());
+    on_recovery_exit = (fun ~time:_ -> ());
+    on_timeout = (fun ~time:_ -> ());
+  }
+
+let create ~engine ~params ~flow ~emit ~timeout_action () =
+  Params.validate params;
+  let t =
+    {
+      engine;
+      params;
+      flow;
+      emit;
+      cwnd = params.Params.initial_cwnd;
+      ssthresh = params.Params.initial_ssthresh;
+      una = -1;
+      t_seqno = 0;
+      maxseq = -1;
+      dupacks = 0;
+      phase = Slow_start;
+      app_limit = Some 0;
+      rto =
+        Rto.create ~min_rto:params.Params.min_rto
+          ~max_rto:params.Params.max_rto
+          ~initial_rto:params.Params.initial_rto ~tick:params.Params.tick ();
+      rtx_timer = None;
+      timed = None;
+      uid_counter = 0;
+      recover_mark = -2;
+      counters = Counters.create ();
+      hooks = no_op_hooks ();
+      completed = false;
+      on_complete = (fun () -> ());
+    }
+  in
+  t.rtx_timer <-
+    Some (Sim.Timer.create engine ~callback:(fun () -> timeout_action t));
+  t
+
+let timer_exn t =
+  match t.rtx_timer with
+  | Some timer -> timer
+  | None -> assert false
+
+let window t = Float.min t.cwnd (float_of_int t.params.Params.rwnd)
+
+let outstanding t = t.t_seqno - t.una - 1
+
+let app_has_data t ~seq =
+  match t.app_limit with None -> true | Some n -> seq < n
+
+let restart_rtx_timer t =
+  Sim.Timer.restart (timer_exn t) ~after:(Rto.value t.rto)
+
+let cancel_rtx_timer t = Sim.Timer.cancel (timer_exn t)
+
+let send_segment t ~seq ~retx =
+  let now = Sim.Engine.now t.engine in
+  if retx then begin
+    t.counters.Counters.retransmits <- t.counters.Counters.retransmits + 1;
+    (* Karn's rule: a retransmitted segment yields no RTT sample. *)
+    match t.timed with
+    | Some (timed_seq, _) when timed_seq = seq -> t.timed <- None
+    | Some _ | None -> ()
+  end
+  else begin
+    t.counters.Counters.segments_sent <-
+      t.counters.Counters.segments_sent + 1;
+    if t.timed = None then t.timed <- Some (seq, now)
+  end;
+  t.uid_counter <- t.uid_counter + 1;
+  let packet =
+    Net.Packet.data ~uid:t.uid_counter ~flow:t.flow ~seq
+      ~size_bytes:t.params.Params.mss ~born:now
+  in
+  if seq > t.maxseq then t.maxseq <- seq;
+  t.hooks.on_send ~time:now ~seq ~retx;
+  t.emit packet;
+  if not (Sim.Timer.is_armed (timer_exn t)) then restart_rtx_timer t
+
+let send_new_data t ~count =
+  let rec loop sent =
+    if sent >= count then sent
+    else begin
+      let seq = t.t_seqno in
+      if app_has_data t ~seq then begin
+        send_segment t ~seq ~retx:false;
+        t.t_seqno <- seq + 1;
+        loop (sent + 1)
+      end
+      else sent
+    end
+  in
+  loop 0
+
+let send_much t =
+  let budget =
+    if t.params.Params.max_burst = 0 then max_int else t.params.Params.max_burst
+  in
+  let rec loop sent =
+    if sent >= budget then ()
+    else begin
+      let seq = t.t_seqno in
+      if
+        float_of_int (outstanding t) < window t
+        && app_has_data t ~seq
+      then begin
+        send_segment t ~seq ~retx:(seq <= t.maxseq);
+        t.t_seqno <- seq + 1;
+        loop (sent + 1)
+      end
+    end
+  in
+  loop 0
+
+let open_cwnd t =
+  match t.phase with
+  | Recovery -> ()
+  | Slow_start ->
+    if t.cwnd < t.ssthresh then begin
+      (* Smooth-Start (the paper's [21]): once past ssthresh/2, grow at
+         half the exponential rate so the final doubling does not blast
+         a burst into the bottleneck queue. *)
+      let increment =
+        if t.params.Params.smooth_start && t.cwnd >= t.ssthresh /. 2.0 then 0.5
+        else 1.0
+      in
+      t.cwnd <- t.cwnd +. increment
+    end
+    else begin
+      t.phase <- Congestion_avoidance;
+      t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+    end
+  | Congestion_avoidance -> t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+
+let halve_ssthresh t =
+  t.ssthresh <- Float.max (window t /. 2.0) 2.0;
+  t.ssthresh
+
+let check_complete t =
+  match t.app_limit with
+  | Some n when (not t.completed) && t.una >= n - 1 ->
+    t.completed <- true;
+    cancel_rtx_timer t;
+    t.on_complete ()
+  | Some _ | None -> ()
+
+let advance_una t ~ackno =
+  assert (ackno > t.una);
+  let now = Sim.Engine.now t.engine in
+  t.counters.Counters.acks_received <- t.counters.Counters.acks_received + 1;
+  (match t.timed with
+  | Some (seq, sent_at) when ackno >= seq ->
+    Rto.sample t.rto (now -. sent_at);
+    t.timed <- None
+  | Some _ | None -> ());
+  t.una <- ackno;
+  (* After a go-back-N rollback, a large cumulative ACK can overtake the
+     send point; new transmission resumes from the ACK. *)
+  if t.t_seqno < t.una + 1 then t.t_seqno <- t.una + 1;
+  if outstanding t > 0 then restart_rtx_timer t else cancel_rtx_timer t;
+  t.hooks.on_ack ~time:now ~ackno;
+  check_complete t
+
+let may_fast_retransmit t = t.una > t.recover_mark
+
+let limited_transmit t =
+  if
+    t.params.Params.limited_transmit
+    && t.dupacks >= 1 && t.dupacks <= 2
+    && app_has_data t ~seq:t.t_seqno
+    && float_of_int (outstanding t) < window t +. 2.0
+  then begin
+    send_segment t ~seq:t.t_seqno ~retx:false;
+    t.t_seqno <- t.t_seqno + 1
+  end
+
+let note_dupack t =
+  t.counters.Counters.dupacks_received <-
+    t.counters.Counters.dupacks_received + 1;
+  let now = Sim.Engine.now t.engine in
+  t.hooks.on_ack ~time:now ~ackno:t.una
+
+let timeout_common t =
+  let now = Sim.Engine.now t.engine in
+  t.counters.Counters.timeouts <- t.counters.Counters.timeouts + 1;
+  t.hooks.on_timeout ~time:now;
+  Rto.backoff t.rto;
+  t.ssthresh <- Float.max (window t /. 2.0) 2.0;
+  t.cwnd <- 1.0;
+  t.phase <- Slow_start;
+  t.dupacks <- 0;
+  t.timed <- None;
+  t.recover_mark <- t.maxseq;
+  (* Go-back-N: roll the send point back and retransmit the first
+     outstanding segment; slow start rebuilds the rest. *)
+  let first = t.una + 1 in
+  t.t_seqno <- first;
+  if first <= t.maxseq || app_has_data t ~seq:first then begin
+    send_segment t ~seq:first ~retx:(first <= t.maxseq);
+    t.t_seqno <- first + 1;
+    restart_rtx_timer t
+  end
+
+let set_app_limit t limit = t.app_limit <- limit
+
+let start t = send_much t

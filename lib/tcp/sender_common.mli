@@ -1,0 +1,143 @@
+(** Shared TCP-sender state and mechanics.
+
+    Every congestion-control variant (Tahoe, Reno, New-Reno, SACK and the
+    paper's Robust Recovery) owns one of these records and layers its
+    ACK-processing policy on top. The record is deliberately transparent:
+    variants mutate it directly, and white-box tests read it.
+
+    Conventions (packet-unit sequence numbers, as in ns-2):
+    - [una] is the highest cumulatively acknowledged segment, [-1]
+      before any ACK; segment [una + 1] is the lowest outstanding one.
+    - [t_seqno] is the next never-yet-sent segment.
+    - [maxseq] is the highest segment ever transmitted.
+    - [cwnd] and [ssthresh] are in segments; the usable window is
+      [min cwnd rwnd]. *)
+
+type phase = Slow_start | Congestion_avoidance | Recovery
+
+type hooks = {
+  mutable on_send : time:float -> seq:int -> retx:bool -> unit;
+  mutable on_ack : time:float -> ackno:int -> unit;
+  mutable on_recovery_enter : time:float -> unit;
+  mutable on_recovery_exit : time:float -> unit;
+  mutable on_timeout : time:float -> unit;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  flow : int;
+  emit : Net.Packet.t -> unit;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable una : int;
+  mutable t_seqno : int;
+  mutable maxseq : int;
+  mutable dupacks : int;
+  mutable phase : phase;
+  mutable app_limit : int option;
+      (** [Some n]: segments [0 .. n-1] are available; [None]: infinite
+          source *)
+  rto : Rto.t;
+  mutable rtx_timer : Sim.Timer.t option;  (** set once at construction *)
+  mutable timed : (int * float) option;
+      (** segment being RTT-timed and its first-transmission time *)
+  mutable uid_counter : int;
+  mutable recover_mark : int;
+      (** [maxseq] at the most recent loss-recovery event; 3 dup ACKs
+          re-trigger fast retransmit only once the cumulative ACK has
+          passed it (the ns-2 "bugfix": duplicate ACKs caused by
+          go-back-N resends must not re-enter recovery) *)
+  counters : Counters.t;
+  hooks : hooks;
+  mutable completed : bool;
+  mutable on_complete : unit -> unit;
+}
+
+(** [create ~engine ~params ~flow ~emit ~timeout_action ()] builds the
+    state with an armed-on-demand retransmission timer firing
+    [timeout_action] (the variant's timeout policy — usually
+    {!timeout_common} plus variant cleanup). *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  timeout_action:(t -> unit) ->
+  unit ->
+  t
+
+(** [window t] is the usable send window in segments. *)
+val window : t -> float
+
+(** [outstanding t] is the number of unacknowledged segments in flight
+    from the cumulative-ACK viewpoint: [t_seqno - una - 1]. *)
+val outstanding : t -> int
+
+(** [app_has_data t ~seq] reports whether the application has produced
+    segment [seq]. *)
+val app_has_data : t -> seq:int -> bool
+
+(** [send_segment t ~seq ~retx] transmits segment [seq], stamping
+    counters, RTT timing (first transmissions only — Karn's rule:
+    retransmitting the timed segment cancels its timing), [maxseq], and
+    (re)arming the retransmission timer. *)
+val send_segment : t -> seq:int -> retx:bool -> unit
+
+(** [send_new_data t ~count] transmits up to [count] segments beyond
+    [maxseq], app-data permitting; used by recovery algorithms that
+    clock new data off duplicate ACKs rather than the window. Returns
+    how many were sent. *)
+val send_new_data : t -> count:int -> int
+
+(** [send_much t] sends new segments while the window allows and app
+    data exists, respecting [max_burst] (when non-zero). *)
+val send_much : t -> unit
+
+(** [open_cwnd t] applies one ACK's worth of window growth: +1 segment
+    in slow start, +1/cwnd in congestion avoidance. No-op in
+    {!Recovery}. *)
+val open_cwnd : t -> unit
+
+(** [halve_ssthresh t] sets [ssthresh <- max (window /. 2) 2.] — the
+    standard multiplicative-decrease target — and returns it. *)
+val halve_ssthresh : t -> float
+
+(** [advance_una t ~ackno] moves the cumulative-ACK point forward,
+    samples the RTT when the timed segment is covered, restarts the
+    retransmission timer (or cancels it when nothing is outstanding),
+    fires the completion callback when a finite source finishes, and
+    bumps ACK counters + hooks. Call with [ackno > una]. *)
+val advance_una : t -> ackno:int -> unit
+
+(** [note_dupack t] bumps duplicate-ACK counters and hooks. *)
+val note_dupack : t -> unit
+
+(** [may_fast_retransmit t] reports whether a fresh burst of duplicate
+    ACKs is trustworthy evidence of a new loss (see [recover_mark]). *)
+val may_fast_retransmit : t -> bool
+
+(** [limited_transmit t] implements RFC 3042 when enabled in params: on
+    the first two duplicate ACKs (outside recovery), send one new
+    segment, allowing the flight to exceed [cwnd] by up to two. Call it
+    from the variant's duplicate-ACK path after bumping [dupacks]. *)
+val limited_transmit : t -> unit
+
+(** [timeout_common t] is the variant-independent part of an RTO expiry:
+    counters, hook, RTO backoff, [ssthresh <- max (window/2) 2],
+    [cwnd <- 1], slow start, go-back-N rollback of [t_seqno], Karn reset
+    and retransmission of the first outstanding segment. *)
+val timeout_common : t -> unit
+
+(** [restart_rtx_timer t] re-arms the timer for the current RTO. *)
+val restart_rtx_timer : t -> unit
+
+(** [cancel_rtx_timer t] disarms the timer. *)
+val cancel_rtx_timer : t -> unit
+
+(** [set_app_limit t limit] updates the data horizon ([None] = infinite
+    source). Does not by itself trigger sending. *)
+val set_app_limit : t -> int option -> unit
+
+(** [start t] begins transmission (initial [send_much]). *)
+val start : t -> unit

@@ -1,0 +1,62 @@
+(* Disjoint, non-adjacent, ascending inclusive intervals. *)
+type t = { mutable intervals : (int * int) list }
+
+let create () = { intervals = [] }
+
+let intervals t = t.intervals
+
+let is_empty t = t.intervals = []
+
+let cardinal t =
+  List.fold_left (fun acc (first, last) -> acc + last - first + 1) 0 t.intervals
+
+let mem t seq =
+  List.exists (fun (first, last) -> first <= seq && seq <= last) t.intervals
+
+let add_range t ~first ~last =
+  if first > last then invalid_arg "Seqset.add_range: first > last";
+  (* Split the list around the insertion, merging every interval that
+     overlaps or is adjacent to [first - 1, last + 1]. *)
+  let rec insert acc lo hi = function
+    | [] -> List.rev_append acc [ (lo, hi) ]
+    | ((f, l) as iv) :: rest ->
+      if l < lo - 1 then insert (iv :: acc) lo hi rest
+      else if f > hi + 1 then List.rev_append acc ((lo, hi) :: iv :: rest)
+      else insert acc (min f lo) (max l hi) rest
+  in
+  t.intervals <- insert [] first last t.intervals
+
+let add t seq =
+  if mem t seq then false
+  else begin
+    add_range t ~first:seq ~last:seq;
+    true
+  end
+
+let remove_below t bound =
+  let rec prune = function
+    | [] -> []
+    | (first, last) :: rest ->
+      if last < bound then prune rest
+      else if first < bound then (bound, last) :: rest
+      else (first, last) :: rest
+  in
+  t.intervals <- prune t.intervals
+
+let max_elt t =
+  let rec last = function
+    | [] -> None
+    | [ (_, l) ] -> Some l
+    | _ :: rest -> last rest
+  in
+  last t.intervals
+
+let first_gap_above t bound =
+  let rec scan candidate = function
+    | [] -> candidate
+    | (first, last) :: rest ->
+      if candidate < first then candidate else scan (max candidate (last + 1)) rest
+  in
+  scan bound t.intervals
+
+let clear t = t.intervals <- []

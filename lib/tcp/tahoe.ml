@@ -1,0 +1,45 @@
+open Sender_common
+
+let fast_retransmit base =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  base.recover_mark <- base.maxseq;
+  ignore (halve_ssthresh base : float);
+  base.cwnd <- 1.0;
+  base.phase <- Slow_start;
+  base.timed <- None;
+  (* Tahoe goes back to the loss point and slow-starts from there. *)
+  let first = base.una + 1 in
+  base.t_seqno <- first;
+  send_segment base ~seq:first ~retx:true;
+  base.t_seqno <- first + 1;
+  restart_rtx_timer base
+
+let recv_ack base ~ackno =
+  if ackno > base.una then begin
+    base.dupacks <- 0;
+    advance_una base ~ackno;
+    open_cwnd base;
+    send_much base
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if
+      base.dupacks = base.params.Params.dupack_threshold
+      && may_fast_retransmit base
+    then fast_retransmit base
+    else limited_transmit base
+  end
+
+let create ~engine ~params ~flow ~emit () =
+  let base =
+    create ~engine ~params ~flow ~emit ~timeout_action:timeout_common ()
+  in
+  let deliver_ack packet =
+    match packet.Net.Packet.kind with
+    | Net.Packet.Data _ -> invalid_arg "Tahoe: data packet delivered to sender"
+    | Net.Packet.Ack { ackno; _ } ->
+      if not base.completed then recv_ack base ~ackno
+  in
+  { Agent.name = "tahoe"; flow; deliver_ack; base; wants_sack = false }

@@ -1,0 +1,14 @@
+(** TCP Tahoe sender: slow start, congestion avoidance and fast
+    retransmit, but no fast recovery — after three duplicate ACKs the
+    window collapses to one segment and slow start repairs the loss
+    (Jacobson 1988). The oldest baseline in the paper's comparison. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds a Tahoe sender that
+    injects packets through [emit]. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

@@ -1,0 +1,26 @@
+(** FTP application model — the paper's traffic source.
+
+    A persistent FTP has an infinite backlog; a file transfer supplies a
+    fixed number of bytes and reports completion (used for Table 5's
+    transfer-delay measurement). *)
+
+type completion = { started : float; finished : float }
+
+(** [persistent ~engine ~agent ~at] starts an infinite-backlog source on
+    [agent] at time [at]. *)
+val persistent : engine:Sim.Engine.t -> agent:Tcp.Agent.t -> at:float -> unit
+
+(** [file ~engine ~agent ~at ~bytes ~on_complete] transfers [bytes]
+    (rounded up to whole segments) starting at [at]; [on_complete] fires
+    when the last byte is cumulatively acknowledged. *)
+val file :
+  engine:Sim.Engine.t ->
+  agent:Tcp.Agent.t ->
+  at:float ->
+  bytes:int ->
+  on_complete:(completion -> unit) ->
+  unit
+
+(** [segments_of_bytes ~mss bytes] is the segment count a [bytes]-long
+    file occupies. *)
+val segments_of_bytes : mss:int -> int -> int

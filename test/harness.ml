@@ -1,0 +1,67 @@
+(* Scripted-network harness for white-box TCP sender tests.
+
+   Instead of a simulated network, the test holds the wire: packets the
+   sender emits are logged, and the test hand-crafts the ACKs it
+   delivers back. Time only advances when the test says so, which makes
+   RTO behaviour scriptable too. *)
+
+type send = { at : float; seq : int; retx : bool }
+
+type t = {
+  engine : Sim.Engine.t;
+  agent : Tcp.Agent.t;
+  log : send list ref;  (* newest first *)
+  mutable ack_uid : int;
+}
+
+let params = { Tcp.Params.default with max_burst = 0 }
+
+let make ?(params = params) create =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let agent =
+    create ~engine ~params ~flow:0 ~emit:(fun (_ : Net.Packet.t) -> ()) ()
+  in
+  let hooks = agent.Tcp.Agent.base.Tcp.Sender_common.hooks in
+  hooks.Tcp.Sender_common.on_send <-
+    (fun ~time ~seq ~retx -> log := { at = time; seq; retx } :: !log);
+  { engine; agent; log; ack_uid = 0 }
+
+let base t = t.agent.Tcp.Agent.base
+
+(* Drain the send log since the last call, oldest first. *)
+let sent t =
+  let out = List.rev !(t.log) in
+  t.log := [];
+  out
+
+let sent_seqs t = List.map (fun s -> s.seq) (sent t)
+
+let deliver_ack ?(sack = []) t ackno =
+  t.ack_uid <- t.ack_uid + 1;
+  t.agent.Tcp.Agent.deliver_ack
+    (Net.Packet.ack ~uid:t.ack_uid ~flow:0 ~ackno ~sack ~size_bytes:40
+       ~born:(Sim.Engine.now t.engine) ())
+
+(* A duplicate ACK repeats the current cumulative point. *)
+let dupack ?sack t = deliver_ack ?sack t (base t).Tcp.Sender_common.una
+
+let dupacks ?sack t n =
+  for _ = 1 to n do
+    dupack ?sack t
+  done
+
+let advance t ~by =
+  Sim.Engine.run_until t.engine ~time:(Sim.Engine.now t.engine +. by)
+
+let start ?(segments = 1000) t =
+  Tcp.Agent.supply_data t.agent ~segments;
+  Tcp.Agent.start t.agent
+
+(* Put the sender in a clean, fully-loaded steady state: cwnd = [target]
+   and exactly [target] segments (0 .. target-1) outstanding, none yet
+   acknowledged. White-box tests then script losses against a full
+   window, the situation every recovery algorithm is specified in. *)
+let open_window t ~target =
+  (base t).Tcp.Sender_common.cwnd <- float_of_int target;
+  start ~segments:1_000_000 t

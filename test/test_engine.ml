@@ -1,0 +1,186 @@
+(* Discrete-event engine and timer tests: time ordering, simultaneity,
+   cancellation, run_until semantics, stop, and the restartable timer. *)
+
+let test_runs_in_time_order () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.Engine.now engine) :: !log in
+  ignore (Sim.Engine.schedule_at engine ~time:3.0 (note "c"));
+  ignore (Sim.Engine.schedule_at engine ~time:1.0 (note "a"));
+  ignore (Sim.Engine.schedule_at engine ~time:2.0 (note "b"));
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and clock"
+    [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ]
+    (List.rev !log)
+
+let test_simultaneous_fifo () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule_at engine ~time:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_schedule_during_run () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:1.0 (fun () ->
+         log := "first" :: !log;
+         ignore
+           (Sim.Engine.schedule_after engine ~delay:0.5 (fun () ->
+                log := "nested" :: !log))));
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "nested" [ "first"; "nested" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 1.5 (Sim.Engine.now engine)
+
+let test_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref false in
+  let handle = Sim.Engine.schedule_at engine ~time:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel engine handle;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check int) "no pending" 0 (Sim.Engine.pending engine)
+
+let test_cancel_idempotent () =
+  let engine = Sim.Engine.create () in
+  let handle = Sim.Engine.schedule_at engine ~time:1.0 (fun () -> ()) in
+  Sim.Engine.cancel engine handle;
+  Sim.Engine.cancel engine handle;
+  Alcotest.(check int) "pending not negative" 0 (Sim.Engine.pending engine)
+
+let test_past_scheduling_rejected () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_at engine ~time:2.0 (fun () -> ()));
+  Sim.Engine.run engine;
+  Alcotest.check_raises "past" (Invalid_argument
+    "Engine.schedule_at: time 1 is before now 2")
+    (fun () -> ignore (Sim.Engine.schedule_at engine ~time:1.0 (fun () -> ())))
+
+let test_negative_delay_rejected () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      ignore (Sim.Engine.schedule_after engine ~delay:(-1.0) (fun () -> ())))
+
+let test_run_until () =
+  let engine = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t ->
+      ignore
+        (Sim.Engine.schedule_at engine ~time:t (fun () -> fired := t :: !fired)))
+    [ 1.0; 2.0; 3.0 ];
+  Sim.Engine.run_until engine ~time:2.5;
+  Alcotest.(check (list (float 1e-9))) "only early" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock advanced to bound" 2.5 (Sim.Engine.now engine);
+  Sim.Engine.run_until engine ~time:5.0;
+  Alcotest.(check (list (float 1e-9))) "rest" [ 1.0; 2.0; 3.0 ] (List.rev !fired)
+
+let test_stop () =
+  let engine = Sim.Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule_after engine ~delay:1.0 (fun () ->
+           incr count;
+           if !count = 2 then Sim.Engine.stop engine))
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "stopped after 2" 2 !count
+
+let prop_random_schedule_fires_in_order =
+  QCheck2.Test.make ~name:"random schedules fire in time order" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 60) (float_bound_inclusive 100.0))
+    (fun times ->
+      let engine = Sim.Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun time ->
+          ignore
+            (Sim.Engine.schedule_at engine ~time (fun () ->
+                 fired := Sim.Engine.now engine :: !fired)))
+        times;
+      Sim.Engine.run engine;
+      List.rev !fired = List.sort compare times)
+
+let test_timer_basic () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0.0 in
+  let timer =
+    Sim.Timer.create engine ~callback:(fun () -> fired := Sim.Engine.now engine)
+  in
+  Sim.Timer.start timer ~after:2.0;
+  Alcotest.(check bool) "armed" true (Sim.Timer.is_armed timer);
+  Sim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "fired at 2" 2.0 !fired;
+  Alcotest.(check bool) "disarmed after fire" false (Sim.Timer.is_armed timer)
+
+let test_timer_restart () =
+  let engine = Sim.Engine.create () in
+  let fired = ref [] in
+  let timer =
+    Sim.Timer.create engine ~callback:(fun () ->
+        fired := Sim.Engine.now engine :: !fired)
+  in
+  Sim.Timer.start timer ~after:2.0;
+  ignore
+    (Sim.Engine.schedule_at engine ~time:1.0 (fun () ->
+         Sim.Timer.restart timer ~after:2.0));
+  Sim.Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "only the restarted expiry" [ 3.0 ] !fired
+
+let test_timer_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref false in
+  let timer = Sim.Timer.create engine ~callback:(fun () -> fired := true) in
+  Sim.Timer.start timer ~after:1.0;
+  Sim.Timer.cancel timer;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "cancelled" false !fired;
+  (* Cancelling when idle is a no-op. *)
+  Sim.Timer.cancel timer
+
+let test_timer_double_start_rejected () =
+  let engine = Sim.Engine.create () in
+  let timer = Sim.Timer.create engine ~callback:(fun () -> ()) in
+  Sim.Timer.start timer ~after:1.0;
+  Alcotest.check_raises "double start"
+    (Invalid_argument "Timer.start: already armed") (fun () ->
+      Sim.Timer.start timer ~after:2.0)
+
+let test_timer_expiry () =
+  let engine = Sim.Engine.create () in
+  let timer = Sim.Timer.create engine ~callback:(fun () -> ()) in
+  Alcotest.(check bool) "no expiry when idle" true (Sim.Timer.expiry timer = None);
+  Sim.Timer.start timer ~after:4.0;
+  Alcotest.(check bool) "expiry time" true (Sim.Timer.expiry timer = Some 4.0)
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+        Alcotest.test_case "simultaneous fifo" `Quick test_simultaneous_fifo;
+        Alcotest.test_case "schedule during run" `Quick test_schedule_during_run;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+        Alcotest.test_case "past rejected" `Quick test_past_scheduling_rejected;
+        Alcotest.test_case "negative delay rejected" `Quick
+          test_negative_delay_rejected;
+        Alcotest.test_case "run_until" `Quick test_run_until;
+        Alcotest.test_case "stop" `Quick test_stop;
+        QCheck_alcotest.to_alcotest prop_random_schedule_fires_in_order;
+      ] );
+    ( "timer",
+      [
+        Alcotest.test_case "basic" `Quick test_timer_basic;
+        Alcotest.test_case "restart" `Quick test_timer_restart;
+        Alcotest.test_case "cancel" `Quick test_timer_cancel;
+        Alcotest.test_case "double start" `Quick test_timer_double_start_rejected;
+        Alcotest.test_case "expiry" `Quick test_timer_expiry;
+      ] );
+  ]

@@ -1,0 +1,362 @@
+(* Experiment-harness smoke and shape tests: each paper artifact runs
+   and exhibits its qualitative claim. Kept small enough for CI. *)
+
+let find_row outcome variant =
+  List.find
+    (fun row -> row.Experiments.Fig5.variant = variant)
+    outcome.Experiments.Fig5.rows
+
+let test_fig5_shape () =
+  let outcome = Experiments.Fig5.run ~drops:6 () in
+  let bw v = (find_row outcome v).Experiments.Fig5.throughput_bps in
+  Alcotest.(check bool) "rr > newreno" true
+    (bw Core.Variant.Rr > bw Core.Variant.Newreno);
+  Alcotest.(check bool) "sack > newreno" true
+    (bw Core.Variant.Sack > bw Core.Variant.Newreno);
+  Alcotest.(check bool) "tahoe > newreno at 6 drops" true
+    (bw Core.Variant.Tahoe > bw Core.Variant.Newreno);
+  Alcotest.(check bool) "rr within 25% of sack" true
+    (bw Core.Variant.Rr > 0.75 *. bw Core.Variant.Sack);
+  let rr = find_row outcome Core.Variant.Rr in
+  Alcotest.(check int) "rr: no timeouts" 0 rr.Experiments.Fig5.timeouts;
+  Alcotest.(check int) "rr: exactly the 6 retransmissions" 6
+    rr.Experiments.Fig5.retransmits
+
+let test_fig5_3drop_recovers () =
+  let outcome = Experiments.Fig5.run ~drops:3 () in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (Core.Variant.name row.Experiments.Fig5.variant ^ " recovered")
+        true
+        (row.Experiments.Fig5.recovery_seconds <> None))
+    outcome.Experiments.Fig5.rows
+
+let test_fig5_report_renders () =
+  let report = Experiments.Fig5.report (Experiments.Fig5.run ~drops:3 ()) in
+  Alcotest.(check bool) "mentions figure" true
+    (String.length report > 100 && String.sub report 0 8 = "Figure 5")
+
+let test_fig6_shape () =
+  (* The paper's 6-second horizon; shorter runs are dominated by the
+     staggered start-up transient. *)
+  let outcome =
+    Experiments.Fig6.run ~variants:Core.Variant.[ Newreno; Rr ] ~duration:6.0 ()
+  in
+  match outcome.Experiments.Fig6.results with
+  | [ newreno; rr ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "rr flow1 %.0f >= newreno %.0f"
+         rr.Experiments.Fig6.throughput_bps
+         newreno.Experiments.Fig6.throughput_bps)
+      true
+      (rr.Experiments.Fig6.throughput_bps
+      >= newreno.Experiments.Fig6.throughput_bps);
+    Alcotest.(check bool) "sends recorded" true
+      (List.length rr.Experiments.Fig6.sends > 50)
+  | _ -> Alcotest.fail "two results expected"
+
+let test_fig7_point () =
+  let outcome =
+    Experiments.Fig7.run ~loss_rates:[ 0.02 ] ~seeds:[ 3L ] ~duration:40.0 ()
+  in
+  match outcome.Experiments.Fig7.points with
+  | [ point ] ->
+    Alcotest.(check (float 1e-6)) "model" (sqrt 1.5 /. sqrt 0.02)
+      point.Experiments.Fig7.model_window;
+    List.iter
+      (fun (variant, window, _) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s window %.1f sane" (Core.Variant.name variant)
+             window)
+          true
+          (window > 2.0 && window < 21.0))
+      point.Experiments.Fig7.measured
+  | _ -> Alcotest.fail "one point expected"
+
+let test_fig7_droop_at_high_loss () =
+  let outcome =
+    Experiments.Fig7.run ~loss_rates:[ 0.005; 0.1 ]
+      ~variants:[ Core.Variant.Rr ] ~seeds:[ 3L ] ~duration:60.0 ()
+  in
+  match outcome.Experiments.Fig7.points with
+  | [ low; high ] ->
+    let window p =
+      match p.Experiments.Fig7.measured with
+      | [ (_, w, _) ] -> w
+      | _ -> Alcotest.fail "one variant"
+    in
+    let ratio_low = window low /. low.Experiments.Fig7.model_window in
+    let ratio_high = window high /. high.Experiments.Fig7.model_window in
+    Alcotest.(check bool)
+      (Printf.sprintf "fit degrades: %.2f -> %.2f" ratio_low ratio_high)
+      true (ratio_high < ratio_low)
+  | _ -> Alcotest.fail "two points expected"
+
+let test_scenario_rtt_estimate () =
+  let rtt =
+    Experiments.Scenario.rtt_estimate
+      (Net.Dumbbell.paper_config ~flows:1)
+      ~mss:1000 ~ack_size:40
+  in
+  (* The §4 nominal RTT: about 200 ms. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rtt %.4f near 0.2 s" rtt)
+    true
+    (rtt > 0.19 && rtt < 0.22)
+
+let test_scenario_flow_count_checked () =
+  let spec =
+    Experiments.Scenario.make
+      ~config:(Net.Dumbbell.paper_config ~flows:2)
+      ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
+      ~duration:1.0 ()
+  in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Scenario.run: flow specs do not match topology width")
+    (fun () -> ignore (Experiments.Scenario.run spec))
+
+let test_ack_loss_shape () =
+  let outcome =
+    Experiments.Ack_loss.run ~rates:[ 0.0; 0.2 ] ~seeds:[ 2L; 19L ]
+      ~variants:Core.Variant.[ Newreno; Rr ] ()
+  in
+  match outcome.Experiments.Ack_loss.points with
+  | [ clean; lossy ] ->
+    let goodput point variant =
+      let cell =
+        List.find
+          (fun c -> c.Experiments.Ack_loss.variant = variant)
+          point.Experiments.Ack_loss.cells
+      in
+      cell.Experiments.Ack_loss.throughput_bps
+    in
+    List.iter
+      (fun v ->
+        Alcotest.(check bool)
+          (Core.Variant.name v ^ " degrades under ack loss")
+          true
+          (goodput lossy v < goodput clean v))
+      Core.Variant.[ Newreno; Rr ]
+  | _ -> Alcotest.fail "two points expected"
+
+let test_sync_shape () =
+  let outcome =
+    Experiments.Sync.run ~variants:[ Core.Variant.Reno ] ~duration:20.0 ()
+  in
+  match outcome.Experiments.Sync.rows with
+  | [ droptail; red ] ->
+    Alcotest.(check string) "order" "drop-tail" droptail.Experiments.Sync.gateway;
+    Alcotest.(check bool)
+      (Printf.sprintf "droptail sync %.2f > red %.2f"
+         droptail.Experiments.Sync.sync_index red.Experiments.Sync.sync_index)
+      true
+      (droptail.Experiments.Sync.sync_index > red.Experiments.Sync.sync_index);
+    Alcotest.(check bool) "red spreads losses over more events" true
+      (red.Experiments.Sync.loss_events > droptail.Experiments.Sync.loss_events)
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_smooth_shape () =
+  let outcome = Experiments.Smooth.run ~variants:[ Core.Variant.Rr ] () in
+  match outcome.Experiments.Smooth.rows with
+  | [ plain; smooth ] ->
+    Alcotest.(check bool) "flag wiring" true
+      ((not plain.Experiments.Smooth.smooth) && smooth.Experiments.Smooth.smooth);
+    Alcotest.(check bool)
+      (Printf.sprintf "smooth start-up drops %d <= plain %d"
+         smooth.Experiments.Smooth.startup_drops
+         plain.Experiments.Smooth.startup_drops)
+      true
+      (smooth.Experiments.Smooth.startup_drops
+      <= plain.Experiments.Smooth.startup_drops)
+  | _ -> Alcotest.fail "two rows expected"
+
+let test_fig7_delack_model_constant () =
+  let outcome =
+    Experiments.Fig7.run ~loss_rates:[ 0.02 ] ~variants:[ Core.Variant.Rr ]
+      ~seeds:[ 3L ] ~duration:20.0 ~delayed_ack:true ()
+  in
+  Alcotest.(check (float 1e-9)) "delack constant" (sqrt 0.75)
+    outcome.Experiments.Fig7.c_model
+
+let run_tiny_scenario () =
+  Experiments.Scenario.run
+    (Experiments.Scenario.make
+       ~config:(Net.Dumbbell.paper_config ~flows:1)
+       ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
+       ~params:{ Tcp.Params.default with rwnd = 20 }
+       ~duration:3.0 ~monitor_queue:0.1
+       ~forced_drops:[ { Net.Loss.flow = 0; seq = 5; occurrence = 1 } ]
+       ())
+
+let test_tracefile_format () =
+  let t = run_tiny_scenario () in
+  let trace = Experiments.Scenario.tracefile t in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' trace)
+  in
+  Alcotest.(check bool) "has events" true (List.length lines > 20);
+  (* Every line parses into the 11 ns-2 fields, and times ascend. *)
+  let parse line =
+    match String.split_on_char ' ' line with
+    | [ event; time; _; _; kind; size; _; flow; _; _; seq ] ->
+      Alcotest.(check bool) "event tag" true
+        (List.mem event [ "+"; "r"; "d" ]);
+      Alcotest.(check bool) "kind" true (kind = "tcp" || kind = "ack");
+      ignore (int_of_string size);
+      ignore (int_of_string flow);
+      ignore (int_of_string seq);
+      float_of_string time
+    | _ -> Alcotest.fail ("unparsable line: " ^ line)
+  in
+  let times = List.map parse lines in
+  let rec ascending = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a <= b && ascending rest
+  in
+  Alcotest.(check bool) "time ordered" true (ascending times);
+  Alcotest.(check bool) "the forced drop appears" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = 'd') lines)
+
+let test_queue_occupancy_collected () =
+  let t = run_tiny_scenario () in
+  match t.Experiments.Scenario.queue_occupancy with
+  | Some series ->
+    (* ~One sample per 0.1 s over 3 s (floating-point accumulation may
+       shave the final tick). *)
+    let n = Stats.Series.length series in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d samples" n)
+      true
+      (n >= 29 && n <= 31)
+  | None -> Alcotest.fail "monitoring requested"
+
+let test_sync_queue_cov_positive () =
+  let outcome =
+    Experiments.Sync.run ~variants:[ Core.Variant.Reno ] ~duration:15.0 ()
+  in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (row.Experiments.Sync.gateway ^ " queue varies")
+        true
+        (row.Experiments.Sync.queue_cov > 0.0))
+    outcome.Experiments.Sync.rows
+
+let test_fig5_background_runs () =
+  let outcome =
+    Experiments.Fig5.run_background
+      ~variants:Core.Variant.[ Newreno; Rr ] ()
+  in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (Core.Variant.name row.Experiments.Fig5.b_variant ^ " finished")
+        true
+        (row.Experiments.Fig5.transfer_seconds <> None))
+    outcome.Experiments.Fig5.b_rows
+
+let test_table5_limited_transmit_restores_case4 () =
+  (* The RFC 3042 extension restores fast retransmit at tiny windows;
+     with it, the lone RR flow of case 4 beats the homogeneous-Reno
+     baseline of case 1, the paper's §5 ordering. *)
+  let outcome = Experiments.Table5.run ~limited_transmit:true () in
+  let delay label =
+    let case =
+      List.find (fun c -> c.Experiments.Table5.label = label)
+        outcome.Experiments.Table5.cases
+    in
+    match case.Experiments.Table5.transfer_delay with
+    | Some d -> d
+    | None -> Alcotest.fail (label ^ " unfinished")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "case4 %.1f < case1 %.1f" (delay "case 4") (delay "case 1"))
+    true
+    (delay "case 4" < delay "case 1")
+
+let test_vegas_claim_shape () =
+  let outcome = Experiments.Vegas_claim.run () in
+  let goodput label =
+    let row =
+      List.find (fun r -> r.Experiments.Vegas_claim.label = label)
+        outcome.Experiments.Vegas_claim.rows
+    in
+    row.Experiments.Vegas_claim.throughput_bps
+  in
+  (* [8]'s claim: the recovery mechanism carries the gain. *)
+  Alcotest.(check bool) "full vegas > reno" true
+    (goodput "vegas (full)" > goodput "reno");
+  Alcotest.(check bool) "recovery-only captures most of the gain" true
+    (goodput "vegas recovery only" > 0.8 *. goodput "vegas (full)");
+  Alcotest.(check bool) "avoidance-only does not beat reno's recovery" true
+    (goodput "vegas avoidance only" < goodput "vegas (full)")
+
+let test_rtt_fairness_shape () =
+  let outcome =
+    Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ] ~duration:60.0 ()
+  in
+  match outcome.Experiments.Rtt_fairness.rows with
+  | [ row ] ->
+    (* §5: RR converges to the fair share when RTTs are equal. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "equal-RTT Jain %.3f ~ 1"
+         row.Experiments.Rtt_fairness.equal_rtt_jain)
+      true
+      (row.Experiments.Rtt_fairness.equal_rtt_jain > 0.95);
+    Alcotest.(check bool) "hetero RTTs are less fair" true
+      (row.Experiments.Rtt_fairness.hetero_jain
+      <= row.Experiments.Rtt_fairness.equal_rtt_jain)
+  | _ -> Alcotest.fail "one row expected"
+
+let test_sensitivity_ordering () =
+  let outcome =
+    Experiments.Sensitivity.run ~buffers:[ 4; 25 ]
+      ~delays:[ Sim.Units.ms 96.0 ] ()
+  in
+  Alcotest.(check bool) "RR > New-Reno in every cell" true
+    (Experiments.Sensitivity.ordering_holds outcome);
+  Alcotest.(check int) "grid size" 2
+    (List.length outcome.Experiments.Sensitivity.cells)
+
+let test_ablation_runs () =
+  let outcome = Experiments.Ablation.run ~drops:3 () in
+  Alcotest.(check int) "four designs" 4 (List.length outcome.Experiments.Ablation.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (row.Experiments.Ablation.label ^ " produced throughput")
+        true
+        (row.Experiments.Ablation.throughput_bps > 0.0))
+    outcome.Experiments.Ablation.rows
+
+let suite =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "fig5 shape" `Quick test_fig5_shape;
+        Alcotest.test_case "fig5 3-drop recovers" `Quick test_fig5_3drop_recovers;
+        Alcotest.test_case "fig5 report" `Quick test_fig5_report_renders;
+        Alcotest.test_case "fig6 shape" `Quick test_fig6_shape;
+        Alcotest.test_case "fig7 point" `Quick test_fig7_point;
+        Alcotest.test_case "fig7 droop" `Quick test_fig7_droop_at_high_loss;
+        Alcotest.test_case "scenario rtt" `Quick test_scenario_rtt_estimate;
+        Alcotest.test_case "scenario validation" `Quick
+          test_scenario_flow_count_checked;
+        Alcotest.test_case "ablation" `Quick test_ablation_runs;
+        Alcotest.test_case "ack-loss shape" `Quick test_ack_loss_shape;
+        Alcotest.test_case "sync shape" `Quick test_sync_shape;
+        Alcotest.test_case "smooth shape" `Quick test_smooth_shape;
+        Alcotest.test_case "fig7 delack constant" `Quick
+          test_fig7_delack_model_constant;
+        Alcotest.test_case "tracefile format" `Quick test_tracefile_format;
+        Alcotest.test_case "queue occupancy" `Quick test_queue_occupancy_collected;
+        Alcotest.test_case "sync queue cov" `Quick test_sync_queue_cov_positive;
+        Alcotest.test_case "fig5 background mode" `Quick test_fig5_background_runs;
+        Alcotest.test_case "table5 limited transmit" `Quick
+          test_table5_limited_transmit_restores_case4;
+        Alcotest.test_case "vegas decomposition" `Quick test_vegas_claim_shape;
+        Alcotest.test_case "rtt fairness" `Quick test_rtt_fairness_shape;
+        Alcotest.test_case "sensitivity ordering" `Quick test_sensitivity_ordering;
+      ] );
+  ]

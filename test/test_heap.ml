@@ -1,0 +1,104 @@
+(* Binary-heap unit and property tests: min ordering, FIFO stability on
+   equal priorities, growth across many elements. *)
+
+let check = Alcotest.(check int)
+
+let pop_all heap =
+  let rec drain acc =
+    match Sim.Heap.pop heap with
+    | None -> List.rev acc
+    | Some (priority, value) -> drain ((priority, value) :: acc)
+  in
+  drain []
+
+let test_empty () =
+  let heap : int Sim.Heap.t = Sim.Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Sim.Heap.is_empty heap);
+  check "length" 0 (Sim.Heap.length heap);
+  Alcotest.(check bool) "peek none" true (Sim.Heap.peek heap = None);
+  Alcotest.(check bool) "pop none" true (Sim.Heap.pop heap = None)
+
+let test_ordering () =
+  let heap = Sim.Heap.create () in
+  List.iter
+    (fun priority -> Sim.Heap.push heap ~priority (int_of_float priority))
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = List.map snd (pop_all heap) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order
+
+let test_stability () =
+  let heap = Sim.Heap.create () in
+  (* All equal priorities: values must come out in insertion order. *)
+  List.iter (fun v -> Sim.Heap.push heap ~priority:1.0 v) [ 10; 20; 30; 40 ];
+  Alcotest.(check (list int))
+    "fifo on ties" [ 10; 20; 30; 40 ]
+    (List.map snd (pop_all heap))
+
+let test_mixed_stability () =
+  let heap = Sim.Heap.create () in
+  Sim.Heap.push heap ~priority:2.0 1;
+  Sim.Heap.push heap ~priority:1.0 2;
+  Sim.Heap.push heap ~priority:2.0 3;
+  Sim.Heap.push heap ~priority:1.0 4;
+  Alcotest.(check (list int))
+    "ties stay fifo among equals" [ 2; 4; 1; 3 ]
+    (List.map snd (pop_all heap))
+
+let test_peek_does_not_remove () =
+  let heap = Sim.Heap.create () in
+  Sim.Heap.push heap ~priority:1.0 7;
+  (match Sim.Heap.peek heap with
+  | Some (_, 7) -> ()
+  | Some _ | None -> Alcotest.fail "peek");
+  check "still there" 1 (Sim.Heap.length heap)
+
+let test_clear () =
+  let heap = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.push heap ~priority:(float_of_int v) v) [ 1; 2; 3 ];
+  Sim.Heap.clear heap;
+  check "cleared" 0 (Sim.Heap.length heap);
+  Sim.Heap.push heap ~priority:9.0 9;
+  check "usable after clear" 1 (Sim.Heap.length heap)
+
+let test_interleaved () =
+  let heap = Sim.Heap.create () in
+  Sim.Heap.push heap ~priority:3.0 3;
+  Sim.Heap.push heap ~priority:1.0 1;
+  (match Sim.Heap.pop heap with
+  | Some (_, 1) -> ()
+  | Some _ | None -> Alcotest.fail "pop 1");
+  Sim.Heap.push heap ~priority:2.0 2;
+  Alcotest.(check (list int)) "rest" [ 2; 3 ] (List.map snd (pop_all heap))
+
+let prop_sorted_output =
+  QCheck2.Test.make ~name:"heap pops in priority order"
+    QCheck2.Gen.(list (float_bound_inclusive 1000.0))
+    (fun priorities ->
+      let heap = Sim.Heap.create () in
+      List.iteri (fun i priority -> Sim.Heap.push heap ~priority i) priorities;
+      let out = List.map fst (pop_all heap) in
+      out = List.sort compare priorities)
+
+let prop_length =
+  QCheck2.Test.make ~name:"heap length tracks pushes"
+    QCheck2.Gen.(list (float_bound_inclusive 10.0))
+    (fun priorities ->
+      let heap = Sim.Heap.create () in
+      List.iteri (fun i priority -> Sim.Heap.push heap ~priority i) priorities;
+      Sim.Heap.length heap = List.length priorities)
+
+let suite =
+  [
+    ( "heap",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "stability" `Quick test_stability;
+        Alcotest.test_case "mixed stability" `Quick test_mixed_stability;
+        Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "interleaved" `Quick test_interleaved;
+        QCheck_alcotest.to_alcotest prop_sorted_output;
+        QCheck_alcotest.to_alcotest prop_length;
+      ] );
+  ]

@@ -1,0 +1,88 @@
+(* Analytic model tests: Mathis square-root model and Padhye (PFTK). *)
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_mathis_window () =
+  close "C/sqrt(p)" 12.2 (Model.Mathis.window ~c:1.22 ~loss_rate:0.01);
+  close "paper C" 40.0 (Model.Mathis.window ~c:4.0 ~loss_rate:0.01)
+
+let test_mathis_bandwidth () =
+  (* window * 8*mss / rtt *)
+  close "bandwidth" (12.2 *. 8000.0 /. 0.2)
+    (Model.Mathis.bandwidth_bps ~c:1.22 ~mss:1000 ~rtt:0.2 ~loss_rate:0.01)
+
+let test_mathis_constants () =
+  close "ack-every-packet" (sqrt 1.5) Model.Mathis.c_ack_every_packet;
+  close "delayed ack" (sqrt 0.75) Model.Mathis.c_delayed_ack;
+  close "paper" 4.0 Model.Mathis.c_paper
+
+let test_mathis_monotone () =
+  let w p = Model.Mathis.window ~c:1.22 ~loss_rate:p in
+  Alcotest.(check bool) "decreasing in p" true (w 0.01 > w 0.02 && w 0.02 > w 0.1)
+
+let test_mathis_invalid () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Mathis.window: loss_rate out of (0, 1]")
+    (fun () -> ignore (Model.Mathis.window ~c:1.22 ~loss_rate:0.0));
+  Alcotest.check_raises "c" (Invalid_argument "Mathis.window: c <= 0") (fun () ->
+      ignore (Model.Mathis.window ~c:0.0 ~loss_rate:0.1))
+
+let test_mathis_window_limited () =
+  close "model below cap" (Model.Mathis.window ~c:1.22 ~loss_rate:0.04)
+    (Model.Mathis.window_limited ~c:1.22 ~loss_rate:0.04 ~rwnd:20);
+  close "cap binds at small p" 20.0
+    (Model.Mathis.window_limited ~c:1.22 ~loss_rate:0.001 ~rwnd:20);
+  Alcotest.check_raises "rwnd" (Invalid_argument "Mathis.window_limited: rwnd < 1")
+    (fun () ->
+      ignore (Model.Mathis.window_limited ~c:1.22 ~loss_rate:0.01 ~rwnd:0))
+
+let test_padhye_below_mathis () =
+  (* With timeouts accounted, PFTK predicts no more than the
+     square-root bound, and the gap widens with p. *)
+  List.iter
+    (fun p ->
+      let mathis = Model.Mathis.window ~c:Model.Mathis.c_ack_every_packet ~loss_rate:p in
+      let padhye = Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:p in
+      Alcotest.(check bool)
+        (Printf.sprintf "padhye %.2f <= mathis %.2f at p=%.3f" padhye mathis p)
+        true (padhye <= mathis +. 1e-9))
+    [ 0.001; 0.01; 0.05; 0.1 ]
+
+let test_padhye_rto_sensitivity () =
+  let w rto = Model.Padhye.window ~rtt:0.2 ~rto ~b:1 ~loss_rate:0.05 in
+  Alcotest.(check bool) "longer rto hurts" true (w 2.0 < w 1.0)
+
+let test_padhye_bandwidth () =
+  let window = Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:0.01 in
+  close "bandwidth consistent" (window *. 8000.0 /. 0.2)
+    (Model.Padhye.bandwidth_bps ~mss:1000 ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:0.01)
+
+let test_padhye_invalid () =
+  Alcotest.check_raises "b" (Invalid_argument "Padhye: b < 1") (fun () ->
+      ignore (Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:0 ~loss_rate:0.1))
+
+let prop_padhye_decreasing =
+  QCheck2.Test.make ~name:"padhye window decreases with loss"
+    QCheck2.Gen.(pair (float_range 0.001 0.4) (float_range 0.001 0.4))
+    (fun (p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      lo = hi
+      || Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:lo
+         >= Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:hi)
+
+let suite =
+  [
+    ( "model",
+      [
+        Alcotest.test_case "mathis window" `Quick test_mathis_window;
+        Alcotest.test_case "mathis bandwidth" `Quick test_mathis_bandwidth;
+        Alcotest.test_case "mathis constants" `Quick test_mathis_constants;
+        Alcotest.test_case "mathis monotone" `Quick test_mathis_monotone;
+        Alcotest.test_case "mathis invalid" `Quick test_mathis_invalid;
+        Alcotest.test_case "mathis window limited" `Quick test_mathis_window_limited;
+        Alcotest.test_case "padhye below mathis" `Quick test_padhye_below_mathis;
+        Alcotest.test_case "padhye rto sensitivity" `Quick test_padhye_rto_sensitivity;
+        Alcotest.test_case "padhye bandwidth" `Quick test_padhye_bandwidth;
+        Alcotest.test_case "padhye invalid" `Quick test_padhye_invalid;
+        QCheck_alcotest.to_alcotest prop_padhye_decreasing;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* RTT estimation and retransmission-timeout tests (Jacobson/Karels). *)
+
+let make ?tick () = Tcp.Rto.create ~min_rto:1.0 ~max_rto:64.0 ~initial_rto:3.0 ?tick ()
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_initial () =
+  let rto = make () in
+  close "initial rto" 3.0 (Tcp.Rto.value rto);
+  Alcotest.(check bool) "no srtt" true (Tcp.Rto.srtt rto = None)
+
+let test_first_sample () =
+  let rto = make () in
+  Tcp.Rto.sample rto 0.2;
+  (match Tcp.Rto.srtt rto with
+  | Some srtt -> close "srtt = m" 0.2 srtt
+  | None -> Alcotest.fail "srtt");
+  (match Tcp.Rto.rttvar rto with
+  | Some rttvar -> close "rttvar = m/2" 0.1 rttvar
+  | None -> Alcotest.fail "rttvar");
+  (* srtt + 4*rttvar = 0.6 clamps up to min_rto. *)
+  close "clamped to min" 1.0 (Tcp.Rto.value rto)
+
+let test_jacobson_update () =
+  let rto = make () in
+  Tcp.Rto.sample rto 0.2;
+  Tcp.Rto.sample rto 0.4;
+  (* srtt = 0.2 + (0.4-0.2)/8 = 0.225; rttvar = 0.1 + (0.2-0.1)/4 = 0.125 *)
+  (match Tcp.Rto.srtt rto with
+  | Some srtt -> close "srtt" 0.225 srtt
+  | None -> Alcotest.fail "srtt");
+  match Tcp.Rto.rttvar rto with
+  | Some rttvar -> close "rttvar" 0.125 rttvar
+  | None -> Alcotest.fail "rttvar"
+
+let test_value_above_min () =
+  let rto = make () in
+  Tcp.Rto.sample rto 2.0;
+  (* 2.0 + 4*1.0 = 6.0, well above min. *)
+  close "unclamped" 6.0 (Tcp.Rto.value rto)
+
+let test_backoff () =
+  let rto = make () in
+  Tcp.Rto.sample rto 0.2;
+  close "base" 1.0 (Tcp.Rto.value rto);
+  Tcp.Rto.backoff rto;
+  close "doubled" 2.0 (Tcp.Rto.value rto);
+  Tcp.Rto.backoff rto;
+  close "doubled again" 4.0 (Tcp.Rto.value rto);
+  for _ = 1 to 20 do
+    Tcp.Rto.backoff rto
+  done;
+  close "clamped to max" 64.0 (Tcp.Rto.value rto)
+
+let test_sample_resets_backoff () =
+  let rto = make () in
+  Tcp.Rto.sample rto 0.2;
+  Tcp.Rto.backoff rto;
+  Tcp.Rto.backoff rto;
+  Tcp.Rto.sample rto 0.2;
+  close "backoff cleared" 1.0 (Tcp.Rto.value rto)
+
+let test_invalid () =
+  Alcotest.check_raises "bounds" (Invalid_argument "Rto.create: inconsistent bounds")
+    (fun () ->
+      ignore (Tcp.Rto.create ~min_rto:2.0 ~max_rto:1.0 ~initial_rto:2.0 ()));
+  let rto = make () in
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Rto.sample: negative RTT") (fun () ->
+      Tcp.Rto.sample rto (-0.1))
+
+let test_tick_quantization () =
+  let rto = make ~tick:0.5 () in
+  (* Samples land on tick boundaries: 0.2 rounds to one tick (0.5). *)
+  Tcp.Rto.sample rto 0.2;
+  (match Tcp.Rto.srtt rto with
+  | Some srtt -> close "sample quantized up" 0.5 srtt
+  | None -> Alcotest.fail "srtt");
+  (* 0.7 rounds to 0.5; srtt update uses the quantized value. *)
+  let rto2 = make ~tick:0.5 () in
+  Tcp.Rto.sample rto2 0.7;
+  (match Tcp.Rto.srtt rto2 with
+  | Some srtt -> close "nearest tick" 0.5 srtt
+  | None -> Alcotest.fail "srtt");
+  (* The timeout itself lands on tick boundaries. *)
+  let v = Tcp.Rto.value rto in
+  close "value on a boundary" 0.0 (Float.rem v 0.5);
+  (* tick = 0 leaves samples exact. *)
+  let exact = make () in
+  Tcp.Rto.sample exact 0.2;
+  match Tcp.Rto.srtt exact with
+  | Some srtt -> close "exact clock" 0.2 srtt
+  | None -> Alcotest.fail "srtt"
+
+let test_tick_invalid () =
+  Alcotest.check_raises "negative tick"
+    (Invalid_argument "Rto.create: negative tick") (fun () ->
+      ignore (make ~tick:(-0.1) ()))
+
+let prop_rto_bounded =
+  QCheck2.Test.make ~name:"rto stays within [min,max]"
+    QCheck2.Gen.(list (float_bound_inclusive 10.0))
+    (fun samples ->
+      let rto = make () in
+      List.iter (fun s -> Tcp.Rto.sample rto s) samples;
+      let v = Tcp.Rto.value rto in
+      v >= 1.0 && v <= 64.0)
+
+let suite =
+  [
+    ( "rto",
+      [
+        Alcotest.test_case "initial" `Quick test_initial;
+        Alcotest.test_case "first sample" `Quick test_first_sample;
+        Alcotest.test_case "jacobson update" `Quick test_jacobson_update;
+        Alcotest.test_case "value above min" `Quick test_value_above_min;
+        Alcotest.test_case "backoff" `Quick test_backoff;
+        Alcotest.test_case "sample resets backoff" `Quick test_sample_resets_backoff;
+        Alcotest.test_case "invalid" `Quick test_invalid;
+        Alcotest.test_case "tick quantization" `Quick test_tick_quantization;
+        Alcotest.test_case "tick invalid" `Quick test_tick_invalid;
+        QCheck_alcotest.to_alcotest prop_rto_bounded;
+      ] );
+  ]

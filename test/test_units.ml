@@ -1,0 +1,35 @@
+(* Unit-conversion helpers. *)
+
+let close = Alcotest.(check (float 1e-12))
+
+let test_time () =
+  close "ms" 0.005 (Sim.Units.ms 5.0);
+  close "us" 0.000002 (Sim.Units.us 2.0)
+
+let test_rates () =
+  close "kbps" 800_000.0 (Sim.Units.kbps 800.0);
+  close "mbps" 800_000.0 (Sim.Units.mbps 0.8)
+
+let test_sizes () =
+  Alcotest.(check int) "kilobytes" 100_000 (Sim.Units.kilobytes 100.0);
+  close "bits of bytes" 8000.0 (Sim.Units.bits_of_bytes 1000)
+
+let test_transmission_time () =
+  (* 1000 B at 0.8 Mbps = 10 ms, the paper's bottleneck serialization. *)
+  close "1000B @ 0.8Mbps" 0.01
+    (Sim.Units.transmission_time ~size_bytes:1000
+       ~bandwidth_bps:(Sim.Units.mbps 0.8));
+  close "40B ack @ 10Mbps" 0.000032
+    (Sim.Units.transmission_time ~size_bytes:40
+       ~bandwidth_bps:(Sim.Units.mbps 10.0))
+
+let suite =
+  [
+    ( "units",
+      [
+        Alcotest.test_case "time" `Quick test_time;
+        Alcotest.test_case "rates" `Quick test_rates;
+        Alcotest.test_case "sizes" `Quick test_sizes;
+        Alcotest.test_case "transmission time" `Quick test_transmission_time;
+      ] );
+  ]

@@ -1,0 +1,49 @@
+(* Variant registry: names, parsing, construction. *)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun v ->
+      match Core.Variant.of_string (Core.Variant.name v) with
+      | Ok parsed -> Alcotest.(check bool) "roundtrip" true (parsed = v)
+      | Error e -> Alcotest.fail e)
+    Core.Variant.all
+
+let test_aliases () =
+  Alcotest.(check bool) "new-reno" true
+    (Core.Variant.of_string "New-Reno" = Ok Core.Variant.Newreno);
+  Alcotest.(check bool) "robust" true
+    (Core.Variant.of_string "robust-recovery" = Ok Core.Variant.Rr);
+  Alcotest.(check bool) "case" true
+    (Core.Variant.of_string "SACK" = Ok Core.Variant.Sack)
+
+let test_unknown () =
+  match Core.Variant.of_string "cubic" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cubic is from the future"
+
+let test_construction () =
+  let engine = Sim.Engine.create () in
+  List.iter
+    (fun v ->
+      let agent =
+        Core.Variant.create v ~engine ~params:Tcp.Params.default ~flow:0
+          ~emit:(fun _ -> ())
+          ()
+      in
+      Alcotest.(check string) "name matches" (Core.Variant.name v)
+        agent.Tcp.Agent.name;
+      Alcotest.(check bool) "only sack-family wants sack" true
+        (agent.Tcp.Agent.wants_sack
+        = (v = Core.Variant.Sack || v = Core.Variant.Fack)))
+    Core.Variant.all
+
+let suite =
+  [
+    ( "variant",
+      [
+        Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+        Alcotest.test_case "aliases" `Quick test_aliases;
+        Alcotest.test_case "unknown" `Quick test_unknown;
+        Alcotest.test_case "construction" `Quick test_construction;
+      ] );
+  ]

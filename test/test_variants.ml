@@ -1,0 +1,401 @@
+(* White-box tests for the baseline congestion-control variants, driven
+   through the scripted harness: each test scripts a window, a loss and
+   the returning ACK stream, then checks the variant's documented
+   reaction. *)
+
+open Tcp.Sender_common
+
+(* Common preamble: grow the window to 20 sent segments (una = 12 after
+   open_window acks everything below t_seqno), then pretend segment
+   una+1 was lost and deliver three dup ACKs. *)
+let with_loss create =
+  let h = Harness.make create in
+  Harness.open_window h ~target:20;
+  ignore (Harness.sent h);
+  h
+
+(* -- Tahoe -- *)
+
+let test_tahoe_fast_retransmit () =
+  let h = with_loss Tcp.Tahoe.create in
+  let b = Harness.base h in
+  let window_before = window b in
+  let una = b.una in
+  Harness.dupacks h 3;
+  let resent = Harness.sent h in
+  (match resent with
+  | { seq; retx = true; _ } :: _ ->
+    Alcotest.(check int) "retransmits the hole" (una + 1) seq
+  | _ -> Alcotest.fail "no fast retransmit");
+  Alcotest.(check (float 1e-9)) "cwnd collapses to 1" 1.0 b.cwnd;
+  Alcotest.(check bool) "ssthresh = win/2" true
+    (Float.abs (b.ssthresh -. Float.max (window_before /. 2.0) 2.0) < 1e-9);
+  Alcotest.(check int) "no timeout involved" 0 b.counters.Tcp.Counters.timeouts
+
+let test_tahoe_slow_start_after_loss () =
+  let h = with_loss Tcp.Tahoe.create in
+  let b = Harness.base h in
+  let una = b.una in
+  Harness.dupacks h 3;
+  ignore (Harness.sent h);
+  (* The retransmission fills the hole; receiver had buffered the rest. *)
+  Harness.deliver_ack h (una + 1);
+  Alcotest.(check (float 1e-9)) "slow start growth" 2.0 b.cwnd
+
+let test_tahoe_two_dupacks_no_action () =
+  let h = with_loss Tcp.Tahoe.create in
+  let b = Harness.base h in
+  let cwnd = b.cwnd in
+  Harness.dupacks h 2;
+  Alcotest.(check (list int)) "nothing sent" [] (Harness.sent_seqs h);
+  Alcotest.(check (float 1e-9)) "cwnd unchanged" cwnd b.cwnd
+
+let test_tahoe_bugfix_guard () =
+  let h = with_loss Tcp.Tahoe.create in
+  let b = Harness.base h in
+  Harness.dupacks h 3;
+  ignore (Harness.sent h);
+  let fast_retx = b.counters.Tcp.Counters.fast_retransmits in
+  (* More dupacks at the same una: no second fast retransmit. *)
+  Harness.dupacks h 5;
+  Alcotest.(check int) "no re-trigger" fast_retx
+    b.counters.Tcp.Counters.fast_retransmits
+
+(* -- Reno -- *)
+
+let test_reno_fast_recovery_inflation () =
+  let h = with_loss Tcp.Reno.create in
+  let b = Harness.base h in
+  let window_before = window b in
+  Harness.dupacks h 3;
+  ignore (Harness.sent h);
+  let halved = Float.max (window_before /. 2.0) 2.0 in
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh + 3" (halved +. 3.0) b.cwnd;
+  Alcotest.(check bool) "in recovery" true (b.phase = Recovery);
+  (* Each further dup ACK inflates by one. *)
+  Harness.dupack h;
+  Alcotest.(check (float 1e-9)) "inflated" (halved +. 4.0) b.cwnd
+
+let test_reno_partial_ack_exits () =
+  let h = with_loss Tcp.Reno.create in
+  let b = Harness.base h in
+  let una = b.una in
+  Harness.dupacks h 3;
+  (* A partial ACK (one hole filled, more remain) already deflates and
+     leaves recovery: Reno's multi-loss weakness. *)
+  Harness.deliver_ack h (una + 2);
+  Alcotest.(check bool) "left recovery" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "deflated to ssthresh+growth" b.cwnd b.cwnd;
+  Alcotest.(check bool) "cwnd near ssthresh" true
+    (b.cwnd <= b.ssthresh +. 1.0 +. 1e-9)
+
+(* -- New-Reno -- *)
+
+let newreno_entered h =
+  let b = Harness.base h in
+  Harness.dupacks h 3;
+  let sent = Harness.sent h in
+  (b, sent)
+
+let test_newreno_stays_in_recovery () =
+  let h = with_loss Tcp.Newreno.create in
+  let b, _ = newreno_entered h in
+  let una = b.una in
+  (* Partial ACK: still in recovery, and the next hole goes out at once. *)
+  Harness.deliver_ack h (una + 2);
+  Alcotest.(check bool) "still recovering" true (b.phase = Recovery);
+  (match Harness.sent h with
+  | { seq; retx = true; _ } :: _ ->
+    Alcotest.(check int) "next hole retransmitted" (una + 3) seq
+  | _ -> Alcotest.fail "expected hole retransmission")
+
+let test_newreno_full_ack_exits () =
+  let h = with_loss Tcp.Newreno.create in
+  let b, _ = newreno_entered h in
+  let recover = b.maxseq in
+  Harness.deliver_ack h recover;
+  Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" b.ssthresh b.cwnd
+
+let test_newreno_sends_on_dupacks_in_recovery () =
+  let h = with_loss Tcp.Newreno.create in
+  let b, _ = newreno_entered h in
+  (* Enough inflation lets new data out roughly one per two dupacks. *)
+  Harness.dupacks h 8;
+  let fresh = List.filter (fun s -> not s.Harness.retx) (Harness.sent h) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d new segments for 8 dupacks" (List.length fresh))
+    true
+    (List.length fresh >= 1 && List.length fresh <= 5);
+  Alcotest.(check bool) "still in recovery" true (b.phase = Recovery)
+
+(* -- SACK -- *)
+
+let test_sack_wants_sack () =
+  let h = Harness.make Tcp.Sack.create in
+  Alcotest.(check bool) "receiver must generate sacks" true
+    h.Harness.agent.Tcp.Agent.wants_sack
+
+let test_sack_retransmits_holes_first () =
+  let h = with_loss Tcp.Sack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  (* Receiver holds everything except una+1 and una+4. *)
+  let blocks = [ (una + 2, una + 4); (una + 5, b.maxseq + 1) ] in
+  Harness.dupacks ~sack:blocks h 3;
+  let resent = List.filter (fun s -> s.Harness.retx) (Harness.sent h) in
+  (match resent with
+  | { seq; _ } :: _ -> Alcotest.(check int) "first hole" (una + 1) seq
+  | [] -> Alcotest.fail "no retransmission");
+  (* Drain the pipe with dupacks until the second hole goes out; it must
+     go out before any new data. *)
+  Harness.dupacks ~sack:blocks h 10;
+  let sends = Harness.sent h in
+  let hole2_sent = List.exists (fun s -> s.Harness.seq = una + 4) sends in
+  Alcotest.(check bool) "second hole retransmitted" true hole2_sent;
+  List.iter
+    (fun s ->
+      if not s.Harness.retx then
+        Alcotest.(check bool) "new data only beyond maxseq" true
+          (s.Harness.seq > una + 4))
+    sends
+
+let test_sack_no_rtx_of_sacked_data () =
+  let h = with_loss Tcp.Sack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  let blocks = [ (una + 2, b.maxseq + 1) ] in
+  Harness.dupacks ~sack:blocks h 13;
+  let resent = List.filter (fun s -> s.Harness.retx) (Harness.sent h) in
+  Alcotest.(check (list int)) "only the hole" [ una + 1 ]
+    (List.map (fun s -> s.Harness.seq) resent)
+
+let test_sack_exit_at_recover () =
+  let h = with_loss Tcp.Sack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  let recover = b.maxseq in
+  Harness.dupacks ~sack:[ (una + 2, recover + 1) ] h 3;
+  Harness.deliver_ack h recover;
+  Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" b.ssthresh b.cwnd
+
+let test_sack_pipe_decrement_on_partial () =
+  let h = with_loss Tcp.Sack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  (* Two holes: una+1 and una+3. *)
+  let blocks = [ (una + 2, una + 3); (una + 4, b.maxseq + 1) ] in
+  Harness.dupacks ~sack:blocks h 3;
+  ignore (Harness.sent h);
+  (* Partial ACK for the first hole keeps recovery open. *)
+  Harness.deliver_ack ~sack:[ (una + 4, b.maxseq + 1) ] h (una + 2);
+  Alcotest.(check bool) "still recovering" true (b.phase = Recovery)
+
+(* -- FACK -- *)
+
+let test_fack_triggers_on_forward_evidence () =
+  let h = with_loss Tcp.Fack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  (* One duplicate ACK whose SACK block shows 8 segments beyond the
+     hole already arrived: FACK enters recovery at once, without
+     waiting for three duplicates. *)
+  Harness.dupack ~sack:[ (una + 2, una + 10) ] h;
+  Alcotest.(check bool) "recovery entered" true (b.phase = Recovery);
+  let resent = List.filter (fun s -> s.Harness.retx) (Harness.sent h) in
+  (match resent with
+  | { seq; _ } :: _ -> Alcotest.(check int) "hole resent" (una + 1) seq
+  | [] -> Alcotest.fail "no retransmission")
+
+let test_fack_no_trigger_below_threshold () =
+  let h = with_loss Tcp.Fack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  (* Only 2 segments beyond the hole: neither trigger condition met. *)
+  Harness.dupack ~sack:[ (una + 2, una + 4) ] h;
+  Alcotest.(check bool) "no recovery yet" true (b.phase <> Recovery)
+
+let test_fack_holes_before_new_data () =
+  let h = with_loss Tcp.Fack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  (* Two holes: una+1 and una+5; everything else up to maxseq held. *)
+  let blocks = [ (una + 2, una + 5); (una + 6, b.maxseq + 1) ] in
+  Harness.dupack ~sack:blocks h;
+  let sends = Harness.sent h in
+  let resent = List.filter (fun s -> s.Harness.retx) sends in
+  Alcotest.(check (list int)) "both holes, in order" [ una + 1; una + 5 ]
+    (List.map (fun s -> s.Harness.seq) resent);
+  List.iter
+    (fun s ->
+      if not s.Harness.retx then
+        Alcotest.(check bool) "new data beyond maxseq only" true
+          (s.Harness.seq > b.una + 5))
+    sends
+
+let test_fack_exit_at_recover () =
+  let h = with_loss Tcp.Fack.create in
+  let b = Harness.base h in
+  let una = b.una in
+  let recover = b.maxseq in
+  Harness.dupack ~sack:[ (una + 2, recover + 1) ] h;
+  Alcotest.(check bool) "in recovery" true (b.phase = Recovery);
+  Harness.deliver_ack h recover;
+  Alcotest.(check bool) "out of recovery" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" b.ssthresh b.cwnd
+
+(* -- timeout during recovery (all recovery-capable variants) -- *)
+
+let test_timeout_during_recovery_resets create name =
+  let h = with_loss create in
+  let b = Harness.base h in
+  Harness.dupacks h 3;
+  ignore (Harness.sent h);
+  (* No ACKs come back at all: the RTO must clear the recovery state
+     and restart in slow start. *)
+  Harness.advance h ~by:4.0;
+  Alcotest.(check bool) (name ^ " left recovery") true (b.phase = Slow_start);
+  Alcotest.(check (float 1e-9)) (name ^ " cwnd reset") 1.0 b.cwnd;
+  Alcotest.(check bool) (name ^ " timeout counted") true
+    (b.counters.Tcp.Counters.timeouts >= 1);
+  (* Recovery must work again afterwards: deliver everything, lose one
+     more segment, and watch fast retransmit re-trigger. *)
+  Harness.deliver_ack h b.maxseq;
+  ignore (Harness.sent h);
+  let fast_before = b.counters.Tcp.Counters.fast_retransmits in
+  ignore (Harness.sent h);
+  Harness.dupacks h 3;
+  Alcotest.(check bool) (name ^ " recovery re-arms") true
+    (b.counters.Tcp.Counters.fast_retransmits >= fast_before)
+
+let test_newreno_timeout_during_recovery () =
+  test_timeout_during_recovery_resets Tcp.Newreno.create "newreno"
+
+let test_sack_timeout_during_recovery () =
+  test_timeout_during_recovery_resets Tcp.Sack.create "sack"
+
+let test_reno_timeout_during_recovery () =
+  test_timeout_during_recovery_resets Tcp.Reno.create "reno"
+
+(* Cross-variant invariants under arbitrary ACK scripts: no sender may
+   transmit beyond the application's data horizon, leave the window in
+   an inconsistent state, or crash — whatever the (plausible) ACK
+   pattern. *)
+type script_op = Advance of int | Dup | Dup_with_sack | Pass of float
+
+let script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (frequency
+         [
+           (3, map (fun n -> Advance n) (int_range 1 4));
+           (4, return Dup);
+           (2, return Dup_with_sack);
+           (2, map (fun dt -> Pass dt) (float_range 0.01 0.5));
+         ]))
+
+let variant_makers =
+  [
+    ("tahoe", Tcp.Tahoe.create);
+    ("reno", Tcp.Reno.create);
+    ("newreno", Tcp.Newreno.create);
+    ("sack", Tcp.Sack.create);
+    ("fack", Tcp.Fack.create);
+    ("vegas", Tcp.Vegas.create);
+    ("rr", Core.Rr.create);
+  ]
+
+let prop_sender_invariants =
+  QCheck2.Test.make ~name:"all variants keep sender invariants" ~count:200
+    QCheck2.Gen.(pair (int_range 0 6) script_gen)
+    (fun (variant_index, ops) ->
+      let _, create = List.nth variant_makers variant_index in
+      let h = Harness.make create in
+      let limit = 50 in
+      Tcp.Agent.supply_data h.Harness.agent ~segments:limit;
+      Tcp.Agent.start h.Harness.agent;
+      let b = Harness.base h in
+      let ok = ref true in
+      let check () =
+        if
+          not
+            (b.cwnd >= 1.0 && b.ssthresh >= 2.0
+            && b.t_seqno >= b.una + 1
+            && b.una <= b.maxseq
+            && b.maxseq < limit)
+        then ok := false
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Advance n ->
+            let target = min (b.una + n) b.maxseq in
+            if target > b.una && not b.completed then
+              Harness.deliver_ack h target
+          | Dup ->
+            if outstanding b > 0 && not b.completed then Harness.dupack h
+          | Dup_with_sack ->
+            if outstanding b > 0 && not b.completed then
+              Harness.dupack
+                ~sack:[ (b.una + 2, min (b.una + 6) (b.maxseq + 1)) ]
+                h
+          | Pass dt -> Harness.advance h ~by:dt);
+          check ())
+        ops;
+      !ok)
+
+let suite =
+  [
+    ( "tahoe",
+      [
+        Alcotest.test_case "fast retransmit" `Quick test_tahoe_fast_retransmit;
+        Alcotest.test_case "slow start after loss" `Quick
+          test_tahoe_slow_start_after_loss;
+        Alcotest.test_case "2 dupacks no action" `Quick
+          test_tahoe_two_dupacks_no_action;
+        Alcotest.test_case "bugfix guard" `Quick test_tahoe_bugfix_guard;
+      ] );
+    ( "reno",
+      [
+        Alcotest.test_case "fast recovery inflation" `Quick
+          test_reno_fast_recovery_inflation;
+        Alcotest.test_case "partial ack exits" `Quick test_reno_partial_ack_exits;
+        Alcotest.test_case "timeout during recovery" `Quick
+          test_reno_timeout_during_recovery;
+      ] );
+    ( "newreno",
+      [
+        Alcotest.test_case "stays in recovery" `Quick test_newreno_stays_in_recovery;
+        Alcotest.test_case "full ack exits" `Quick test_newreno_full_ack_exits;
+        Alcotest.test_case "dupack-clocked sends" `Quick
+          test_newreno_sends_on_dupacks_in_recovery;
+        Alcotest.test_case "timeout during recovery" `Quick
+          test_newreno_timeout_during_recovery;
+      ] );
+    ( "sack",
+      [
+        Alcotest.test_case "wants sack" `Quick test_sack_wants_sack;
+        Alcotest.test_case "holes first" `Quick test_sack_retransmits_holes_first;
+        Alcotest.test_case "no rtx of sacked" `Quick test_sack_no_rtx_of_sacked_data;
+        Alcotest.test_case "exit at recover" `Quick test_sack_exit_at_recover;
+        Alcotest.test_case "partial ack keeps recovery" `Quick
+          test_sack_pipe_decrement_on_partial;
+        Alcotest.test_case "timeout during recovery" `Quick
+          test_sack_timeout_during_recovery;
+      ] );
+    ( "fack",
+      [
+        Alcotest.test_case "forward-evidence trigger" `Quick
+          test_fack_triggers_on_forward_evidence;
+        Alcotest.test_case "no premature trigger" `Quick
+          test_fack_no_trigger_below_threshold;
+        Alcotest.test_case "holes before new data" `Quick
+          test_fack_holes_before_new_data;
+        Alcotest.test_case "exit at recover" `Quick test_fack_exit_at_recover;
+        Alcotest.test_case "timeout during recovery" `Quick (fun () ->
+            test_timeout_during_recovery_resets Tcp.Fack.create "fack");
+      ] );
+    ( "variant invariants",
+      [ QCheck_alcotest.to_alcotest prop_sender_invariants ] );
+  ]

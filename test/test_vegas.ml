@@ -1,0 +1,148 @@
+(* White-box TCP Vegas tests: fine-grained retransmission, the
+   quarter-window cut, RTT-based congestion avoidance and cautious slow
+   start — each mechanism in isolation where possible. *)
+
+open Tcp.Sender_common
+
+let make ?(mechanisms = Tcp.Vegas.full) () =
+  Harness.make (fun ~engine ~params ~flow ~emit () ->
+      Tcp.Vegas.create_with ~engine ~params ~flow ~emit ~mechanisms ())
+
+(* Establish an RTT estimate of [rtt] with a couple of clean exchanges,
+   then load a full window. *)
+let warm_up h ~rtt =
+  Harness.start ~segments:1_000_000 h;
+  ignore (Harness.sent h);
+  for ackno = 0 to 3 do
+    Harness.advance h ~by:rtt;
+    Harness.deliver_ack h ackno;
+    ignore (Harness.sent h)
+  done
+
+let test_fine_retransmit_on_first_dupack () =
+  let h = make () in
+  warm_up h ~rtt:0.2;
+  let b = Harness.base h in
+  (* Age the oldest outstanding segment beyond srtt + 4*rttvar, then a
+     single duplicate ACK triggers the retransmission — no need for
+     three (the Vegas change §1 credits for the recovery gain). *)
+  Harness.advance h ~by:0.8;
+  let hole = b.una + 1 in
+  Harness.dupack h;
+  match List.filter (fun s -> s.Harness.retx) (Harness.sent h) with
+  | [ { seq; _ } ] -> Alcotest.(check int) "oldest segment resent" hole seq
+  | _ -> Alcotest.fail "expected exactly one fine-grained retransmission"
+
+let test_fine_retransmit_quarter_cut () =
+  let h = make () in
+  warm_up h ~rtt:0.2;
+  let b = Harness.base h in
+  let cwnd_before = b.cwnd in
+  Harness.advance h ~by:0.8;
+  Harness.dupack h;
+  Alcotest.(check (float 1e-9)) "cwnd cut to 3/4" (cwnd_before *. 0.75) b.cwnd;
+  (* A second loss signal within the same RTT must not cut again. *)
+  Harness.dupack h;
+  Alcotest.(check (float 1e-9)) "single cut per RTT" (cwnd_before *. 0.75) b.cwnd
+
+let test_no_fine_retransmit_when_fresh () =
+  let h = make () in
+  warm_up h ~rtt:0.2;
+  (* Segments are fresh: one or two dupacks must not retransmit. *)
+  Harness.dupack h;
+  Harness.dupack h;
+  Alcotest.(check (list int)) "nothing resent" []
+    (List.filter_map
+       (fun s -> if s.Harness.retx then Some s.Harness.seq else None)
+       (Harness.sent h))
+
+let test_three_dupack_fallback () =
+  let h =
+    make ~mechanisms:{ Tcp.Vegas.full with fine_retransmit = false } ()
+  in
+  warm_up h ~rtt:0.2;
+  let b = Harness.base h in
+  let hole = b.una + 1 in
+  Harness.dupacks h 3;
+  match List.filter (fun s -> s.Harness.retx) (Harness.sent h) with
+  | [ { seq; _ } ] -> Alcotest.(check int) "classic fast retransmit" hole seq
+  | _ -> Alcotest.fail "expected the three-dupack retransmission"
+
+let test_rtt_based_avoidance_holds_when_backlogged () =
+  let h = make () in
+  let b = Harness.base h in
+  b.phase <- Congestion_avoidance;
+  b.cwnd <- 10.0;
+  Harness.start ~segments:1_000_000 h;
+  ignore (Harness.sent h);
+  (* baseRTT 0.2 established, then RTTs inflate to 0.4: backlog
+     estimate = cwnd * 0.5 = big > beta: the window must shrink. *)
+  Harness.advance h ~by:0.2;
+  Harness.deliver_ack h 0;
+  ignore (Harness.sent h);
+  let before = b.cwnd in
+  Harness.advance h ~by:0.4;
+  Harness.deliver_ack h (b.t_seqno - 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "window shrinks under queueing (%.1f -> %.1f)" before b.cwnd)
+    true (b.cwnd < before)
+
+let test_rtt_based_avoidance_grows_when_clear () =
+  let h = make () in
+  let b = Harness.base h in
+  b.phase <- Congestion_avoidance;
+  b.cwnd <- 5.0;
+  Harness.start ~segments:1_000_000 h;
+  ignore (Harness.sent h);
+  (* RTT stays at baseRTT: backlog 0 < alpha: grow one per epoch. *)
+  Harness.advance h ~by:0.2;
+  Harness.deliver_ack h 0;
+  let before = b.cwnd in
+  Harness.advance h ~by:0.2;
+  Harness.deliver_ack h (b.t_seqno - 1);
+  Alcotest.(check (float 1e-9)) "plus one per RTT" (before +. 1.0) b.cwnd
+
+let test_cautious_slow_start_every_other_rtt () =
+  let h = make () in
+  let b = Harness.base h in
+  Harness.start ~segments:1_000_000 h;
+  ignore (Harness.sent h);
+  (* Epoch 1 grows, epoch 2 holds (or vice versa): over two clean RTT
+     epochs the window must grow strictly less than plain doubling
+     twice would. *)
+  let cwnd0 = b.cwnd in
+  Harness.advance h ~by:0.2;
+  Harness.deliver_ack h 0;
+  Harness.advance h ~by:0.2;
+  Harness.deliver_ack h (b.t_seqno - 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "damped slow start (%.1f -> %.1f)" cwnd0 b.cwnd)
+    true
+    (b.cwnd < cwnd0 *. 4.0)
+
+let test_vegas_name_and_registry () =
+  let h = make () in
+  Alcotest.(check string) "agent name" "vegas" h.Harness.agent.Tcp.Agent.name;
+  Alcotest.(check bool) "registry" true
+    (Core.Variant.of_string "vegas" = Ok Core.Variant.Vegas)
+
+let suite =
+  [
+    ( "vegas",
+      [
+        Alcotest.test_case "fine retransmit on 1st dupack" `Quick
+          test_fine_retransmit_on_first_dupack;
+        Alcotest.test_case "quarter cut, once per RTT" `Quick
+          test_fine_retransmit_quarter_cut;
+        Alcotest.test_case "fresh segments not resent" `Quick
+          test_no_fine_retransmit_when_fresh;
+        Alcotest.test_case "3-dupack fallback" `Quick test_three_dupack_fallback;
+        Alcotest.test_case "avoidance shrinks on queueing" `Quick
+          test_rtt_based_avoidance_holds_when_backlogged;
+        Alcotest.test_case "avoidance grows when clear" `Quick
+          test_rtt_based_avoidance_grows_when_clear;
+        Alcotest.test_case "cautious slow start" `Quick
+          test_cautious_slow_start_every_other_rtt;
+        Alcotest.test_case "name and registry" `Quick test_vegas_name_and_registry;
+      ] );
+  ]

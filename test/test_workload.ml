@@ -1,0 +1,100 @@
+(* FTP application model tests. *)
+
+let test_segments_of_bytes () =
+  Alcotest.(check int) "exact" 100 (Workload.Ftp.segments_of_bytes ~mss:1000 100_000);
+  Alcotest.(check int) "round up" 101 (Workload.Ftp.segments_of_bytes ~mss:1000 100_001);
+  Alcotest.(check int) "tiny" 1 (Workload.Ftp.segments_of_bytes ~mss:1000 1);
+  Alcotest.check_raises "zero" (Invalid_argument "Ftp.segments_of_bytes: bytes <= 0")
+    (fun () -> ignore (Workload.Ftp.segments_of_bytes ~mss:1000 0))
+
+let loopback_agent engine =
+  (* Sender and receiver glued back-to-back with no network: data is
+     delivered (and acked) instantly via the engine queue. *)
+  let agent_cell = ref None in
+  let receiver_cell = ref None in
+  let agent =
+    Tcp.Newreno.create ~engine ~params:Tcp.Params.default ~flow:0
+      ~emit:(fun packet ->
+        ignore
+          (Sim.Engine.schedule_after engine ~delay:0.01 (fun () ->
+               match !receiver_cell with
+               | Some receiver -> Tcp.Receiver.deliver receiver packet
+               | None -> ())))
+      ()
+  in
+  let receiver =
+    Tcp.Receiver.create ~engine ~flow:0
+      ~emit:(fun packet ->
+        ignore
+          (Sim.Engine.schedule_after engine ~delay:0.01 (fun () ->
+               match !agent_cell with
+               | Some agent -> agent.Tcp.Agent.deliver_ack packet
+               | None -> ())))
+      ()
+  in
+  agent_cell := Some agent;
+  receiver_cell := Some receiver;
+  (agent, receiver)
+
+let test_persistent_starts_at () =
+  let engine = Sim.Engine.create () in
+  let agent, _ = loopback_agent engine in
+  Workload.Ftp.persistent ~engine ~agent ~at:2.0;
+  Sim.Engine.run_until engine ~time:1.9;
+  Alcotest.(check int) "nothing before start" 0
+    (Harness.params |> fun _ ->
+     agent.Tcp.Agent.base.Tcp.Sender_common.counters.Tcp.Counters.segments_sent);
+  Sim.Engine.run_until engine ~time:3.0;
+  Alcotest.(check bool) "flowing after start" true
+    (agent.Tcp.Agent.base.Tcp.Sender_common.counters.Tcp.Counters.segments_sent > 0)
+
+let test_file_completion () =
+  let engine = Sim.Engine.create () in
+  let agent, receiver = loopback_agent engine in
+  let completion = ref None in
+  Workload.Ftp.file ~engine ~agent ~at:1.0 ~bytes:10_000
+    ~on_complete:(fun c -> completion := Some c);
+  Sim.Engine.run_until engine ~time:60.0;
+  (match !completion with
+  | Some c ->
+    Alcotest.(check (float 1e-9)) "started" 1.0 c.Workload.Ftp.started;
+    Alcotest.(check bool) "finished after start" true
+      (c.Workload.Ftp.finished > 1.0)
+  | None -> Alcotest.fail "transfer never completed");
+  Alcotest.(check int) "receiver got everything" 10
+    (Tcp.Receiver.next_expected receiver)
+
+let test_supply_data_accumulates () =
+  let engine = Sim.Engine.create () in
+  let agent, receiver = loopback_agent engine in
+  Tcp.Agent.start agent;
+  Tcp.Agent.supply_data agent ~segments:3;
+  Sim.Engine.run_until engine ~time:5.0;
+  Alcotest.(check int) "first batch delivered" 3
+    (Tcp.Receiver.next_expected receiver);
+  (* A second batch extends the horizon; transfer resumes. *)
+  Tcp.Agent.supply_data agent ~segments:2;
+  Sim.Engine.run_until engine ~time:10.0;
+  Alcotest.(check int) "second batch delivered" 5
+    (Tcp.Receiver.next_expected receiver)
+
+let test_supply_data_after_infinite_rejected () =
+  let engine = Sim.Engine.create () in
+  let agent, _ = loopback_agent engine in
+  Tcp.Agent.supply_infinite agent;
+  Alcotest.check_raises "mixing sources"
+    (Invalid_argument "Agent.supply_data: source already infinite") (fun () ->
+      Tcp.Agent.supply_data agent ~segments:5)
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "segments_of_bytes" `Quick test_segments_of_bytes;
+        Alcotest.test_case "persistent start time" `Quick test_persistent_starts_at;
+        Alcotest.test_case "file completion" `Quick test_file_completion;
+        Alcotest.test_case "supply accumulates" `Quick test_supply_data_accumulates;
+        Alcotest.test_case "source mixing rejected" `Quick
+          test_supply_data_after_infinite_rejected;
+      ] );
+  ]
