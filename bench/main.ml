@@ -141,7 +141,7 @@ let tests =
                   ~seed:1L ~duration:20.0 ~uniform_loss:0.01 ())));
     ]
 
-let benchmark () =
+let measure () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -151,7 +151,6 @@ let benchmark () =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  banner "Bechamel timings (wall-clock per experiment run)";
   let rows =
     Hashtbl.fold
       (fun name ols_result acc ->
@@ -160,12 +159,32 @@ let benchmark () =
         | Some _ | None -> acc)
       results []
   in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let benchmark () =
+  banner "Bechamel timings (wall-clock per experiment run)";
   List.iter
     (fun (name, nanoseconds) ->
       Printf.printf "  %-44s %10.3f ms/run\n" name (nanoseconds /. 1e6))
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+    (measure ())
+
+(* Machine-readable timings for regression tracking; the checked-in
+   bench/baseline.json is a snapshot of this output. *)
+let benchmark_json () =
+  let rows = measure () in
+  print_string "{\"schema\":\"rr-sim-bench/1\",\"unit\":\"ms\",\"results\":{";
+  List.iteri
+    (fun i (name, nanoseconds) ->
+      Printf.printf "%s\n  \"%s\": %.3f"
+        (if i = 0 then "" else ",")
+        name (nanoseconds /. 1e6))
+    rows;
+  print_string "\n}}\n"
 
 let () =
-  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
-  reproduce ();
-  if not fast then benchmark ()
+  let has flag = Array.exists (fun a -> a = flag) Sys.argv in
+  if has "--json" then benchmark_json ()
+  else begin
+    reproduce ();
+    if not (has "--fast") then benchmark ()
+  end

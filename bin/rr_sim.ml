@@ -256,6 +256,83 @@ let vegas_cmd =
           from recovery or congestion avoidance?")
     Term.(const (fun () -> print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()))) $ const ())
 
+(* audit: invariant sweep over every variant and scenario shape *)
+
+let audit_sweep seed =
+  let gateways =
+    [
+      ("drop-tail", Net.Dumbbell.Droptail { capacity = 8 });
+      ("red", Net.Dumbbell.Red { capacity = 25; params = Net.Red.paper_params });
+    ]
+  in
+  let burst n =
+    List.init n (fun i -> { Net.Loss.flow = 0; seq = 33 + i; occurrence = 1 })
+  in
+  (* (name, forced drops, uniform data loss, ACK loss) *)
+  let patterns =
+    [
+      ("clean", [], 0.0, 0.0);
+      ("burst3", burst 3, 0.0, 0.0);
+      ("burst6", burst 6, 0.0, 0.0);
+      ("uniform 2%", [], 0.02, 0.0);
+      ("loss 5% + ack 5%", [], 0.05, 0.05);
+    ]
+  in
+  let total_violations = ref 0 in
+  let total_checks = ref 0 in
+  let rows = ref [] in
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (gateway_name, gateway) ->
+          List.iter
+            (fun (pattern, forced_drops, uniform_loss, ack_loss) ->
+              let config =
+                { (Net.Dumbbell.paper_config ~flows:2) with gateway }
+              in
+              let spec =
+                Experiments.Scenario.make ~config
+                  ~flows:
+                    [
+                      Experiments.Scenario.flow variant;
+                      Experiments.Scenario.flow variant;
+                    ]
+                  ~params:
+                    { Tcp.Params.default with rwnd = 20; initial_ssthresh = 16.0 }
+                  ~seed ~duration:20.0 ~forced_drops ~uniform_loss ~ack_loss ()
+              in
+              let t = Experiments.Scenario.run spec in
+              let auditor = t.Experiments.Scenario.auditor in
+              let violations = Audit.Auditor.violation_count auditor in
+              total_violations := !total_violations + violations;
+              total_checks := !total_checks + Audit.Auditor.checks_run auditor;
+              rows :=
+                [
+                  Core.Variant.name variant;
+                  gateway_name;
+                  pattern;
+                  string_of_int (Audit.Auditor.checks_run auditor);
+                  string_of_int violations;
+                ]
+                :: !rows)
+            patterns)
+        gateways)
+    Core.Variant.all;
+  let header = [ "variant"; "gateway"; "pattern"; "checks"; "violations" ] in
+  print_string (Stats.Text_table.render ~header (List.rev !rows));
+  Printf.printf "\naudit sweep: %d checks across %d runs, %d violation(s)\n"
+    !total_checks (List.length !rows) !total_violations;
+  if !total_violations > 0 then exit 1
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run the invariant auditor over every TCP variant under drop-tail \
+          and RED gateways and a range of loss patterns; exit non-zero on \
+          any violation.")
+    Term.(const audit_sweep $ seed_arg)
+
 (* run: ad-hoc scenario *)
 
 let run_term =
@@ -303,22 +380,39 @@ let run_term =
     let doc = "Write an ns-2-style event trace of the whole run to FILE." in
     Arg.(value & opt (some string) None & info [ "tracefile" ] ~docv:"FILE" ~doc)
   in
+  let trace =
+    let doc =
+      "Write a structured JSONL event trace (sends, ACKs, recovery \
+       transitions, timeouts, queue enqueue/drop/dequeue) to FILE."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let audit =
+    let doc = "Print the invariant-audit report; exit non-zero on violations." in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
   let run variant flows duration red buffer loss rwnd ack_loss delack
-      limited_transmit tracefile seed csv =
+      limited_transmit tracefile trace audit seed csv =
     let gateway =
       if red then
         Net.Dumbbell.Red { capacity = buffer; params = Net.Red.paper_params }
       else Net.Dumbbell.Droptail { capacity = buffer }
     in
     let config = { (Net.Dumbbell.paper_config ~flows) with gateway } in
+    let trace_channel = Option.map open_out trace in
     let spec =
       Experiments.Scenario.make ~config
         ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
         ~params:{ Tcp.Params.default with rwnd; limited_transmit }
         ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
-        ~monitor_queue:0.1 ()
+        ~monitor_queue:0.1 ?trace_out:trace_channel ()
     in
     let t = Experiments.Scenario.run spec in
+    Option.iter
+      (fun oc ->
+        close_out oc;
+        Printf.printf "wrote %s\n" (Option.get trace))
+      trace_channel;
     let mss = Tcp.Params.default.Tcp.Params.mss in
     let header =
       [ "flow"; "goodput (Kbps)"; "drops"; "timeouts"; "retransmits" ]
@@ -367,11 +461,17 @@ let run_term =
         output_string oc (Experiments.Scenario.tracefile t);
         close_out oc;
         Printf.printf "wrote %s\n" path)
-      tracefile
+      tracefile;
+    if audit then begin
+      print_newline ();
+      print_string (Audit.Auditor.report t.Experiments.Scenario.auditor);
+      if not (Audit.Auditor.ok t.Experiments.Scenario.auditor) then exit 1
+    end
   in
   Term.(
     const run $ variant $ flows $ duration $ red $ buffer $ loss $ rwnd
-    $ ack_loss $ delack $ limited_transmit $ tracefile $ seed_arg $ csv_arg)
+    $ ack_loss $ delack $ limited_transmit $ tracefile $ trace $ audit
+    $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -419,7 +519,21 @@ let main_cmd =
   let doc =
     "reproduction of Robust TCP Congestion Recovery (Wang & Shin, ICDCS 2001)"
   in
-  Cmd.group (Cmd.info "rr-sim" ~version:"1.0.0" ~doc)
+  (* Top-level [--audit] is a synonym for the [audit] sub-command, so the
+     whole-suite invariant sweep is one flag away. *)
+  let default =
+    let audit =
+      let doc = "Run the invariant-audit sweep (same as the audit command)." in
+      Arg.(value & flag & info [ "audit" ] ~doc)
+    in
+    Term.(
+      ret
+        (const (fun audit seed ->
+             if audit then `Ok (audit_sweep seed) else `Help (`Pager, None))
+        $ audit $ seed_arg))
+  in
+  Cmd.group ~default
+    (Cmd.info "rr-sim" ~version:"1.0.0" ~doc)
     [
       fig5_cmd;
       fig6_cmd;
@@ -433,6 +547,7 @@ let main_cmd =
       rtt_cmd;
       two_way_cmd;
       sensitivity_cmd;
+      audit_cmd;
       run_cmd;
       all_cmd;
     ]

@@ -1,0 +1,325 @@
+type violation = {
+  time : float;
+  subject : string;
+  rule : string;
+  detail : string;
+}
+
+type sender_state = {
+  agent : Tcp.Agent.t;
+  rr : Core.Rr.handle option;
+  label : string;
+  (* Shadow of the highest segment ever transmitted, maintained
+     independently from the sender's own [maxseq] so a bookkeeping bug
+     there cannot hide itself. *)
+  mutable shadow_maxseq : int;
+  mutable last_cumulative : int;  (* highest ackno seen, -1 initially *)
+  (* RR episode tracking: the last exit point observed during the
+     current recovery episode, [None] between episodes. *)
+  mutable episode_exit_point : int option;
+}
+
+type queue_state = {
+  qname : string;
+  disc : Net.Queue_disc.t;
+  mutable inside : int;  (* enqueued - dequeued since attach *)
+  mutable enq : int;
+  mutable deq : int;
+  mutable drop : int;
+  start : Net.Queue_disc.stats;  (* counter values at attach time *)
+  per_flow : (int, int Queue.t) Hashtbl.t;  (* flow -> uids in FIFO order *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  max_recorded : int;
+  mutable recorded : violation list;  (* newest first, capped *)
+  mutable total : int;
+  mutable checks : int;
+  mutable queues : queue_state list;
+  mutable finalized : bool;
+}
+
+let create ?(max_recorded = 100) ~engine () =
+  {
+    engine;
+    max_recorded;
+    recorded = [];
+    total = 0;
+    checks = 0;
+    queues = [];
+    finalized = false;
+  }
+
+let violation_count t = t.total
+
+let checks_run t = t.checks
+
+let ok t = t.total = 0
+
+let violations t = List.rev t.recorded
+
+let report_violation t ~subject ~rule ~detail =
+  t.total <- t.total + 1;
+  if t.total <= t.max_recorded then
+    t.recorded <-
+      { time = Sim.Engine.now t.engine; subject; rule; detail } :: t.recorded
+
+let check t ~subject ~rule ~detail condition =
+  t.checks <- t.checks + 1;
+  if not condition then report_violation t ~subject ~rule ~detail:(detail ())
+
+(* -- TCP sender invariants -- *)
+
+let check_sender_core t (s : sender_state) =
+  let b = s.agent.Tcp.Agent.base in
+  let open Tcp.Sender_common in
+  let subject = s.label in
+  check t ~subject ~rule:"sender-ordering"
+    ~detail:(fun () ->
+      Printf.sprintf "una=%d t_seqno=%d maxseq=%d" b.una b.t_seqno b.maxseq)
+    (b.una >= -1 && b.t_seqno >= b.una + 1 && b.t_seqno <= b.maxseq + 1);
+  check t ~subject ~rule:"sender-outstanding"
+    ~detail:(fun () -> Printf.sprintf "outstanding=%d" (outstanding b))
+    (outstanding b >= 0);
+  check t ~subject ~rule:"sender-window"
+    ~detail:(fun () ->
+      Printf.sprintf "cwnd=%.3f ssthresh=%.3f" b.cwnd b.ssthresh)
+    (b.cwnd >= 1.0 && b.ssthresh >= 2.0);
+  check t ~subject ~rule:"sender-dupacks"
+    ~detail:(fun () -> Printf.sprintf "dupacks=%d" b.dupacks)
+    (b.dupacks >= 0);
+  (* Dupack-counter consistency, classic-threshold variants only: once
+     the counter has run past the threshold without recovery starting,
+     the only legitimate reason is the ns-2 "bugfix" suppression
+     ([una <= recover_mark]). Vegas retransmits on its own fine-grained
+     timer and may exceed the threshold legitimately. *)
+  if s.agent.Tcp.Agent.name <> "vegas" then
+    check t ~subject ~rule:"sender-dupacks"
+      ~detail:(fun () ->
+        Printf.sprintf
+          "dupacks=%d passed threshold outside recovery yet fast retransmit \
+           is not suppressed (una=%d recover_mark=%d)"
+          b.dupacks b.una b.recover_mark)
+      (b.phase = Recovery
+      || b.dupacks <= b.params.Tcp.Params.dupack_threshold
+      || not (may_fast_retransmit b))
+
+(* -- RR recovery invariants -- *)
+
+let check_rr t (s : sender_state) =
+  match s.rr with
+  | None -> ()
+  | Some handle ->
+    let subject = s.label in
+    (match Core.Rr.inspect handle with
+    | None -> ()
+    | Some view ->
+      let b = s.agent.Tcp.Agent.base in
+      check t ~subject ~rule:"rr-counters"
+        ~detail:(fun () ->
+          Printf.sprintf "actnum=%d ndup=%d further_losses=%d" view.actnum
+            view.ndup view.further_losses)
+        (view.actnum >= 0 && view.ndup >= 0 && view.further_losses >= 0);
+      check t ~subject ~rule:"rr-exit-point"
+        ~detail:(fun () ->
+          Printf.sprintf "exit_point=%d maxseq=%d" view.exit_point
+            b.Tcp.Sender_common.maxseq)
+        (view.exit_point <= b.Tcp.Sender_common.maxseq);
+      (match s.episode_exit_point with
+      | Some previous ->
+        check t ~subject ~rule:"rr-exit-point"
+          ~detail:(fun () ->
+            Printf.sprintf "exit point moved backwards: %d -> %d" previous
+              view.exit_point)
+          (view.exit_point >= previous)
+      | None -> ());
+      s.episode_exit_point <- Some view.exit_point)
+
+let rr_probe_boundary_check t (s : sender_state) ~ackno =
+  (* A cumulative advance inside recovery that does not reach the exit
+     point is a probe-RTT boundary: RR must have reset [ndup] before
+     repairing the hole. *)
+  match s.rr with
+  | None -> ()
+  | Some handle -> (
+    match Core.Rr.inspect handle with
+    | Some view
+      when view.stage = Core.Rr.Probe && ackno < view.exit_point
+           && ackno > s.last_cumulative ->
+      check t ~subject:s.label ~rule:"rr-ndup-reset"
+        ~detail:(fun () ->
+          Printf.sprintf "ndup=%d not reset at probe RTT boundary (ackno=%d)"
+            view.ndup ackno)
+        (view.ndup = 0)
+    | Some _ | None -> ())
+
+let attach_sender t ?rr ~label agent =
+  let s =
+    {
+      agent;
+      rr;
+      label;
+      shadow_maxseq = agent.Tcp.Agent.base.Tcp.Sender_common.maxseq;
+      last_cumulative = agent.Tcp.Agent.base.Tcp.Sender_common.una;
+      episode_exit_point = None;
+    }
+  in
+  let base = agent.Tcp.Agent.base in
+  Tcp.Sender_common.on_send base (fun ~time:_ ~seq ~retx ->
+      let b = base in
+      check t ~subject:s.label ~rule:"send-labeling"
+        ~detail:(fun () ->
+          Printf.sprintf
+            "seq=%d retx=%b shadow_maxseq=%d: a send below the transmission \
+             frontier must be labelled a retransmission (and vice versa)"
+            seq retx s.shadow_maxseq)
+        (retx = (seq <= s.shadow_maxseq));
+      check t ~subject:s.label ~rule:"send-labeling"
+        ~detail:(fun () ->
+          Printf.sprintf "sent seq=%d at or below una=%d" seq
+            b.Tcp.Sender_common.una)
+        (seq >= 0 && seq > b.Tcp.Sender_common.una);
+      if seq > s.shadow_maxseq then s.shadow_maxseq <- seq;
+      check_sender_core t s;
+      check_rr t s);
+  Tcp.Sender_common.on_ack base (fun ~time:_ ~ackno ->
+      check t ~subject:s.label ~rule:"ack-bounds"
+        ~detail:(fun () ->
+          Printf.sprintf "ackno=%d beyond highest transmission %d" ackno
+            s.shadow_maxseq)
+        (ackno <= s.shadow_maxseq + 1);
+      check t ~subject:s.label ~rule:"ack-bounds"
+        ~detail:(fun () ->
+          Printf.sprintf "cumulative ACK moved backwards: %d after %d" ackno
+            s.last_cumulative)
+        (ackno >= s.last_cumulative);
+      rr_probe_boundary_check t s ~ackno;
+      if ackno > s.last_cumulative then s.last_cumulative <- ackno;
+      check_sender_core t s;
+      check_rr t s);
+  Tcp.Sender_common.on_recovery_enter base (fun ~time:_ ->
+      s.episode_exit_point <- None);
+  Tcp.Sender_common.on_recovery_exit base (fun ~time:_ ->
+      s.episode_exit_point <- None);
+  Tcp.Sender_common.on_timeout base (fun ~time:_ ->
+      s.episode_exit_point <- None;
+      check_sender_core t s)
+
+(* -- queue-discipline packet conservation -- *)
+
+let flow_fifo q flow =
+  match Hashtbl.find_opt q.per_flow flow with
+  | Some fifo -> fifo
+  | None ->
+    let fifo = Queue.create () in
+    Hashtbl.add q.per_flow flow fifo;
+    fifo
+
+let attach_queue t ~name disc =
+  let q =
+    {
+      qname = name;
+      disc;
+      inside = 0;
+      enq = 0;
+      deq = 0;
+      drop = 0;
+      start =
+        {
+          Net.Queue_disc.enqueued = disc.Net.Queue_disc.stats.enqueued;
+          dropped = disc.Net.Queue_disc.stats.dropped;
+          dequeued = disc.Net.Queue_disc.stats.dequeued;
+          bytes_dropped = disc.Net.Queue_disc.stats.bytes_dropped;
+        };
+      per_flow = Hashtbl.create 7;
+    }
+  in
+  t.queues <- q :: t.queues;
+  let subject = Printf.sprintf "queue %s" name in
+  let occupancy_consistent () =
+    check t ~subject ~rule:"queue-conservation"
+      ~detail:(fun () ->
+        Printf.sprintf "tracked occupancy %d but disc reports %d" q.inside
+          (q.disc.Net.Queue_disc.length ()))
+      (q.inside = q.disc.Net.Queue_disc.length ())
+  in
+  Net.Queue_disc.subscribe disc (function
+    | Net.Queue_disc.Enqueued packet ->
+      q.enq <- q.enq + 1;
+      q.inside <- q.inside + 1;
+      Queue.push packet.Net.Packet.uid (flow_fifo q packet.Net.Packet.flow);
+      occupancy_consistent ()
+    | Net.Queue_disc.Dropped _ ->
+      q.drop <- q.drop + 1;
+      occupancy_consistent ()
+    | Net.Queue_disc.Dequeued packet ->
+      q.deq <- q.deq + 1;
+      q.inside <- q.inside - 1;
+      check t ~subject ~rule:"queue-conservation"
+        ~detail:(fun () ->
+          Printf.sprintf "dequeued uid %d with tracked occupancy %d"
+            packet.Net.Packet.uid (q.inside + 1))
+        (q.inside >= 0);
+      let fifo = flow_fifo q packet.Net.Packet.flow in
+      (match Queue.take_opt fifo with
+      | None ->
+        report_violation t ~subject ~rule:"queue-conservation"
+          ~detail:
+            (Printf.sprintf "dequeued uid %d (flow %d) never enqueued"
+               packet.Net.Packet.uid packet.Net.Packet.flow)
+      | Some expected ->
+        check t ~subject ~rule:"queue-fifo"
+          ~detail:(fun () ->
+            Printf.sprintf
+              "flow %d reordered: dequeued uid %d while uid %d was in front"
+              packet.Net.Packet.flow packet.Net.Packet.uid expected)
+          (expected = packet.Net.Packet.uid));
+      occupancy_consistent ())
+
+let finalize_queue t q =
+  let subject = Printf.sprintf "queue %s" q.qname in
+  let stats = q.disc.Net.Queue_disc.stats in
+  check t ~subject ~rule:"queue-conservation"
+    ~detail:(fun () ->
+      Printf.sprintf
+        "at end of run: %d enqueued, %d dequeued, %d still queued" q.enq q.deq
+        (q.disc.Net.Queue_disc.length ()))
+    (q.enq - q.deq = q.disc.Net.Queue_disc.length () && q.inside >= 0);
+  check t ~subject ~rule:"queue-stats"
+    ~detail:(fun () ->
+      Printf.sprintf
+        "stats drifted from observed events: enqueued %d<>%d, dropped \
+         %d<>%d, dequeued %d<>%d"
+        (stats.Net.Queue_disc.enqueued - q.start.Net.Queue_disc.enqueued)
+        q.enq
+        (stats.Net.Queue_disc.dropped - q.start.Net.Queue_disc.dropped)
+        q.drop
+        (stats.Net.Queue_disc.dequeued - q.start.Net.Queue_disc.dequeued)
+        q.deq)
+    (stats.Net.Queue_disc.enqueued - q.start.Net.Queue_disc.enqueued = q.enq
+    && stats.Net.Queue_disc.dropped - q.start.Net.Queue_disc.dropped = q.drop
+    && stats.Net.Queue_disc.dequeued - q.start.Net.Queue_disc.dequeued = q.deq
+    )
+
+let finalize t =
+  if not t.finalized then begin
+    t.finalized <- true;
+    List.iter (finalize_queue t) t.queues
+  end
+
+let report t =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf "audit: %d checks, %d violation(s)\n" t.checks t.total);
+  List.iter
+    (fun v ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  [%.6f] %s: %s — %s\n" v.time v.subject v.rule
+           v.detail))
+    (violations t);
+  if t.total > t.max_recorded then
+    Buffer.add_string buffer
+      (Printf.sprintf "  … %d further violation(s) not recorded\n"
+         (t.total - t.max_recorded));
+  Buffer.contents buffer

@@ -1,0 +1,77 @@
+(** Runtime invariant auditor.
+
+    An auditor subscribes to the multicast event hooks of TCP senders
+    ({!Tcp.Sender_common}) and queue disciplines ({!Net.Queue_disc}) and
+    re-checks, on every event, the invariants the simulator is supposed
+    to uphold:
+
+    - {b sender ordering}: [una <= t_seqno - 1 <= maxseq], a
+      non-negative flight, [cwnd >= 1] and [ssthresh >= 2];
+    - {b dupack consistency}: past the duplicate-ACK threshold outside
+      recovery, fast retransmit must be suppressed by the [recover_mark]
+      rule (skipped for Vegas, whose fine-grained retransmit timer
+      legitimately outruns the counter);
+    - {b send labelling}: a transmission at or below the highest
+      sequence ever sent must be flagged as a retransmission, and vice
+      versa — checked against an independently maintained shadow of
+      [maxseq];
+    - {b ACK sanity}: cumulative ACKs never regress and never
+      acknowledge data beyond the shadow [maxseq];
+    - {b RR recovery}: [actnum], [ndup] and the further-loss count stay
+      non-negative, the exit point is monotone within an episode and
+      never beyond [maxseq], and [ndup] is reset at each probe-RTT
+      boundary;
+    - {b packet conservation}: each queue's observed occupancy matches
+      what the discipline reports, every dequeued packet was previously
+      enqueued, packets of one flow leave in arrival order, and the
+      discipline's statistics agree with the observed event counts.
+
+    Checks run inside the event hooks, i.e. at well-defined points of
+    each sender transaction; violations are recorded (with the engine
+    time), never raised, so a broken run still completes and reports. *)
+
+type violation = {
+  time : float;  (** engine time at detection *)
+  subject : string;  (** e.g. ["flow 0 (rr)"] or ["queue gateway"] *)
+  rule : string;  (** stable rule identifier, e.g. ["queue-fifo"] *)
+  detail : string;  (** human-readable specifics *)
+}
+
+type t
+
+(** [create ~engine ()] builds an auditor stamping violations with
+    [engine]'s clock. At most [max_recorded] violations (default 100)
+    are stored verbatim; further ones are only counted. *)
+val create : ?max_recorded:int -> engine:Sim.Engine.t -> unit -> t
+
+(** [attach_sender t ~label agent] subscribes the sender checks to
+    [agent]'s hooks. Pass [?rr] to also check Robust-Recovery
+    invariants through the introspection handle. [label] names the
+    subject in reports. *)
+val attach_sender :
+  t -> ?rr:Core.Rr.handle -> label:string -> Tcp.Agent.t -> unit
+
+(** [attach_queue t ~name disc] subscribes the packet-conservation
+    checks to [disc]. Occupancy already queued at attach time must be
+    zero (attach before the run starts). *)
+val attach_queue : t -> name:string -> Net.Queue_disc.t -> unit
+
+(** [finalize t] runs the end-of-run checks (queue-statistics
+    consistency, final occupancy). Idempotent. *)
+val finalize : t -> unit
+
+(** [ok t] is [true] when no check has failed so far. *)
+val ok : t -> bool
+
+(** [violation_count t] counts all failed checks, including those
+    beyond the recording cap. *)
+val violation_count : t -> int
+
+(** [checks_run t] counts individual invariant evaluations. *)
+val checks_run : t -> int
+
+(** [violations t] lists recorded violations, oldest first. *)
+val violations : t -> violation list
+
+(** [report t] renders a multi-line summary ending in a newline. *)
+val report : t -> string

@@ -1,0 +1,52 @@
+type t = {
+  out : out_channel;
+  last_cumulative : (int, int) Hashtbl.t;  (* flow -> highest ackno seen *)
+}
+
+let create ~out () = { out; last_cumulative = Hashtbl.create 7 }
+
+let line t fmt = Printf.ksprintf (fun s -> output_string t.out (s ^ "\n")) fmt
+
+let attach_sender t agent =
+  let flow = agent.Tcp.Agent.flow in
+  let base = agent.Tcp.Agent.base in
+  Tcp.Sender_common.on_send base (fun ~time ~seq ~retx ->
+      line t {|{"t":%.6f,"ev":"send","flow":%d,"seq":%d,"retx":%b}|} time flow
+        seq retx);
+  Tcp.Sender_common.on_ack base (fun ~time ~ackno ->
+      let dup =
+        match Hashtbl.find_opt t.last_cumulative flow with
+        | Some highest -> ackno <= highest
+        | None -> false
+      in
+      if not dup then Hashtbl.replace t.last_cumulative flow ackno;
+      line t {|{"t":%.6f,"ev":"ack","flow":%d,"ackno":%d,"dup":%b}|} time flow
+        ackno dup);
+  Tcp.Sender_common.on_recovery_enter base (fun ~time ->
+      line t {|{"t":%.6f,"ev":"recovery_enter","flow":%d}|} time flow);
+  Tcp.Sender_common.on_recovery_exit base (fun ~time ->
+      line t {|{"t":%.6f,"ev":"recovery_exit","flow":%d}|} time flow);
+  Tcp.Sender_common.on_timeout base (fun ~time ->
+      line t {|{"t":%.6f,"ev":"timeout","flow":%d}|} time flow)
+
+let packet_fields (packet : Net.Packet.t) =
+  match packet.kind with
+  | Net.Packet.Data { seq } ->
+    Printf.sprintf {|"flow":%d,"kind":"data","seq":%d,"uid":%d|} packet.flow
+      seq packet.uid
+  | Net.Packet.Ack { ackno; _ } ->
+    Printf.sprintf {|"flow":%d,"kind":"ack","ackno":%d,"uid":%d|} packet.flow
+      ackno packet.uid
+
+let attach_queue t ~engine ~name disc =
+  Net.Queue_disc.subscribe disc (fun event ->
+      let ev, packet =
+        match event with
+        | Net.Queue_disc.Enqueued p -> ("enqueue", p)
+        | Net.Queue_disc.Dropped p -> ("drop", p)
+        | Net.Queue_disc.Dequeued p -> ("dequeue", p)
+      in
+      line t {|{"t":%.6f,"ev":"%s","queue":"%s",%s}|} (Sim.Engine.now engine)
+        ev name (packet_fields packet))
+
+let flush t = flush t.out

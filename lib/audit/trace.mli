@@ -1,0 +1,39 @@
+(** Structured JSONL event tracing.
+
+    A tracer subscribes to the same multicast hooks as the auditor and
+    writes one JSON object per line to an output channel. Events and
+    their fields:
+
+    {v
+    {"t":0.102340,"ev":"send","flow":0,"seq":12,"retx":false}
+    {"t":0.134200,"ev":"ack","flow":0,"ackno":12,"dup":false}
+    {"t":0.150000,"ev":"recovery_enter","flow":0}
+    {"t":0.310000,"ev":"recovery_exit","flow":0}
+    {"t":1.540000,"ev":"timeout","flow":0}
+    {"t":0.104510,"ev":"enqueue","queue":"gateway","flow":0,"kind":"data","seq":13,"uid":44}
+    {"t":0.104510,"ev":"drop","queue":"gateway","flow":1,"kind":"data","seq":7,"uid":45}
+    {"t":0.112010,"ev":"dequeue","queue":"gateway","flow":0,"kind":"data","seq":13,"uid":44}
+    v}
+
+    [t] is the engine time in seconds, [seq]/[ackno] are packet-unit
+    sequence numbers, [uid] is the per-simulation packet id and [dup]
+    marks ACKs that do not advance the flow's cumulative point. The
+    channel is owned by the caller; the tracer only writes and
+    {!flush}es. *)
+
+type t
+
+(** [create ~out ()] builds a tracer writing to [out]. *)
+val create : out:out_channel -> unit -> t
+
+(** [attach_sender t agent] records send/ack/recovery/timeout events of
+    [agent]. *)
+val attach_sender : t -> Tcp.Agent.t -> unit
+
+(** [attach_queue t ~engine ~name disc] records enqueue/drop/dequeue
+    events of [disc], stamped with [engine]'s clock and labelled
+    [name]. *)
+val attach_queue : t -> engine:Sim.Engine.t -> name:string -> Net.Queue_disc.t -> unit
+
+(** [flush t] flushes the underlying channel. *)
+val flush : t -> unit

@@ -59,7 +59,7 @@ let enter_recovery base state =
   base.counters.Tcp.Counters.fast_retransmits <-
     base.counters.Tcp.Counters.fast_retransmits + 1;
   base.recover_mark <- base.maxseq;
-  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  notify_recovery_enter base;
   state.recovery <-
     Some
       {
@@ -89,7 +89,7 @@ let exit_recovery ~ablation base state r ~ackno =
     (if base.cwnd < base.ssthresh then Slow_start else Congestion_avoidance);
   state.recovery <- None;
   state.completed_recoveries <- state.completed_recoveries + 1;
-  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine);
+  notify_recovery_exit base;
   send_much base
 
 (* A partial ACK: the RTT boundary of the probe sub-phase. Detect
@@ -192,3 +192,6 @@ let create ~engine ~params ~flow ~emit () =
 
 let create_ablated ~engine ~params ~flow ~emit ~ablation () =
   fst (make ~engine ~params ~flow ~emit ~ablation ())
+
+let create_ablated_with_handle ~engine ~params ~flow ~emit ~ablation () =
+  make ~engine ~params ~flow ~emit ~ablation ()

@@ -112,3 +112,14 @@ val create_ablated :
   ablation:ablation ->
   unit ->
   Tcp.Agent.t
+
+(** [create_ablated_with_handle] is {!create_ablated} plus the
+    introspection handle, so ablation runs stay auditable. *)
+val create_ablated_with_handle :
+  engine:Sim.Engine.t ->
+  params:Tcp.Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  ablation:ablation ->
+  unit ->
+  Tcp.Agent.t * handle

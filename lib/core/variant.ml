@@ -31,3 +31,11 @@ let create t ~engine ~params ~flow ~emit () =
   | Fack -> Tcp.Fack.create ~engine ~params ~flow ~emit ()
   | Vegas -> Tcp.Vegas.create ~engine ~params ~flow ~emit ()
   | Rr -> Rr.create ~engine ~params ~flow ~emit ()
+
+let create_inspected t ~engine ~params ~flow ~emit () =
+  match t with
+  | Rr ->
+    let agent, handle = Rr.create_with_handle ~engine ~params ~flow ~emit () in
+    (agent, Some handle)
+  | Tahoe | Reno | Newreno | Sack | Fack | Vegas ->
+    (create t ~engine ~params ~flow ~emit (), None)

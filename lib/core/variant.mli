@@ -26,3 +26,15 @@ val create :
   emit:(Net.Packet.t -> unit) ->
   unit ->
   Tcp.Agent.t
+
+(** [create_inspected t …] is {!create} plus the RR introspection handle
+    when [t] is {!Rr} ([None] otherwise) — the hook auditors need to
+    check RR's recovery invariants ([actnum], [ndup], exit point). *)
+val create_inspected :
+  t ->
+  engine:Sim.Engine.t ->
+  params:Tcp.Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Tcp.Agent.t * Rr.handle option

@@ -32,7 +32,11 @@ let run ?(drops = 6) ?(measure_window = 3.0) () =
     List.map
       (fun (label, ablation) ->
         let make ~engine ~params ~flow ~emit () =
-          Core.Rr.create_ablated ~engine ~params ~flow ~emit ~ablation ()
+          let agent, handle =
+            Core.Rr.create_ablated_with_handle ~engine ~params ~flow ~emit
+              ~ablation ()
+          in
+          Scenario.build ~rr:handle agent
         in
         let t =
           Scenario.run

@@ -1,12 +1,16 @@
 type source = Infinite | File_bytes of int
 
+type built = { agent : Tcp.Agent.t; rr_handle : Core.Rr.handle option }
+
+let build ?rr agent = { agent; rr_handle = rr }
+
 type agent_maker =
   engine:Sim.Engine.t ->
   params:Tcp.Params.t ->
   flow:int ->
   emit:(Net.Packet.t -> unit) ->
   unit ->
-  Tcp.Agent.t
+  built
 
 type flow_spec = {
   label : string;
@@ -22,7 +26,10 @@ let flow ?(start = 0.0) ?(source = Infinite) ?(direction = Net.Dumbbell.Forward)
     label = Core.Variant.name variant;
     make =
       (fun ~engine ~params ~flow ~emit () ->
-        Core.Variant.create variant ~engine ~params ~flow ~emit ());
+        let agent, rr_handle =
+          Core.Variant.create_inspected variant ~engine ~params ~flow ~emit ()
+        in
+        { agent; rr_handle });
     start;
     source;
     direction;
@@ -40,11 +47,13 @@ type spec = {
   delayed_ack : bool;
   monitor_queue : float option;
   side_delays : float array option;
+  trace_out : out_channel option;
 }
 
 let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
-    ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays () =
+    ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays
+    ?trace_out () =
   {
     config;
     flows;
@@ -57,11 +66,13 @@ let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     delayed_ack;
     monitor_queue;
     side_delays;
+    trace_out;
   }
 
 type flow_result = {
   spec : flow_spec;
   agent : Tcp.Agent.t;
+  rr_handle : Core.Rr.handle option;
   receiver : Tcp.Receiver.t;
   trace : Stats.Flow_trace.t;
   mutable completion : Workload.Ftp.completion option;
@@ -73,6 +84,7 @@ type t = {
   results : flow_result array;
   drop_log : (float * int * int) list;
   queue_occupancy : Stats.Series.t option;
+  auditor : Audit.Auditor.t;
 }
 
 let rtt_estimate config ~mss ~ack_size =
@@ -139,8 +151,17 @@ let run spec =
       ~directions ()
   in
   topology_cell := Some topology;
+  let auditor = Audit.Auditor.create ~engine () in
+  let tracer = Option.map (fun out -> Audit.Trace.create ~out ()) spec.trace_out in
+  List.iter
+    (fun (name, queue) ->
+      Audit.Auditor.attach_queue auditor ~name queue;
+      Option.iter
+        (fun tr -> Audit.Trace.attach_queue tr ~engine ~name queue)
+        tracer)
+    (Net.Dumbbell.queues topology);
   let make_flow flow_id flow_spec =
-    let agent =
+    let ({ agent; rr_handle } : built) =
       flow_spec.make ~engine ~params:spec.params ~flow:flow_id
         ~emit:(fun packet -> Net.Dumbbell.inject_data topology ~flow:flow_id packet)
         ()
@@ -155,7 +176,13 @@ let run spec =
     Net.Dumbbell.on_data topology ~flow:flow_id (Tcp.Receiver.deliver receiver);
     Net.Dumbbell.on_ack topology ~flow:flow_id agent.Tcp.Agent.deliver_ack;
     let trace = Stats.Flow_trace.attach agent in
-    let result = { spec = flow_spec; agent; receiver; trace; completion = None } in
+    Audit.Auditor.attach_sender auditor ?rr:rr_handle
+      ~label:(Printf.sprintf "flow %d (%s)" flow_id flow_spec.label)
+      agent;
+    Option.iter (fun tr -> Audit.Trace.attach_sender tr agent) tracer;
+    let result =
+      { spec = flow_spec; agent; rr_handle; receiver; trace; completion = None }
+    in
     (match flow_spec.source with
     | Infinite ->
       Workload.Ftp.persistent ~engine ~agent ~at:flow_spec.start
@@ -174,7 +201,18 @@ let run spec =
       spec.monitor_queue
   in
   Sim.Engine.run_until engine ~time:spec.duration;
-  { engine; topology; results; drop_log = List.rev !drop_log; queue_occupancy }
+  Audit.Auditor.finalize auditor;
+  Option.iter Audit.Trace.flush tracer;
+  if not (Audit.Auditor.ok auditor) then
+    prerr_string (Audit.Auditor.report auditor);
+  {
+    engine;
+    topology;
+    results;
+    drop_log = List.rev !drop_log;
+    queue_occupancy;
+    auditor;
+  }
 
 let drops t ~flow = Net.Dumbbell.drops_of_flow t.topology flow
 

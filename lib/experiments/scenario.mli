@@ -8,13 +8,21 @@
 
 type source = Infinite | File_bytes of int
 
+(** What an {!agent_maker} hands back: the agent plus, for
+    Robust-Recovery senders, the introspection handle the run's auditor
+    uses to check RR invariants. *)
+type built = { agent : Tcp.Agent.t; rr_handle : Core.Rr.handle option }
+
+(** [build ?rr agent] packages an agent for a custom {!agent_maker}. *)
+val build : ?rr:Core.Rr.handle -> Tcp.Agent.t -> built
+
 type agent_maker =
   engine:Sim.Engine.t ->
   params:Tcp.Params.t ->
   flow:int ->
   emit:(Net.Packet.t -> unit) ->
   unit ->
-  Tcp.Agent.t
+  built
 
 type flow_spec = {
   label : string;
@@ -52,6 +60,9 @@ type spec = {
       (** sample the bottleneck queue length every this many seconds *)
   side_delays : float array option;
       (** per-flow access-link delay override (heterogeneous RTTs) *)
+  trace_out : out_channel option;
+      (** when set, a structured JSONL event trace ({!Audit.Trace}) of
+          every sender and queue is written there during the run *)
 }
 
 (** [make ~config ~flows ()] builds a spec with the defaults the paper's
@@ -69,12 +80,14 @@ val make :
   ?delayed_ack:bool ->
   ?monitor_queue:float ->
   ?side_delays:float array ->
+  ?trace_out:out_channel ->
   unit ->
   spec
 
 type flow_result = {
   spec : flow_spec;
   agent : Tcp.Agent.t;
+  rr_handle : Core.Rr.handle option;
   receiver : Tcp.Receiver.t;
   trace : Stats.Flow_trace.t;
   mutable completion : Workload.Ftp.completion option;
@@ -89,9 +102,18 @@ type t = {
           seq -1 for ACKs *)
   queue_occupancy : Stats.Series.t option;
       (** bottleneck queue length over time, when monitoring was on *)
+  auditor : Audit.Auditor.t;
+      (** the run's invariant auditor — always attached to every sender
+          and queue; violations are reported on stderr after the run and
+          left here for callers to inspect *)
 }
 
-(** [run spec] builds and executes the scenario to [spec.duration]. *)
+(** [run spec] builds and executes the scenario to [spec.duration].
+
+    Every run carries an {!Audit.Auditor} subscribed to each sender and
+    each queue of the topology; if any invariant fails the report is
+    printed to [stderr] (the run still completes — use [t.auditor] to
+    fail programmatically). *)
 val run : spec -> t
 
 (** [drops t ~flow] is that flow's total drop count. *)

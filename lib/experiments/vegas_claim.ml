@@ -36,7 +36,8 @@ let make_flow label = function
       Scenario.label;
       make =
         (fun ~engine ~params ~flow ~emit () ->
-          Tcp.Vegas.create_with ~engine ~params ~flow ~emit ~mechanisms ());
+          Scenario.build
+            (Tcp.Vegas.create_with ~engine ~params ~flow ~emit ~mechanisms ()));
       start = 0.0;
       source = Scenario.Infinite;
       direction = Net.Dumbbell.Forward;

@@ -25,11 +25,7 @@ let create ~capacity ?(on_drop = fun _ -> ()) () =
       stats.dequeued <- stats.dequeued + 1;
       Some packet
   in
-  {
-    Queue_disc.name = "droptail";
-    enqueue;
-    dequeue;
-    length = (fun () -> Queue.length fifo);
-    byte_length = (fun () -> !bytes);
-    stats;
-  }
+  Queue_disc.make ~name:"droptail" ~enqueue ~dequeue
+    ~length:(fun () -> Queue.length fifo)
+    ~byte_length:(fun () -> !bytes)
+    ~stats ()

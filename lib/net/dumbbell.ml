@@ -37,6 +37,7 @@ type t = {
   bottleneck : Link.t;
   red_stats : Red.drop_stats option;
   drops : int array;  (* per-flow drop ledger *)
+  queues : (string * Queue_disc.t) list;  (* every disc, gateway first *)
 }
 
 let count_drop t packet =
@@ -159,6 +160,20 @@ let create ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
           ~queue:(droptail config.reverse_capacity)
           ~dst:reverse_entry ())
   in
+  let named prefix links =
+    Array.to_list
+      (Array.mapi
+         (fun flow link -> (Printf.sprintf "%s%d" prefix flow, Link.queue link))
+         links)
+  in
+  let queues =
+    (("gateway", Link.queue bottleneck)
+    :: ("reverse_gateway", Link.queue reverse_bottleneck)
+    :: named "access_fwd" forward_access)
+    @ named "access_rev" reverse_access
+    @ named "exit_fwd" exit_forward_trunk
+    @ named "exit_rev" exit_reverse_trunk
+  in
   {
     config;
     directions;
@@ -169,6 +184,7 @@ let create ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
     bottleneck;
     red_stats;
     drops;
+    queues;
   }
 
 let inject_data t ~flow packet =
@@ -186,5 +202,7 @@ let on_data t ~flow handler = t.data_handlers.(flow) := handler
 let on_ack t ~flow handler = t.ack_handlers.(flow) := handler
 
 let bottleneck_queue t = Link.queue t.bottleneck
+
+let queues t = t.queues
 
 let red_stats t = t.red_stats

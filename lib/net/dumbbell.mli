@@ -80,6 +80,12 @@ val on_ack : t -> flow:int -> (Packet.t -> unit) -> unit
 (** [bottleneck_queue t] is the gateway discipline under test. *)
 val bottleneck_queue : t -> Queue_disc.t
 
+(** [queues t] names every queue discipline in the topology — the
+    gateway under test first ("gateway"), then the reverse gateway and
+    the per-flow access/exit buffers — so auditors and tracers can
+    {!Queue_disc.subscribe} to all of them. *)
+val queues : t -> (string * Queue_disc.t) list
+
 (** [red_stats t] classifies RED drops when the gateway is RED. *)
 val red_stats : t -> Red.drop_stats option
 

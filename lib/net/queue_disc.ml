@@ -5,6 +5,8 @@ type stats = {
   mutable bytes_dropped : int;
 }
 
+type event = Enqueued of Packet.t | Dropped of Packet.t | Dequeued of Packet.t
+
 type t = {
   name : string;
   enqueue : Packet.t -> bool;
@@ -12,7 +14,31 @@ type t = {
   length : unit -> int;
   byte_length : unit -> int;
   stats : stats;
+  observers : (event -> unit) list ref;
 }
 
 let fresh_stats () =
   { enqueued = 0; dropped = 0; dequeued = 0; bytes_dropped = 0 }
+
+let subscribe t f = t.observers := !(t.observers) @ [ f ]
+
+let notify observers event = List.iter (fun f -> f event) !observers
+
+(* The smart constructor owns event dispatch, so concrete disciplines
+   only implement accept/drop/service policy and every discipline gets
+   the same observer semantics for free. *)
+let make ~name ~enqueue ~dequeue ~length ~byte_length ~stats () =
+  let observers = ref [] in
+  let enqueue packet =
+    let accepted = enqueue packet in
+    notify observers (if accepted then Enqueued packet else Dropped packet);
+    accepted
+  in
+  let dequeue () =
+    match dequeue () with
+    | None -> None
+    | Some packet ->
+      notify observers (Dequeued packet);
+      Some packet
+  in
+  { name; enqueue; dequeue; length; byte_length; stats; observers }

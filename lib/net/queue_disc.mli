@@ -3,8 +3,12 @@
     A discipline decides, per arriving packet, whether to accept or drop
     it, and hands packets back to the link in its service order. Concrete
     disciplines ({!Droptail}, {!Red}) construct values of this closure
-    record; the record style keeps links independent of the discipline's
-    internal state type. *)
+    record via {!make}; the record style keeps links independent of the
+    discipline's internal state type.
+
+    Every discipline built with {!make} carries a multicast observer
+    list: auditors and tracers {!subscribe} to see each accept, drop and
+    departure as it happens, without wrapping the queue. *)
 
 type stats = {
   mutable enqueued : int;  (** packets accepted *)
@@ -12,6 +16,10 @@ type stats = {
   mutable dequeued : int;  (** packets handed to the link *)
   mutable bytes_dropped : int;
 }
+
+(** One queue transition. [Dropped] packets were refused at enqueue and
+    never entered the queue. *)
+type event = Enqueued of Packet.t | Dropped of Packet.t | Dequeued of Packet.t
 
 type t = {
   name : string;
@@ -23,7 +31,27 @@ type t = {
   length : unit -> int;  (** packets currently queued *)
   byte_length : unit -> int;  (** bytes currently queued *)
   stats : stats;
+  observers : (event -> unit) list ref;  (** managed via {!subscribe} *)
 }
 
 (** [fresh_stats ()] is an all-zero counter record. *)
 val fresh_stats : unit -> stats
+
+(** [make ~name ~enqueue ~dequeue ~length ~byte_length ~stats ()] wraps
+    a discipline implementation so every enqueue outcome and dequeue is
+    broadcast to subscribers. Concrete disciplines must build their
+    record through this. *)
+val make :
+  name:string ->
+  enqueue:(Packet.t -> bool) ->
+  dequeue:(unit -> Packet.t option) ->
+  length:(unit -> int) ->
+  byte_length:(unit -> int) ->
+  stats:stats ->
+  unit ->
+  t
+
+(** [subscribe t f] adds [f] to the observer list; events are delivered
+    in subscription order, after the discipline's own state and [stats]
+    are updated. Subscriptions cannot be removed. *)
+val subscribe : t -> (event -> unit) -> unit

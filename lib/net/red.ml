@@ -137,14 +137,12 @@ let create_with_probe ~engine ~capacity ~params ~rng ~bandwidth_bps
     }
   in
   let disc =
-    {
-      Queue_disc.name = "red";
-      enqueue = (fun packet -> enqueue t packet);
-      dequeue = dequeue t;
-      length = (fun () -> Queue.length t.fifo);
-      byte_length = (fun () -> t.bytes);
-      stats = t.queue_stats;
-    }
+    Queue_disc.make ~name:"red"
+      ~enqueue:(fun packet -> enqueue t packet)
+      ~dequeue:(dequeue t)
+      ~length:(fun () -> Queue.length t.fifo)
+      ~byte_length:(fun () -> t.bytes)
+      ~stats:t.queue_stats ()
   in
   (disc, t.drop_stats, fun () -> t.avg)
 

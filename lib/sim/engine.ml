@@ -64,6 +64,8 @@ let run_until t ~time =
       | Some _ | None -> ()
   in
   loop ();
-  if time > t.clock then t.clock <- time
+  (* A stop mid-run leaves the clock at the last fired event; advancing
+     it to [time] anyway would fabricate an idle period that never ran. *)
+  if (not t.stopped) && time > t.clock then t.clock <- time
 
 let stop t = t.stopped <- true

@@ -39,7 +39,8 @@ val pending : t -> int
 val run : t -> unit
 
 (** [run_until t ~time] processes events with timestamps [<= time], then
-    sets the clock to [time]. *)
+    sets the clock to [time]. If {!stop} was called mid-run, the clock
+    stays at the last fired event instead. *)
 val run_until : t -> time:float -> unit
 
 (** [stop t] makes the current [run]/[run_until] return after the event

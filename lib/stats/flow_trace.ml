@@ -23,24 +23,21 @@ let attach agent =
     }
   in
   let base = agent.Tcp.Agent.base in
-  let hooks = base.Tcp.Sender_common.hooks in
-  hooks.Tcp.Sender_common.on_send <-
-    (fun ~time ~seq ~retx ->
+  Tcp.Sender_common.on_send base (fun ~time ~seq ~retx ->
       Series.add t.sends ~time ~value:(float_of_int seq);
       if retx then Series.add t.retransmissions ~time ~value:(float_of_int seq));
-  hooks.Tcp.Sender_common.on_ack <-
-    (fun ~time ~ackno ->
+  Tcp.Sender_common.on_ack base (fun ~time ~ackno ->
       Series.add t.acks ~time ~value:(float_of_int ackno);
       Series.add t.cwnd ~time ~value:base.Tcp.Sender_common.cwnd;
       match Series.last t.una with
       | Some (_, previous) when float_of_int ackno <= previous -> ()
       | Some _ | None -> Series.add t.una ~time ~value:(float_of_int ackno));
-  hooks.Tcp.Sender_common.on_recovery_enter <-
-    (fun ~time -> t.recovery_entries <- time :: t.recovery_entries);
-  hooks.Tcp.Sender_common.on_recovery_exit <-
-    (fun ~time -> t.recovery_exits <- time :: t.recovery_exits);
-  hooks.Tcp.Sender_common.on_timeout <-
-    (fun ~time -> t.timeouts <- time :: t.timeouts);
+  Tcp.Sender_common.on_recovery_enter base (fun ~time ->
+      t.recovery_entries <- time :: t.recovery_entries);
+  Tcp.Sender_common.on_recovery_exit base (fun ~time ->
+      t.recovery_exits <- time :: t.recovery_exits);
+  Tcp.Sender_common.on_timeout base (fun ~time ->
+      t.timeouts <- time :: t.timeouts);
   t
 
 let recovery_episodes t =

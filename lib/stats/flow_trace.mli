@@ -18,8 +18,9 @@ type t = {
   mutable timeouts : float list;
 }
 
-(** [attach agent] installs hooks on the agent's sender state (replacing
-    any previous hooks) and returns the live recorder. *)
+(** [attach agent] subscribes observers on the agent's sender state —
+    other observers (auditors, tracers) can coexist — and returns the
+    live recorder. *)
 val attach : Tcp.Agent.t -> t
 
 (** [recovery_episodes t] pairs up entry/exit times, oldest first;

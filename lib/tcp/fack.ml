@@ -62,7 +62,7 @@ let enter_recovery base state =
   base.counters.Counters.fast_retransmits <-
     base.counters.Counters.fast_retransmits + 1;
   base.recover_mark <- base.maxseq;
-  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  notify_recovery_enter base;
   state.recover <- base.maxseq;
   Seqset.clear state.retransmitted;
   ignore (halve_ssthresh base : float);
@@ -83,7 +83,7 @@ let exit_recovery base state =
   base.phase <- Congestion_avoidance;
   base.dupacks <- 0;
   Seqset.clear state.retransmitted;
-  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+  notify_recovery_exit base
 
 (* FACK's trigger: enough data is known to have left the network,
    whether or not three literal duplicate ACKs arrived. *)

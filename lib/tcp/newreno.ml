@@ -5,7 +5,7 @@ type state = { mutable recover : int }
 let enter_recovery base state =
   base.counters.Counters.fast_retransmits <-
     base.counters.Counters.fast_retransmits + 1;
-  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  notify_recovery_enter base;
   state.recover <- base.maxseq;
   base.recover_mark <- base.maxseq;
   let ssthresh = halve_ssthresh base in
@@ -19,7 +19,7 @@ let exit_recovery base =
   base.cwnd <- base.ssthresh;
   base.phase <- Congestion_avoidance;
   base.dupacks <- 0;
-  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+  notify_recovery_exit base
 
 let recv_ack base state ~ackno =
   if ackno > base.una then begin

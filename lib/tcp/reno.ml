@@ -4,7 +4,7 @@ let enter_recovery base =
   base.counters.Counters.fast_retransmits <-
     base.counters.Counters.fast_retransmits + 1;
   base.recover_mark <- base.maxseq;
-  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  notify_recovery_enter base;
   let ssthresh = halve_ssthresh base in
   base.cwnd <- ssthresh +. float_of_int base.params.Params.dupack_threshold;
   base.phase <- Recovery;
@@ -17,7 +17,7 @@ let exit_recovery base =
   base.phase <-
     (if base.cwnd < base.ssthresh then Slow_start else Congestion_avoidance);
   base.dupacks <- 0;
-  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+  notify_recovery_exit base
 
 let recv_ack base ~ackno =
   if ackno > base.una then begin

@@ -42,7 +42,11 @@ let value t =
      1-second floor backs off 1, 2, 4, ... as classic TCP does. *)
   let base = Float.max t.min_rto (base_value t) in
   let v = Float.min t.max_rto (base *. t.backoff_factor) in
-  if t.tick <= 0.0 then v else ceil (v /. t.tick) *. t.tick
+  if t.tick <= 0.0 then v
+  else
+    (* Clamp again after rounding up to the tick: [max_rto] is a hard
+       ceiling, even when it does not fall on a tick boundary. *)
+    Float.min t.max_rto (ceil (v /. t.tick) *. t.tick)
 
 let backoff t =
   t.backoff_factor <- Float.min (t.backoff_factor *. 2.0) 64.0

@@ -60,7 +60,7 @@ let send_while_pipe_allows base state =
 let enter_recovery base state =
   base.counters.Counters.fast_retransmits <-
     base.counters.Counters.fast_retransmits + 1;
-  base.hooks.on_recovery_enter ~time:(Sim.Engine.now base.engine);
+  notify_recovery_enter base;
   state.recover <- base.maxseq;
   base.recover_mark <- base.maxseq;
   Seqset.clear state.retransmitted;
@@ -86,7 +86,7 @@ let exit_recovery base state =
   base.dupacks <- 0;
   state.pipe <- 0;
   Seqset.clear state.retransmitted;
-  base.hooks.on_recovery_exit ~time:(Sim.Engine.now base.engine)
+  notify_recovery_exit base
 
 let recv_ack base state ~ackno ~sack =
   update_scoreboard state ~sack;

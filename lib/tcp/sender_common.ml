@@ -1,11 +1,14 @@
 type phase = Slow_start | Congestion_avoidance | Recovery
 
+(* Multicast observer lists, stored in subscription order. Every
+   observer sees every event; subscribing never displaces an earlier
+   subscriber (the seed's single-slot hooks silently clobbered). *)
 type hooks = {
-  mutable on_send : time:float -> seq:int -> retx:bool -> unit;
-  mutable on_ack : time:float -> ackno:int -> unit;
-  mutable on_recovery_enter : time:float -> unit;
-  mutable on_recovery_exit : time:float -> unit;
-  mutable on_timeout : time:float -> unit;
+  mutable send_hooks : (time:float -> seq:int -> retx:bool -> unit) list;
+  mutable ack_hooks : (time:float -> ackno:int -> unit) list;
+  mutable recovery_enter_hooks : (time:float -> unit) list;
+  mutable recovery_exit_hooks : (time:float -> unit) list;
+  mutable timeout_hooks : (time:float -> unit) list;
 }
 
 type t = {
@@ -34,12 +37,40 @@ type t = {
 
 let no_op_hooks () =
   {
-    on_send = (fun ~time:_ ~seq:_ ~retx:_ -> ());
-    on_ack = (fun ~time:_ ~ackno:_ -> ());
-    on_recovery_enter = (fun ~time:_ -> ());
-    on_recovery_exit = (fun ~time:_ -> ());
-    on_timeout = (fun ~time:_ -> ());
+    send_hooks = [];
+    ack_hooks = [];
+    recovery_enter_hooks = [];
+    recovery_exit_hooks = [];
+    timeout_hooks = [];
   }
+
+let on_send t f = t.hooks.send_hooks <- t.hooks.send_hooks @ [ f ]
+let on_ack t f = t.hooks.ack_hooks <- t.hooks.ack_hooks @ [ f ]
+
+let on_recovery_enter t f =
+  t.hooks.recovery_enter_hooks <- t.hooks.recovery_enter_hooks @ [ f ]
+
+let on_recovery_exit t f =
+  t.hooks.recovery_exit_hooks <- t.hooks.recovery_exit_hooks @ [ f ]
+
+let on_timeout t f = t.hooks.timeout_hooks <- t.hooks.timeout_hooks @ [ f ]
+
+let fire_send t ~time ~seq ~retx =
+  List.iter (fun f -> f ~time ~seq ~retx) t.hooks.send_hooks
+
+let fire_ack t ~time ~ackno =
+  List.iter (fun f -> f ~time ~ackno) t.hooks.ack_hooks
+
+let notify_recovery_enter t =
+  let time = Sim.Engine.now t.engine in
+  List.iter (fun f -> f ~time) t.hooks.recovery_enter_hooks
+
+let notify_recovery_exit t =
+  let time = Sim.Engine.now t.engine in
+  List.iter (fun f -> f ~time) t.hooks.recovery_exit_hooks
+
+let fire_timeout t ~time =
+  List.iter (fun f -> f ~time) t.hooks.timeout_hooks
 
 let create ~engine ~params ~flow ~emit ~timeout_action () =
   Params.validate params;
@@ -112,7 +143,7 @@ let send_segment t ~seq ~retx =
       ~size_bytes:t.params.Params.mss ~born:now
   in
   if seq > t.maxseq then t.maxseq <- seq;
-  t.hooks.on_send ~time:now ~seq ~retx;
+  fire_send t ~time:now ~seq ~retx;
   t.emit packet;
   if not (Sim.Timer.is_armed (timer_exn t)) then restart_rtx_timer t
 
@@ -122,7 +153,7 @@ let send_new_data t ~count =
     else begin
       let seq = t.t_seqno in
       if app_has_data t ~seq then begin
-        send_segment t ~seq ~retx:false;
+        send_segment t ~seq ~retx:(seq <= t.maxseq);
         t.t_seqno <- seq + 1;
         loop (sent + 1)
       end
@@ -197,7 +228,7 @@ let advance_una t ~ackno =
      send point; new transmission resumes from the ACK. *)
   if t.t_seqno < t.una + 1 then t.t_seqno <- t.una + 1;
   if outstanding t > 0 then restart_rtx_timer t else cancel_rtx_timer t;
-  t.hooks.on_ack ~time:now ~ackno;
+  fire_ack t ~time:now ~ackno;
   check_complete t
 
 let may_fast_retransmit t = t.una > t.recover_mark
@@ -209,7 +240,10 @@ let limited_transmit t =
     && app_has_data t ~seq:t.t_seqno
     && float_of_int (outstanding t) < window t +. 2.0
   then begin
-    send_segment t ~seq:t.t_seqno ~retx:false;
+    (* After a go-back-N rollback [t_seqno] can sit below [maxseq];
+       labelling such a send as fresh would skew counters and start an
+       RTT timing Karn's rule forbids. *)
+    send_segment t ~seq:t.t_seqno ~retx:(t.t_seqno <= t.maxseq);
     t.t_seqno <- t.t_seqno + 1
   end
 
@@ -217,12 +251,12 @@ let note_dupack t =
   t.counters.Counters.dupacks_received <-
     t.counters.Counters.dupacks_received + 1;
   let now = Sim.Engine.now t.engine in
-  t.hooks.on_ack ~time:now ~ackno:t.una
+  fire_ack t ~time:now ~ackno:t.una
 
 let timeout_common t =
   let now = Sim.Engine.now t.engine in
   t.counters.Counters.timeouts <- t.counters.Counters.timeouts + 1;
-  t.hooks.on_timeout ~time:now;
+  fire_timeout t ~time:now;
   Rto.backoff t.rto;
   t.ssthresh <- Float.max (window t /. 2.0) 2.0;
   t.cwnd <- 1.0;

@@ -15,13 +15,9 @@
 
 type phase = Slow_start | Congestion_avoidance | Recovery
 
-type hooks = {
-  mutable on_send : time:float -> seq:int -> retx:bool -> unit;
-  mutable on_ack : time:float -> ackno:int -> unit;
-  mutable on_recovery_enter : time:float -> unit;
-  mutable on_recovery_exit : time:float -> unit;
-  mutable on_timeout : time:float -> unit;
-}
+(** Multicast observer registry. Subscribe with {!on_send} & friends;
+    every subscriber sees every event, in subscription order. *)
+type hooks
 
 type t = {
   engine : Sim.Engine.t;
@@ -141,3 +137,39 @@ val set_app_limit : t -> int option -> unit
 
 (** [start t] begins transmission (initial [send_much]). *)
 val start : t -> unit
+
+(** {1 Event observation}
+
+    Multicast subscriptions: any number of observers (flow traces,
+    auditors, structured tracers) can attach to one sender; each event
+    is delivered to every subscriber in subscription order.
+    Subscriptions cannot be removed — observers live as long as the
+    sender. *)
+
+(** [on_send t f] calls [f] on every transmission, after the sender's
+    own bookkeeping ([maxseq], counters) is updated. *)
+val on_send : t -> (time:float -> seq:int -> retx:bool -> unit) -> unit
+
+(** [on_ack t f] calls [f] on every ACK event: cumulative advances
+    (from {!advance_una}, after [una] moved) and duplicates (from
+    {!note_dupack}, with [ackno = una]). *)
+val on_ack : t -> (time:float -> ackno:int -> unit) -> unit
+
+(** [on_recovery_enter t f] calls [f] when a variant announces loss
+    recovery (via {!notify_recovery_enter}). *)
+val on_recovery_enter : t -> (time:float -> unit) -> unit
+
+(** [on_recovery_exit t f] is the matching exit notification. *)
+val on_recovery_exit : t -> (time:float -> unit) -> unit
+
+(** [on_timeout t f] calls [f] at every RTO expiry, before the
+    timeout's state changes are applied. *)
+val on_timeout : t -> (time:float -> unit) -> unit
+
+(** [notify_recovery_enter t] broadcasts recovery entry at the current
+    engine time. For variant implementations ({!Reno}, {!Sack}, RR, …) —
+    observers should subscribe instead. *)
+val notify_recovery_enter : t -> unit
+
+(** [notify_recovery_exit t] broadcasts recovery exit. *)
+val notify_recovery_exit : t -> unit

@@ -22,9 +22,8 @@ let make ?(params = params) create =
   let agent =
     create ~engine ~params ~flow:0 ~emit:(fun (_ : Net.Packet.t) -> ()) ()
   in
-  let hooks = agent.Tcp.Agent.base.Tcp.Sender_common.hooks in
-  hooks.Tcp.Sender_common.on_send <-
-    (fun ~time ~seq ~retx -> log := { at = time; seq; retx } :: !log);
+  Tcp.Sender_common.on_send agent.Tcp.Agent.base (fun ~time ~seq ~retx ->
+      log := { at = time; seq; retx } :: !log);
   { engine; agent; log; ack_uid = 0 }
 
 let base t = t.agent.Tcp.Agent.base

@@ -1,0 +1,264 @@
+(* Auditor tests, in two directions:
+
+   - detection power: deliberately broken components (a LIFO queue, a
+     corrupted cwnd) must be flagged;
+   - soundness sweeps: seeded runs of the real stack — five variants,
+     drop-tail and RED gateways, burst and random drop patterns — must
+     produce zero violations while running plenty of checks. *)
+
+let packet ~uid ~seq = Net.Packet.data ~uid ~flow:0 ~seq ~size_bytes:1000 ~born:0.0
+
+let rules auditor =
+  List.map (fun v -> v.Audit.Auditor.rule) (Audit.Auditor.violations auditor)
+
+let test_detects_reordering () =
+  let engine = Sim.Engine.create () in
+  let auditor = Audit.Auditor.create ~engine () in
+  (* A LIFO "queue" with honest statistics: only the same-flow ordering
+     invariant is broken. *)
+  let stack = ref [] in
+  let stats = Net.Queue_disc.fresh_stats () in
+  let disc =
+    Net.Queue_disc.make ~name:"lifo"
+      ~enqueue:(fun p ->
+        stack := p :: !stack;
+        stats.Net.Queue_disc.enqueued <- stats.Net.Queue_disc.enqueued + 1;
+        true)
+      ~dequeue:(fun () ->
+        match !stack with
+        | [] -> None
+        | p :: rest ->
+          stack := rest;
+          stats.Net.Queue_disc.dequeued <- stats.Net.Queue_disc.dequeued + 1;
+          Some p)
+      ~length:(fun () -> List.length !stack)
+      ~byte_length:(fun () -> 1000 * List.length !stack)
+      ~stats ()
+  in
+  Audit.Auditor.attach_queue auditor ~name:"lifo" disc;
+  ignore (disc.Net.Queue_disc.enqueue (packet ~uid:1 ~seq:0) : bool);
+  ignore (disc.Net.Queue_disc.enqueue (packet ~uid:2 ~seq:1) : bool);
+  ignore (disc.Net.Queue_disc.dequeue () : Net.Packet.t option);
+  Alcotest.(check bool) "caught" false (Audit.Auditor.ok auditor);
+  Alcotest.(check bool) "as a fifo violation" true
+    (List.mem "queue-fifo" (rules auditor))
+
+let test_detects_occupancy_leak () =
+  let engine = Sim.Engine.create () in
+  let auditor = Audit.Auditor.create ~engine () in
+  (* A queue that loses every other packet: accepted (and counted) but
+     never dequeueable. *)
+  let fifo : Net.Packet.t Queue.t = Queue.create () in
+  let stats = Net.Queue_disc.fresh_stats () in
+  let counter = ref 0 in
+  let disc =
+    Net.Queue_disc.make ~name:"leaky"
+      ~enqueue:(fun p ->
+        incr counter;
+        if !counter mod 2 = 0 then Queue.push p fifo;
+        stats.Net.Queue_disc.enqueued <- stats.Net.Queue_disc.enqueued + 1;
+        true)
+      ~dequeue:(fun () -> Queue.take_opt fifo)
+      ~length:(fun () -> Queue.length fifo)
+      ~byte_length:(fun () -> 1000 * Queue.length fifo)
+      ~stats ()
+  in
+  Audit.Auditor.attach_queue auditor ~name:"leaky" disc;
+  ignore (disc.Net.Queue_disc.enqueue (packet ~uid:1 ~seq:0) : bool);
+  Alcotest.(check bool) "leak caught" false (Audit.Auditor.ok auditor);
+  Alcotest.(check bool) "as conservation" true
+    (List.mem "queue-conservation" (rules auditor))
+
+let test_detects_corrupt_cwnd () =
+  let h = Harness.make Tcp.Reno.create in
+  let engine = Sim.Engine.create () in
+  let auditor = Audit.Auditor.create ~engine () in
+  Audit.Auditor.attach_sender auditor ~label:"flow 0 (reno)" h.Harness.agent;
+  Harness.start h;
+  Harness.deliver_ack h 0;
+  Alcotest.(check bool) "healthy so far" true (Audit.Auditor.ok auditor);
+  (* Corrupt the window below the floor; the next event must trip the
+     sender-window rule. *)
+  (Harness.base h).Tcp.Sender_common.cwnd <- 0.25;
+  Harness.deliver_ack h 2;
+  Alcotest.(check bool) "corruption caught" false (Audit.Auditor.ok auditor);
+  Alcotest.(check bool) "as sender-window" true
+    (List.mem "sender-window" (rules auditor))
+
+let test_finalize_flags_stats_drift () =
+  let engine = Sim.Engine.create () in
+  let auditor = Audit.Auditor.create ~engine () in
+  let fifo : Net.Packet.t Queue.t = Queue.create () in
+  let stats = Net.Queue_disc.fresh_stats () in
+  let disc =
+    Net.Queue_disc.make ~name:"overcounting"
+      ~enqueue:(fun p ->
+        Queue.push p fifo;
+        (* Double-counts accepted packets. *)
+        stats.Net.Queue_disc.enqueued <- stats.Net.Queue_disc.enqueued + 2;
+        true)
+      ~dequeue:(fun () -> Queue.take_opt fifo)
+      ~length:(fun () -> Queue.length fifo)
+      ~byte_length:(fun () -> 1000 * Queue.length fifo)
+      ~stats ()
+  in
+  Audit.Auditor.attach_queue auditor ~name:"overcounting" disc;
+  ignore (disc.Net.Queue_disc.enqueue (packet ~uid:1 ~seq:0) : bool);
+  Audit.Auditor.finalize auditor;
+  Alcotest.(check bool) "drift caught at finalize" true
+    (List.mem "queue-stats" (rules auditor))
+
+(* -- soundness sweeps over the healthy stack -- *)
+
+let sweep_variants =
+  Core.Variant.[ Tahoe; Reno; Newreno; Sack; Rr ]
+
+let gateway_of red =
+  if red then Net.Dumbbell.Red { capacity = 25; params = Net.Red.paper_params }
+  else Net.Dumbbell.Droptail { capacity = 8 }
+
+let run_scenario ~variant ~red ~seed ~forced_drops ~uniform_loss ~ack_loss =
+  let config =
+    { (Net.Dumbbell.paper_config ~flows:2) with gateway = gateway_of red }
+  in
+  Experiments.Scenario.run
+    (Experiments.Scenario.make ~config
+       ~flows:[ Experiments.Scenario.flow variant; Experiments.Scenario.flow variant ]
+       ~params:{ Tcp.Params.default with rwnd = 20; initial_ssthresh = 16.0 }
+       ~seed ~duration:10.0 ~forced_drops ~uniform_loss ~ack_loss ())
+
+let check_clean label t =
+  let auditor = t.Experiments.Scenario.auditor in
+  Alcotest.(check bool)
+    (label ^ ": checks actually ran")
+    true
+    (Audit.Auditor.checks_run auditor > 1000);
+  if not (Audit.Auditor.ok auditor) then
+    Alcotest.failf "%s:\n%s" label (Audit.Auditor.report auditor)
+
+let test_sweep_bursts () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun red ->
+          List.iter
+            (fun drops ->
+              let forced_drops =
+                List.init drops (fun i ->
+                    { Net.Loss.flow = 0; seq = 33 + i; occurrence = 1 })
+              in
+              let label =
+                Printf.sprintf "%s/%s/burst%d"
+                  (Core.Variant.name variant)
+                  (if red then "red" else "droptail")
+                  drops
+              in
+              check_clean label
+                (run_scenario ~variant ~red ~seed:7L ~forced_drops
+                   ~uniform_loss:0.0 ~ack_loss:0.0))
+            [ 1; 3; 6 ])
+        [ false; true ])
+    sweep_variants
+
+let test_sweep_random_loss () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun red ->
+          List.iter
+            (fun seed ->
+              let label =
+                Printf.sprintf "%s/%s/seed%Ld"
+                  (Core.Variant.name variant)
+                  (if red then "red" else "droptail")
+                  seed
+              in
+              check_clean label
+                (run_scenario ~variant ~red ~seed ~forced_drops:[]
+                   ~uniform_loss:0.03 ~ack_loss:0.02))
+            [ 1L; 2L; 3L ])
+        [ false; true ])
+    sweep_variants
+
+(* Property form: any drop pattern the generator can dream up, still
+   zero violations. *)
+let prop_sweep_arbitrary_drops =
+  QCheck2.Test.make ~name:"auditor finds no violations on random scenarios"
+    ~count:20
+    QCheck2.Gen.(
+      tup5 (int_range 0 4) bool (int_range 1 10_000)
+        (list_size (int_range 0 8) (int_range 10 80))
+        (oneofl [ 0.0; 0.01; 0.05 ]))
+    (fun (variant_index, red, seed, drop_seqs, uniform_loss) ->
+      let variant = List.nth sweep_variants variant_index in
+      let forced_drops =
+        List.map
+          (fun seq -> { Net.Loss.flow = 0; seq; occurrence = 1 })
+          drop_seqs
+      in
+      let t =
+        run_scenario ~variant ~red ~seed:(Int64.of_int seed) ~forced_drops
+          ~uniform_loss ~ack_loss:0.0
+      in
+      Audit.Auditor.ok t.Experiments.Scenario.auditor)
+
+let test_trace_shape () =
+  let path = Filename.temp_file "rr_trace" ".jsonl" in
+  let out = open_out path in
+  let config = { (Net.Dumbbell.paper_config ~flows:2) with gateway = gateway_of false } in
+  let t =
+    Experiments.Scenario.run
+      (Experiments.Scenario.make ~config
+         ~flows:
+           [
+             Experiments.Scenario.flow Core.Variant.Rr;
+             Experiments.Scenario.flow Core.Variant.Rr;
+           ]
+         ~params:{ Tcp.Params.default with rwnd = 20 }
+         ~seed:7L ~duration:5.0 ~uniform_loss:0.02 ~trace_out:out ())
+  in
+  close_out out;
+  Alcotest.(check bool) "run clean" true
+    (Audit.Auditor.ok t.Experiments.Scenario.auditor);
+  let ic = open_in path in
+  let lines = ref 0 in
+  let kinds = Hashtbl.create 7 in
+  let last_time = ref 0.0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       Alcotest.(check bool) "object shape" true
+         (String.length line > 2
+         && String.get line 0 = '{'
+         && String.get line (String.length line - 1) = '}');
+       Scanf.sscanf line {|{"t":%f,"ev":"%[a-z_]"|} (fun time ev ->
+           Alcotest.(check bool) "time monotone" true (time >= !last_time);
+           last_time := time;
+           Hashtbl.replace kinds ev ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "nonempty" true (!lines > 100);
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) ("has " ^ kind) true (Hashtbl.mem kinds kind))
+    [ "send"; "ack"; "enqueue"; "dequeue"; "drop"; "recovery_enter" ]
+
+let suite =
+  [
+    ( "audit",
+      [
+        Alcotest.test_case "detects reordering" `Quick test_detects_reordering;
+        Alcotest.test_case "detects occupancy leak" `Quick
+          test_detects_occupancy_leak;
+        Alcotest.test_case "detects corrupt cwnd" `Quick test_detects_corrupt_cwnd;
+        Alcotest.test_case "finalize flags stats drift" `Quick
+          test_finalize_flags_stats_drift;
+        Alcotest.test_case "burst sweep clean" `Slow test_sweep_bursts;
+        Alcotest.test_case "random-loss sweep clean" `Slow test_sweep_random_loss;
+        QCheck_alcotest.to_alcotest prop_sweep_arbitrary_drops;
+        Alcotest.test_case "trace shape" `Quick test_trace_shape;
+      ] );
+  ]

@@ -92,6 +92,18 @@ let test_stop () =
   Sim.Engine.run engine;
   Alcotest.(check int) "stopped after 2" 2 !count
 
+let test_stop_during_run_until () =
+  (* A stop mid-run must leave the clock at the last fired event; the
+     old behaviour jumped it to the requested bound, fabricating an
+     idle period that never executed. *)
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_at engine ~time:1.0 (fun () -> Sim.Engine.stop engine));
+  let late = ref false in
+  ignore (Sim.Engine.schedule_at engine ~time:2.0 (fun () -> late := true));
+  Sim.Engine.run_until engine ~time:10.0;
+  Alcotest.(check bool) "later event not fired" false !late;
+  Alcotest.(check (float 1e-9)) "clock at stop point" 1.0 (Sim.Engine.now engine)
+
 let prop_random_schedule_fires_in_order =
   QCheck2.Test.make ~name:"random schedules fire in time order" ~count:300
     QCheck2.Gen.(list_size (int_range 1 60) (float_bound_inclusive 100.0))
@@ -173,6 +185,8 @@ let suite =
           test_negative_delay_rejected;
         Alcotest.test_case "run_until" `Quick test_run_until;
         Alcotest.test_case "stop" `Quick test_stop;
+        Alcotest.test_case "stop during run_until" `Quick
+          test_stop_during_run_until;
         QCheck_alcotest.to_alcotest prop_random_schedule_fires_in_order;
       ] );
     ( "timer",

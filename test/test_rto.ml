@@ -97,11 +97,27 @@ let test_tick_invalid () =
     (Invalid_argument "Rto.create: negative tick") (fun () ->
       ignore (make ~tick:(-0.1) ()))
 
+let test_tick_respects_max () =
+  (* max_rto off a tick boundary: quantization used to round the
+     clamped value back up past the ceiling (1.2 -> 1.5). *)
+  let rto =
+    Tcp.Rto.create ~min_rto:0.5 ~max_rto:1.2 ~initial_rto:3.0 ~tick:0.5 ()
+  in
+  close "capped, not re-rounded" 1.2 (Tcp.Rto.value rto);
+  (* Backoff pressure cannot push it over either. *)
+  for _ = 1 to 10 do
+    Tcp.Rto.backoff rto
+  done;
+  Alcotest.(check bool) "still capped" true (Tcp.Rto.value rto <= 1.2)
+
 let prop_rto_bounded =
   QCheck2.Test.make ~name:"rto stays within [min,max]"
-    QCheck2.Gen.(list (float_bound_inclusive 10.0))
-    (fun samples ->
-      let rto = make () in
+    QCheck2.Gen.(
+      pair
+        (list (float_bound_inclusive 10.0))
+        (oneofl [ 0.0; 0.1; 0.3; 0.5; 0.7 ]))
+    (fun (samples, tick) ->
+      let rto = make ~tick () in
       List.iter (fun s -> Tcp.Rto.sample rto s) samples;
       let v = Tcp.Rto.value rto in
       v >= 1.0 && v <= 64.0)
@@ -119,6 +135,7 @@ let suite =
         Alcotest.test_case "invalid" `Quick test_invalid;
         Alcotest.test_case "tick quantization" `Quick test_tick_quantization;
         Alcotest.test_case "tick invalid" `Quick test_tick_invalid;
+        Alcotest.test_case "tick respects max" `Quick test_tick_respects_max;
         QCheck_alcotest.to_alcotest prop_rto_bounded;
       ] );
   ]

@@ -185,6 +185,24 @@ let test_karn_rule () =
   send_segment b ~seq:0 ~retx:true;
   Alcotest.(check bool) "timing cancelled" true (b.timed = None)
 
+let test_multicast_hooks () =
+  (* Several observers on one sender: all of them see every event. The
+     old single-slot hooks silently dropped all but the last subscriber
+     (the harness already takes one slot here). *)
+  let h = make () in
+  let sends_a = ref 0 and sends_b = ref 0 and acks = ref 0 in
+  let base = Harness.base h in
+  Tcp.Sender_common.on_send base (fun ~time:_ ~seq:_ ~retx:_ -> incr sends_a);
+  Tcp.Sender_common.on_send base (fun ~time:_ ~seq:_ ~retx:_ -> incr sends_b);
+  Tcp.Sender_common.on_ack base (fun ~time:_ ~ackno:_ -> incr acks);
+  Harness.start h;
+  Harness.deliver_ack h 0;
+  let harness_seen = List.length (Harness.sent_seqs h) in
+  Alcotest.(check bool) "harness subscriber still live" true (harness_seen > 0);
+  Alcotest.(check int) "first subscriber" harness_seen !sends_a;
+  Alcotest.(check int) "second subscriber" harness_seen !sends_b;
+  Alcotest.(check int) "ack subscriber" 1 !acks
+
 let suite =
   [
     ( "sender_common",
@@ -206,5 +224,6 @@ let suite =
           test_limited_transmit_off_by_default;
         Alcotest.test_case "smooth start" `Quick test_smooth_start;
         Alcotest.test_case "karn rule" `Quick test_karn_rule;
+        Alcotest.test_case "multicast hooks" `Quick test_multicast_hooks;
       ] );
   ]
