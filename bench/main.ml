@@ -1,11 +1,13 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (the printed reports are the reproduction artifacts), then
    times each experiment with Bechamel — one Test.make per paper
-   artifact plus the RR design ablations and two micro-benchmarks of the
+   artifact plus the RR design ablations and micro-benchmarks of the
    simulator core.
 
-     dune exec bench/main.exe             # full reproduction + timings
-     dune exec bench/main.exe -- --fast   # skip the Bechamel pass *)
+     dune exec bench/main.exe               # full reproduction + timings
+     dune exec bench/main.exe -- --fast     # skip the Bechamel pass
+     dune exec bench/main.exe -- --json     # machine-readable timings
+     dune exec bench/main.exe -- --check    # diff timings vs baseline.json *)
 
 open Bechamel
 open Toolkit
@@ -13,66 +15,24 @@ open Toolkit
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
 
-(* -- the reproduction itself: print the paper-vs-measured reports -- *)
+(* -- the reproduction itself: every registered experiment's report -- *)
 
 let reproduce () =
-  banner "Figure 5 -- recovery throughput under bursty loss (drop-tail)";
-  print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:3 ()));
-  print_newline ();
-  print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:6 ()));
-  print_newline ();
-  print_string
-    (Experiments.Fig5.report_background (Experiments.Fig5.run_background ()));
-  banner "Figure 6 -- recovery dynamics under RED gateways";
-  let fig6 = Experiments.Fig6.run () in
-  print_string (Experiments.Fig6.report fig6);
   List.iter
-    (fun result ->
-      Printf.printf "\nflow 1 sequence trace, %s:\n%s"
-        (Core.Variant.name result.Experiments.Fig6.variant)
-        (Experiments.Fig6.plot result))
-    fig6.Experiments.Fig6.results;
-  banner "Figure 7 -- fitness to the square-root model";
-  let fig7 = Experiments.Fig7.run () in
-  print_string (Experiments.Fig7.report fig7);
-  print_newline ();
-  print_string (Experiments.Fig7.plot fig7);
-  banner "Table 5 -- fairness against TCP Reno";
-  print_string (Experiments.Table5.report (Experiments.Table5.run ()));
-  banner "RR design ablations";
-  print_string (Experiments.Ablation.report (Experiments.Ablation.run ()));
-  banner "Extension: Table 5 with limited transmit (RFC 3042)";
-  Printf.printf
-    "At 20 flows the fair window is ~2 segments, too small for three dup\n\
-     ACKs, so every variant above is timeout-bound. RFC 3042 restores\n\
-     dupack-based recovery - and with it the paper's case-4 ordering:\n\n";
-  print_string
-    (Experiments.Table5.report (Experiments.Table5.run ~limited_transmit:true ()));
-  banner "Extension: ACK-loss robustness (paper section 2.3)";
-  print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ()));
-  banner "Extension: global synchronization, drop-tail vs RED (section 3.3)";
-  print_string (Experiments.Sync.report (Experiments.Sync.run ()));
-  banner "Extension: Smooth-Start (paper reference [21])";
-  print_string (Experiments.Smooth.report (Experiments.Smooth.run ()));
-  banner "Extension: FACK (paper reference [13]) on the Figure 5 scenario";
-  print_string
-    (Experiments.Fig5.report
-       (Experiments.Fig5.run ~drops:6
-          ~variants:Core.Variant.[ Sack; Fack; Rr ] ()));
-  banner "Extension: Vegas decomposition (paper reference [8])";
-  print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()));
-  banner "Extension: RTT fairness and AIMD convergence (section 5)";
-  print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ()));
-  banner "Extension: two-way traffic and ACK compression (reference [22])";
-  print_string (Experiments.Two_way.report (Experiments.Two_way.run ()));
-  banner "Extension: environment-sensitivity sweep (buffer x delay grid)";
-  print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ()));
-  banner "Extension: Figure 7 under delayed ACKs (C = sqrt(3/4))";
-  print_string
-    (Experiments.Fig7.report
-       (Experiments.Fig7.run
-          ~loss_rates:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
-          ~seeds:[ 3L; 17L ] ~delayed_ack:true ()))
+    (fun e ->
+      banner
+        (Printf.sprintf "%s -- %s" e.Experiments.Registry.name
+           e.Experiments.Registry.synopsis);
+      print_string (e.Experiments.Registry.run ~seed:7L))
+    Experiments.Registry.all;
+  banner "campaign -- cross-seed uniform-loss sweep (lib/campaign)";
+  let outcome =
+    Campaign.Sweep.run ~jobs:1
+      (Campaign.Sweep.grid
+         ~variants:Core.Variant.[ Newreno; Sack; Rr ]
+         ~uniform_losses:[ 0.01; 0.05 ] ~seed_count:3 ~duration:10.0 ())
+  in
+  print_string (Campaign.Sweep.report outcome)
 
 (* -- Bechamel timing: one test per artifact -- *)
 
@@ -121,6 +81,12 @@ let tests =
         (stage_unit (fun () ->
              Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ]
                ~duration:40.0 ()));
+      Test.make ~name:"campaign/12-job-sweep"
+        (stage_unit (fun () ->
+             Campaign.Sweep.run ~jobs:1
+               (Campaign.Sweep.grid
+                  ~variants:Core.Variant.[ Newreno; Rr ]
+                  ~uniform_losses:[ 0.01; 0.05 ] ~seed_count:3 ~duration:5.0 ())));
       Test.make ~name:"micro/engine-100k-events"
         (Staged.stage (fun () ->
              let engine = Sim.Engine.create () in
@@ -181,9 +147,91 @@ let benchmark_json () =
     rows;
   print_string "\n}}\n"
 
+(* -- --check: diff fresh timings against the recorded baseline.
+   Wall-clock comparisons across machines are only meaningful within a
+   generous tolerance; the default factor 10 catches algorithmic
+   regressions (and vanished benchmarks), not noise. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let benchmark_check ~baseline ~tolerance =
+  let doc =
+    match Campaign.Json.of_string (read_file baseline) with
+    | Ok doc -> doc
+    | Error message ->
+      Printf.eprintf "cannot parse %s: %s\n" baseline message;
+      exit 2
+  in
+  let recorded =
+    match Option.bind (Campaign.Json.member "results" doc) Campaign.Json.to_obj with
+    | Some fields ->
+      List.filter_map
+        (fun (name, v) ->
+          Option.map (fun ms -> (name, ms)) (Campaign.Json.to_float v))
+        fields
+    | None ->
+      Printf.eprintf "%s has no results object\n" baseline;
+      exit 2
+  in
+  let current = measure () in
+  let failures = ref 0 in
+  let rows =
+    List.map
+      (fun (name, base_ms) ->
+        match List.assoc_opt name current with
+        | None ->
+          incr failures;
+          [ name; Printf.sprintf "%.3f" base_ms; "-"; "-"; "MISSING" ]
+        | Some nanoseconds ->
+          let cur_ms = nanoseconds /. 1e6 in
+          let ratio = cur_ms /. base_ms in
+          let ok = ratio <= tolerance in
+          if not ok then incr failures;
+          [
+            name;
+            Printf.sprintf "%.3f" base_ms;
+            Printf.sprintf "%.3f" cur_ms;
+            Printf.sprintf "%.2fx" ratio;
+            (if ok then "ok" else "SLOW");
+          ])
+      recorded
+  in
+  let extra =
+    List.filter (fun (name, _) -> List.assoc_opt name recorded = None) current
+  in
+  print_string
+    (Stats.Text_table.render
+       ~header:[ "benchmark"; "baseline (ms)"; "current (ms)"; "ratio"; "" ]
+       rows);
+  List.iter
+    (fun (name, nanoseconds) ->
+      Printf.printf "new (not in baseline): %s  %.3f ms\n" name
+        (nanoseconds /. 1e6))
+    extra;
+  Printf.printf "\n%d benchmark(s) against %s, tolerance %.1fx: %d failure(s)\n"
+    (List.length recorded) baseline tolerance !failures;
+  if !failures > 0 then exit 1
+
 let () =
-  let has flag = Array.exists (fun a -> a = flag) Sys.argv in
-  if has "--json" then benchmark_json ()
+  let argv = Array.to_list Sys.argv in
+  let has flag = List.mem flag argv in
+  let value_of flag default =
+    let rec scan = function
+      | f :: v :: _ when f = flag -> v
+      | _ :: rest -> scan rest
+      | [] -> default
+    in
+    scan argv
+  in
+  if has "--check" then
+    benchmark_check
+      ~baseline:(value_of "--baseline" "bench/baseline.json")
+      ~tolerance:(float_of_string (value_of "--tolerance" "10.0"))
+  else if has "--json" then benchmark_json ()
   else begin
     reproduce ();
     if not (has "--fast") then benchmark ()

@@ -400,19 +400,23 @@ let run_term =
     in
     let config = { (Net.Dumbbell.paper_config ~flows) with gateway } in
     let trace_channel = Option.map open_out trace in
-    let spec =
-      Experiments.Scenario.make ~config
-        ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
-        ~params:{ Tcp.Params.default with rwnd; limited_transmit }
-        ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
-        ~monitor_queue:0.1 ?trace_out:trace_channel ()
+    (* Close (and thereby flush) the JSONL trace on every exit path,
+       including a raising run — otherwise the tail of the trace is
+       lost exactly when it is most needed. *)
+    let t =
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out_noerr trace_channel)
+        (fun () ->
+          let spec =
+            Experiments.Scenario.make ~config
+              ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
+              ~params:{ Tcp.Params.default with rwnd; limited_transmit }
+              ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
+              ~monitor_queue:0.1 ?trace_out:trace_channel ()
+          in
+          Experiments.Scenario.run spec)
     in
-    let t = Experiments.Scenario.run spec in
-    Option.iter
-      (fun oc ->
-        close_out oc;
-        Printf.printf "wrote %s\n" (Option.get trace))
-      trace_channel;
+    Option.iter (fun path -> Printf.printf "wrote %s\n" path) trace;
     let mss = Tcp.Params.default.Tcp.Params.mss in
     let header =
       [ "flow"; "goodput (Kbps)"; "drops"; "timeouts"; "retransmits" ]
@@ -478,41 +482,179 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an ad-hoc dumbbell scenario and print per-flow stats.")
     run_term
 
-(* all *)
+(* sweep: parallel campaign over a grid of scenario points *)
+
+let gateway_conv =
+  let parse s =
+    let invalid () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid gateway %S (expected droptail[:BUFFER] or red[:BUFFER])" s))
+    in
+    match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+    | [ "droptail" ] -> Ok (Campaign.Job.Droptail 8)
+    | [ "red" ] -> Ok (Campaign.Job.Red 25)
+    | [ "droptail"; buffer ] -> (
+      match int_of_string_opt buffer with
+      | Some b when b > 0 -> Ok (Campaign.Job.Droptail b)
+      | _ -> invalid ())
+    | [ "red"; buffer ] -> (
+      match int_of_string_opt buffer with
+      | Some b when b > 0 -> Ok (Campaign.Job.Red b)
+      | _ -> invalid ())
+    | _ -> invalid ()
+  in
+  let print ppf g = Format.pp_print_string ppf (Campaign.Job.gateway_name g) in
+  Arg.conv ~docv:"GATEWAY" (parse, print)
+
+let sweep_term =
+  let variants =
+    let doc = "Comma-separated TCP variants to sweep." in
+    Arg.(
+      value
+      & opt (list ~sep:',' variant_conv) Core.Variant.[ Reno; Newreno; Sack; Rr ]
+      & info [ "variants" ] ~docv:"V,V,..." ~doc)
+  in
+  let gateways =
+    let doc =
+      "Comma-separated gateway disciplines, each droptail[:BUFFER] or \
+       red[:BUFFER]."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' gateway_conv) [ Campaign.Job.Droptail 8 ]
+      & info [ "gateways" ] ~docv:"G,G,..." ~doc)
+  in
+  let losses =
+    let doc = "Comma-separated uniform data-loss rates injected at R1." in
+    Arg.(value & opt (list ~sep:',' float) [ 0.02 ] & info [ "loss" ] ~docv:"RATES" ~doc)
+  in
+  let ack_losses =
+    let doc = "Comma-separated reverse-path ACK-loss rates." in
+    Arg.(value & opt (list ~sep:',' float) [ 0.0 ] & info [ "ack-loss" ] ~docv:"RATES" ~doc)
+  in
+  let seed_count =
+    let doc = "Seeds per grid point (SEED, SEED+1, ...)." in
+    Arg.(value & opt int 6 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let duration =
+    let doc = "Per-job simulation length in seconds." in
+    Arg.(value & opt float 20.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let flows =
+    let doc = "Concurrent same-variant flows per job." in
+    Arg.(value & opt int 2 & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let rwnd =
+    let doc = "Receiver advertised window in segments." in
+    Arg.(value & opt int 20 & info [ "rwnd" ] ~docv:"SEGMENTS" ~doc)
+  in
+  let jobs =
+    let doc = "Worker processes (0 = number of cores)." in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let cache_dir =
+    let doc = "Result-cache directory (content-addressed JSON entries)." in
+    Arg.(value & opt string "_campaign" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache =
+    let doc = "Disable the on-disk result cache (always run every job)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let json =
+    let doc = "Emit the campaign (points and per-job results) as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run variants gateways losses ack_losses seed_count duration flows rwnd
+      jobs cache_dir no_cache json seed =
+    let grid =
+      Campaign.Sweep.grid ~variants ~gateways ~uniform_losses:losses
+        ~ack_losses ~seed ~seed_count ~duration ~flows ~rwnd ()
+    in
+    let cache =
+      if no_cache then None else Some (Campaign.Cache.create ~dir:cache_dir ())
+    in
+    let jobs = if jobs <= 0 then Campaign.Pool.default_jobs () else jobs in
+    let on_progress ~completed ~total =
+      if not json then begin
+        Printf.eprintf "\rsweep: %d/%d job(s)%s" completed total
+          (if completed = total then "\n" else "");
+        flush stderr
+      end
+    in
+    let outcome = Campaign.Sweep.run ?cache ~jobs ~on_progress grid in
+    if json then print_string (Campaign.Sweep.report_json outcome)
+    else print_string (Campaign.Sweep.report outcome);
+    if Campaign.Sweep.total_violations outcome > 0 then exit 1
+  in
+  Term.(
+    const run $ variants $ gateways $ losses $ ack_losses $ seed_count
+    $ duration $ flows $ rwnd $ jobs $ cache_dir $ no_cache $ json $ seed_arg)
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a variants x gateways x loss-rates x seeds campaign on a forked \
+          worker pool with an incremental result cache, and print cross-seed \
+          aggregates. Exits non-zero if the runtime auditor saw any invariant \
+          violation.")
+    sweep_term
+
+(* list / all: the experiment registry *)
+
+let list_cmd =
+  let run () =
+    print_string
+      (Stats.Text_table.render ~header:[ "name"; "synopsis" ]
+         (List.map
+            (fun e ->
+              [ e.Experiments.Registry.name; e.Experiments.Registry.synopsis ])
+            Experiments.Registry.all))
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every registered experiment with its synopsis.")
+    Term.(const run $ const ())
 
 let all_term =
-  let run seed =
-    print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:3 ~seed ()));
-    print_newline ();
-    print_string (Experiments.Fig5.report (Experiments.Fig5.run ~drops:6 ~seed ()));
-    print_newline ();
-    print_string (Experiments.Fig6.report (Experiments.Fig6.run ~seed ()));
-    print_newline ();
-    print_string (Experiments.Fig7.report (Experiments.Fig7.run ()));
-    print_newline ();
-    print_string (Experiments.Table5.report (Experiments.Table5.run ~seed ()));
-    print_newline ();
-    print_string (Experiments.Ablation.report (Experiments.Ablation.run ()));
-    print_newline ();
-    print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ()));
-    print_newline ();
-    print_string (Experiments.Sync.report (Experiments.Sync.run ~seed ()));
-    print_newline ();
-    print_string (Experiments.Smooth.report (Experiments.Smooth.run ()));
-    print_newline ();
-    print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()));
-    print_newline ();
-    print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ~seed ()));
-    print_newline ();
-    print_string (Experiments.Two_way.report (Experiments.Two_way.run ~seed ()));
-    print_newline ();
-    print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ()))
+  let only =
+    let doc =
+      "Restrict to a comma-separated subset of registry names (see the list \
+       command)."
+    in
+    Arg.(value & opt (some (list ~sep:',' string)) None & info [ "only" ] ~docv:"NAMES" ~doc)
   in
-  Term.(const run $ seed_arg)
+  let run only seed =
+    let experiments =
+      match only with
+      | None -> Experiments.Registry.all
+      | Some names ->
+        List.map
+          (fun name ->
+            match Experiments.Registry.find name with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %S; try: rr-sim list\n" name;
+              exit 2)
+          names
+    in
+    List.iteri
+      (fun i e ->
+        if i > 0 then print_newline ();
+        Printf.printf "-- %s: %s\n\n" e.Experiments.Registry.name
+          e.Experiments.Registry.synopsis;
+        print_string (e.Experiments.Registry.run ~seed))
+      experiments
+  in
+  Term.(const run $ only $ seed_arg)
 
 let all_cmd =
   Cmd.v
-    (Cmd.info "all" ~doc:"Regenerate every table and figure of the paper.")
+    (Cmd.info "all"
+       ~doc:
+         "Regenerate every table and figure of the paper (every registered \
+          experiment, or a subset via --only).")
     all_term
 
 let main_cmd =
@@ -549,6 +691,8 @@ let main_cmd =
       sensitivity_cmd;
       audit_cmd;
       run_cmd;
+      sweep_cmd;
+      list_cmd;
       all_cmd;
     ]
 

@@ -1,0 +1,46 @@
+type t = { dir : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir () =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let path t job = Filename.concat t.dir (Job.digest job ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t job =
+  let path = path t job in
+  if not (Sys.file_exists path) then None
+  else
+    match Json.of_string (read_file path) with
+    | exception Sys_error _ -> None
+    | Error _ -> None
+    | Ok json -> (
+      match Job.result_of_json job json with
+      | Ok result -> Some result
+      | Error _ -> None)
+
+let store t result =
+  let final = path t result.Job.job in
+  let temp =
+    Printf.sprintf "%s.%d.tmp" final (Unix.getpid ())
+  in
+  let oc = open_out_bin temp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.pretty (Job.result_to_json result));
+      output_char oc '\n');
+  Sys.rename temp final

@@ -1,0 +1,26 @@
+(** Content-addressed on-disk result cache.
+
+    Each completed job's result is stored as pretty-printed JSON at
+    [dir/<digest>.json], where the digest is {!Job.digest} — a stable
+    hash of the fully-resolved job spec. Re-running a sweep therefore
+    only executes the points whose spec actually changed; everything
+    else is served from disk, byte-identical to the original run.
+
+    Unreadable or mismatched entries (truncated file, older schema) are
+    treated as misses, never as errors: the job simply runs again and
+    overwrites the entry. *)
+
+type t
+
+(** [create ~dir ()] opens (and creates, recursively) the cache
+    directory. *)
+val create : dir:string -> unit -> t
+
+val dir : t -> string
+
+(** [find t job] is the cached result, if a valid entry exists. *)
+val find : t -> Job.t -> Job.result option
+
+(** [store t result] persists the entry (atomically: temp file +
+    rename, so a crashed run never leaves a torn entry). *)
+val store : t -> Job.result -> unit

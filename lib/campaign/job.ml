@@ -1,0 +1,173 @@
+type gateway = Droptail of int | Red of int
+
+type t = {
+  variant : Core.Variant.t;
+  gateway : gateway;
+  uniform_loss : float;
+  ack_loss : float;
+  seed : int64;
+  duration : float;
+  flows : int;
+  rwnd : int;
+}
+
+let gateway_name = function
+  | Droptail capacity -> Printf.sprintf "droptail:%d" capacity
+  | Red capacity -> Printf.sprintf "red:%d" capacity
+
+let point_label job =
+  Printf.sprintf "%s/%s/loss %g%%/ack %g%%"
+    (Core.Variant.name job.variant)
+    (gateway_name job.gateway)
+    (100.0 *. job.uniform_loss)
+    (100.0 *. job.ack_loss)
+
+(* Bump whenever the job layout or the semantics of a run change, so
+   stale cache entries can never be mistaken for current ones. *)
+let schema = "rr-sim-campaign/1"
+
+let to_json job =
+  Json.Obj
+    [
+      ("variant", Json.Str (Core.Variant.name job.variant));
+      ("gateway", Json.Str (gateway_name job.gateway));
+      ("uniform_loss", Json.Num job.uniform_loss);
+      ("ack_loss", Json.Num job.ack_loss);
+      ("seed", Json.Str (Int64.to_string job.seed));
+      ("duration", Json.Num job.duration);
+      ("flows", Json.Num (float_of_int job.flows));
+      ("rwnd", Json.Num (float_of_int job.rwnd));
+    ]
+
+let digest job =
+  Digest.to_hex (Digest.string (schema ^ "\n" ^ Json.to_string (to_json job)))
+
+type flow_metrics = {
+  flow : int;
+  goodput_bps : float;
+  drops : int;
+  timeouts : int;
+  retransmits : int;
+  fast_retransmits : int;
+}
+
+type result = {
+  job : t;
+  flow_metrics : flow_metrics list;
+  aggregate_goodput_bps : float;
+  jain : float;
+  audit_checks : int;
+  audit_violations : int;
+}
+
+let run job =
+  let gateway =
+    match job.gateway with
+    | Droptail capacity -> Net.Dumbbell.Droptail { capacity }
+    | Red capacity -> Net.Dumbbell.Red { capacity; params = Net.Red.paper_params }
+  in
+  let config = { (Net.Dumbbell.paper_config ~flows:job.flows) with gateway } in
+  let params = { Tcp.Params.default with rwnd = job.rwnd } in
+  let spec =
+    Experiments.Scenario.make ~config
+      ~flows:(List.init job.flows (fun _ -> Experiments.Scenario.flow job.variant))
+      ~params ~seed:job.seed ~duration:job.duration
+      ~uniform_loss:job.uniform_loss ~ack_loss:job.ack_loss ()
+  in
+  let t = Experiments.Scenario.run spec in
+  let mss = params.Tcp.Params.mss in
+  let flow_metrics =
+    List.init job.flows (fun flow ->
+        let result = t.Experiments.Scenario.results.(flow) in
+        let counters =
+          result.Experiments.Scenario.agent.Tcp.Agent.base
+            .Tcp.Sender_common.counters
+        in
+        {
+          flow;
+          goodput_bps =
+            Stats.Metrics.effective_throughput_bps
+              result.Experiments.Scenario.trace ~mss ~t0:0.0 ~t1:job.duration;
+          drops = Experiments.Scenario.drops t ~flow;
+          timeouts = counters.Tcp.Counters.timeouts;
+          retransmits = counters.Tcp.Counters.retransmits;
+          fast_retransmits = counters.Tcp.Counters.fast_retransmits;
+        })
+  in
+  let goodputs = List.map (fun m -> m.goodput_bps) flow_metrics in
+  let auditor = t.Experiments.Scenario.auditor in
+  {
+    job;
+    flow_metrics;
+    aggregate_goodput_bps = List.fold_left ( +. ) 0.0 goodputs;
+    jain = Stats.Metrics.jain_index goodputs;
+    audit_checks = Audit.Auditor.checks_run auditor;
+    audit_violations = Audit.Auditor.violation_count auditor;
+  }
+
+let flow_metrics_to_json m =
+  Json.Obj
+    [
+      ("flow", Json.Num (float_of_int m.flow));
+      ("goodput_bps", Json.Num m.goodput_bps);
+      ("drops", Json.Num (float_of_int m.drops));
+      ("timeouts", Json.Num (float_of_int m.timeouts));
+      ("retransmits", Json.Num (float_of_int m.retransmits));
+      ("fast_retransmits", Json.Num (float_of_int m.fast_retransmits));
+    ]
+
+let result_to_json result =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("job", to_json result.job);
+      ("flows", Json.List (List.map flow_metrics_to_json result.flow_metrics));
+      ("aggregate_goodput_bps", Json.Num result.aggregate_goodput_bps);
+      ("jain", Json.Num result.jain);
+      ("audit_checks", Json.Num (float_of_int result.audit_checks));
+      ("audit_violations", Json.Num (float_of_int result.audit_violations));
+    ]
+
+let ( let* ) = Result.bind
+
+let field name coerce json =
+  match Option.bind (Json.member name json) coerce with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let flow_metrics_of_json json =
+  let* flow = field "flow" Json.to_int json in
+  let* goodput_bps = field "goodput_bps" Json.to_float json in
+  let* drops = field "drops" Json.to_int json in
+  let* timeouts = field "timeouts" Json.to_int json in
+  let* retransmits = field "retransmits" Json.to_int json in
+  let* fast_retransmits = field "fast_retransmits" Json.to_int json in
+  Ok { flow; goodput_bps; drops; timeouts; retransmits; fast_retransmits }
+
+let result_of_json job json =
+  let* stored_schema = field "schema" Json.to_str json in
+  if stored_schema <> schema then
+    Error (Printf.sprintf "schema mismatch: %S" stored_schema)
+  else
+    let* flows = field "flows" Json.to_list json in
+    let* flow_metrics =
+      List.fold_left
+        (fun acc flow_json ->
+          let* acc = acc in
+          let* m = flow_metrics_of_json flow_json in
+          Ok (m :: acc))
+        (Ok []) flows
+    in
+    let* aggregate_goodput_bps = field "aggregate_goodput_bps" Json.to_float json in
+    let* jain = field "jain" Json.to_float json in
+    let* audit_checks = field "audit_checks" Json.to_int json in
+    let* audit_violations = field "audit_violations" Json.to_int json in
+    Ok
+      {
+        job;
+        flow_metrics = List.rev flow_metrics;
+        aggregate_goodput_bps;
+        jain;
+        audit_checks;
+        audit_violations;
+      }

@@ -1,0 +1,67 @@
+(** One fully-resolved point of a sweep grid.
+
+    A job is everything needed to run one deterministic
+    {!Experiments.Scenario}: the TCP variant, the gateway discipline,
+    the injected data/ACK loss rates, the seed, the horizon and the
+    flow count. Being a plain value with a canonical JSON form, a job
+    can be hashed (the cache key), shipped to a forked worker, and
+    stored next to its result. *)
+
+type gateway = Droptail of int | Red of int  (** payload = buffer, packets *)
+
+type t = {
+  variant : Core.Variant.t;
+  gateway : gateway;
+  uniform_loss : float;  (** data-drop rate at R1 *)
+  ack_loss : float;  (** ACK-drop rate on the reverse path *)
+  seed : int64;
+  duration : float;  (** seconds *)
+  flows : int;  (** same-variant flows sharing the bottleneck *)
+  rwnd : int;  (** receiver advertised window, segments *)
+}
+
+val gateway_name : gateway -> string
+
+(** [point_label job] names the grid point the job belongs to —
+    everything but the seed — e.g. ["rr/droptail:8/loss 2%/ack 0%"].
+    Jobs of one point differing only in seed aggregate together. *)
+val point_label : t -> string
+
+(** [digest job] is the content-addressed cache key: the hex MD5 of
+    the job's canonical JSON (plus a schema tag, so incompatible cache
+    entries from older layouts never alias). *)
+val digest : t -> string
+
+val to_json : t -> Json.t
+
+(** {1 Execution} *)
+
+type flow_metrics = {
+  flow : int;
+  goodput_bps : float;  (** cumulative-ACK goodput over the whole run *)
+  drops : int;
+  timeouts : int;
+  retransmits : int;
+  fast_retransmits : int;
+}
+
+type result = {
+  job : t;
+  flow_metrics : flow_metrics list;  (** one per flow, in flow order *)
+  aggregate_goodput_bps : float;  (** sum over flows *)
+  jain : float;  (** fairness index over per-flow goodputs *)
+  audit_checks : int;  (** invariant evaluations during the run *)
+  audit_violations : int;  (** failed invariant checks (0 = healthy) *)
+}
+
+(** [run job] executes the scenario under the runtime auditor and
+    reduces it to metrics. Deterministic: equal jobs yield equal
+    results, whichever process runs them. *)
+val run : t -> result
+
+val result_to_json : result -> Json.t
+
+(** [result_of_json job json] decodes a cached result. The stored
+    job is ignored in favour of [job] (the cache key already proved
+    they match). *)
+val result_of_json : t -> Json.t -> (result, string) Stdlib.result

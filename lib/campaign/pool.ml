@@ -1,0 +1,74 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b worker = { pid : int; index : int; channel : in_channel }
+
+let map ~jobs ?(on_done = fun _ -> ()) f items =
+  let total = List.length items in
+  if jobs <= 1 || total <= 1 then
+    List.mapi
+      (fun i item ->
+        let value = f item in
+        on_done (i + 1);
+        value)
+      items
+  else begin
+    let items = Array.of_list items in
+    let results : ('b, string) result option array = Array.make total None in
+    let running : (Unix.file_descr, 'b worker) Hashtbl.t = Hashtbl.create 8 in
+    let next = ref 0 in
+    let settled = ref 0 in
+    let spawn index =
+      (* Anything buffered in the parent would otherwise be flushed a
+         second time by the child's channels. *)
+      flush stdout;
+      flush stderr;
+      let read_fd, write_fd = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        (* Child: run the one task, ship the outcome, and leave without
+           running at_exit handlers (Unix._exit skips the inherited
+           buffer flushes). *)
+        Unix.close read_fd;
+        let value =
+          try Ok (f items.(index))
+          with e -> Error (Printexc.to_string e)
+        in
+        let oc = Unix.out_channel_of_descr write_fd in
+        Marshal.to_channel oc value [];
+        flush oc;
+        Unix._exit 0
+      | pid ->
+        Unix.close write_fd;
+        Hashtbl.replace running read_fd
+          { pid; index; channel = Unix.in_channel_of_descr read_fd }
+    in
+    let collect fd =
+      let worker = Hashtbl.find running fd in
+      let value =
+        match (Marshal.from_channel worker.channel : ('b, string) result) with
+        | value -> value
+        | exception End_of_file ->
+          Error (Printf.sprintf "worker %d died without reporting" worker.pid)
+      in
+      close_in_noerr worker.channel;
+      ignore (Unix.waitpid [] worker.pid);
+      Hashtbl.remove running fd;
+      results.(worker.index) <- Some value;
+      incr settled;
+      on_done !settled
+    in
+    while !next < total || Hashtbl.length running > 0 do
+      while !next < total && Hashtbl.length running < jobs do
+        spawn !next;
+        incr next
+      done;
+      let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) running [] in
+      let ready, _, _ = Unix.select fds [] [] (-1.0) in
+      List.iter collect ready
+    done;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok value) -> value
+         | Some (Error message) -> failwith ("campaign worker: " ^ message)
+         | None -> assert false)
+  end

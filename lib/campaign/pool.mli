@@ -1,0 +1,24 @@
+(** [Unix.fork]-based worker pool.
+
+    Each task runs in its own forked child — full process isolation, so
+    the simulator's global state (engine clocks, RNGs, counters) never
+    leaks between concurrently-running jobs — and the result value is
+    marshalled back to the parent over a pipe. Children that raise
+    marshal the exception text instead; the parent re-raises after the
+    whole batch settles.
+
+    Simulation jobs are deterministic, so a parallel map returns
+    exactly what the serial map would, only sooner. *)
+
+(** [default_jobs ()] is the host's recommended parallelism (core
+    count as reported by the runtime). *)
+val default_jobs : unit -> int
+
+(** [map ~jobs ?on_done f items] applies [f] to every item, running up
+    to [jobs] children concurrently, and returns the results in input
+    order. [jobs <= 1] degrades to a plain in-process [List.map] (no
+    forking). [on_done] is called in the parent as each item settles
+    (with the count settled so far), for progress display.
+
+    @raise Failure if any child failed, after all children settle. *)
+val map : jobs:int -> ?on_done:(int -> unit) -> ('a -> 'b) -> 'a list -> 'b list

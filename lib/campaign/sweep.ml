@@ -1,0 +1,225 @@
+type grid = {
+  variants : Core.Variant.t list;
+  gateways : Job.gateway list;
+  uniform_losses : float list;
+  ack_losses : float list;
+  seeds : int64 list;
+  duration : float;
+  flows : int;
+  rwnd : int;
+}
+
+let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
+    ?(gateways = [ Job.Droptail 8 ]) ?(uniform_losses = [ 0.02 ])
+    ?(ack_losses = [ 0.0 ]) ?seeds ?(seed = 7L) ?(seed_count = 6)
+    ?(duration = 20.0) ?(flows = 2) ?(rwnd = 20) () =
+  let seeds =
+    match seeds with
+    | Some seeds -> seeds
+    | None -> List.init seed_count (fun i -> Int64.add seed (Int64.of_int i))
+  in
+  { variants; gateways; uniform_losses; ack_losses; seeds; duration; flows; rwnd }
+
+let jobs_of_grid grid =
+  List.concat_map
+    (fun variant ->
+      List.concat_map
+        (fun gateway ->
+          List.concat_map
+            (fun uniform_loss ->
+              List.concat_map
+                (fun ack_loss ->
+                  List.map
+                    (fun seed ->
+                      {
+                        Job.variant;
+                        gateway;
+                        uniform_loss;
+                        ack_loss;
+                        seed;
+                        duration = grid.duration;
+                        flows = grid.flows;
+                        rwnd = grid.rwnd;
+                      })
+                    grid.seeds)
+                grid.ack_losses)
+            grid.uniform_losses)
+        grid.gateways)
+    grid.variants
+
+type point = {
+  point_job : Job.t;
+  goodput : Stats.Summary.t;
+  jain : Stats.Summary.t;
+  timeouts : Stats.Summary.t;
+  retransmits : Stats.Summary.t;
+  drops : Stats.Summary.t;
+  violations : int;
+}
+
+type outcome = {
+  grid : grid;
+  results : Job.result list;
+  points : point list;
+  cache_hits : int;
+  jobs_executed : int;
+  workers : int;
+  elapsed_seconds : float;
+}
+
+(* Group results whose jobs differ only in seed, keeping first-occurrence
+   order. *)
+let group_points results =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun result ->
+      let key = Job.point_label result.Job.job in
+      if not (Hashtbl.mem table key) then order := key :: !order;
+      Hashtbl.replace table key
+        (result :: (Option.value ~default:[] (Hashtbl.find_opt table key))))
+    results;
+  List.rev_map
+    (fun key ->
+      let group = List.rev (Hashtbl.find table key) in
+      let totals per_flow =
+        List.map
+          (fun r ->
+            float_of_int
+              (List.fold_left (fun acc m -> acc + per_flow m) 0 r.Job.flow_metrics))
+          group
+      in
+      {
+        point_job = (List.hd group).Job.job;
+        goodput =
+          Stats.Summary.of_list
+            (List.map (fun r -> r.Job.aggregate_goodput_bps) group);
+        jain = Stats.Summary.of_list (List.map (fun r -> r.Job.jain) group);
+        timeouts = Stats.Summary.of_list (totals (fun m -> m.Job.timeouts));
+        retransmits = Stats.Summary.of_list (totals (fun m -> m.Job.retransmits));
+        drops = Stats.Summary.of_list (totals (fun m -> m.Job.drops));
+        violations =
+          List.fold_left (fun acc r -> acc + r.Job.audit_violations) 0 group;
+      })
+    !order
+
+let run ?cache ?jobs ?(on_progress = fun ~completed:_ ~total:_ -> ()) grid =
+  let started = Unix.gettimeofday () in
+  let workers = match jobs with Some n -> max 1 n | None -> Pool.default_jobs () in
+  let all_jobs = jobs_of_grid grid in
+  let total = List.length all_jobs in
+  let lookup job =
+    match cache with
+    | None -> (job, None)
+    | Some cache -> (job, Cache.find cache job)
+  in
+  let slots = List.map lookup all_jobs in
+  let cache_hits =
+    List.length (List.filter (fun (_, hit) -> hit <> None) slots)
+  in
+  if cache_hits > 0 then on_progress ~completed:cache_hits ~total;
+  let misses = List.filter_map (fun (job, hit) ->
+      match hit with None -> Some job | Some _ -> None) slots in
+  let fresh =
+    Pool.map ~jobs:workers
+      ~on_done:(fun settled -> on_progress ~completed:(cache_hits + settled) ~total)
+      Job.run misses
+  in
+  Option.iter (fun cache -> List.iter (Cache.store cache) fresh) cache;
+  (* Stitch cached and fresh results back into expansion order. *)
+  let fresh = ref fresh in
+  let results =
+    List.map
+      (fun (_, hit) ->
+        match hit with
+        | Some result -> result
+        | None -> (
+          match !fresh with
+          | result :: rest ->
+            fresh := rest;
+            result
+          | [] -> assert false))
+      slots
+  in
+  {
+    grid;
+    results;
+    points = group_points results;
+    cache_hits;
+    jobs_executed = List.length misses;
+    workers;
+    elapsed_seconds = Unix.gettimeofday () -. started;
+  }
+
+let total_violations outcome =
+  List.fold_left (fun acc r -> acc + r.Job.audit_violations) 0 outcome.results
+
+let results_json outcome =
+  Json.List (List.map Job.result_to_json outcome.results)
+
+let point_to_json point =
+  Json.Obj
+    [
+      ("point", Json.Str (Job.point_label point.point_job));
+      ("variant", Json.Str (Core.Variant.name point.point_job.Job.variant));
+      ("gateway", Json.Str (Job.gateway_name point.point_job.Job.gateway));
+      ("uniform_loss", Json.Num point.point_job.Job.uniform_loss);
+      ("ack_loss", Json.Num point.point_job.Job.ack_loss);
+      ("seeds", Json.Num (float_of_int point.goodput.Stats.Summary.n));
+      ("goodput_bps_mean", Json.Num point.goodput.Stats.Summary.mean);
+      ("goodput_bps_ci95", Json.Num point.goodput.Stats.Summary.ci95);
+      ("goodput_bps_stddev", Json.Num point.goodput.Stats.Summary.stddev);
+      ("jain_mean", Json.Num point.jain.Stats.Summary.mean);
+      ("timeouts_mean", Json.Num point.timeouts.Stats.Summary.mean);
+      ("retransmits_mean", Json.Num point.retransmits.Stats.Summary.mean);
+      ("drops_mean", Json.Num point.drops.Stats.Summary.mean);
+      ("audit_violations", Json.Num (float_of_int point.violations));
+    ]
+
+let report_json outcome =
+  Json.pretty
+    (Json.Obj
+       [
+         ("schema", Json.Str "rr-sim-sweep/1");
+         ("jobs", Json.Num (float_of_int (List.length outcome.results)));
+         ("cache_hits", Json.Num (float_of_int outcome.cache_hits));
+         ("workers", Json.Num (float_of_int outcome.workers));
+         ("elapsed_seconds", Json.Num outcome.elapsed_seconds);
+         ("points", Json.List (List.map point_to_json outcome.points));
+         ("results", results_json outcome);
+       ])
+  ^ "\n"
+
+let report outcome =
+  let header =
+    [
+      "variant"; "gateway"; "loss"; "ack loss"; "seeds"; "goodput (Kbps)";
+      "jain"; "timeouts"; "retx"; "drops"; "violations";
+    ]
+  in
+  let rows =
+    List.map
+      (fun point ->
+        let job = point.point_job in
+        [
+          Core.Variant.name job.Job.variant;
+          Job.gateway_name job.Job.gateway;
+          Printf.sprintf "%g%%" (100.0 *. job.Job.uniform_loss);
+          Printf.sprintf "%g%%" (100.0 *. job.Job.ack_loss);
+          string_of_int point.goodput.Stats.Summary.n;
+          Stats.Summary.to_string ~scale:0.001 point.goodput;
+          Printf.sprintf "%.3f" point.jain.Stats.Summary.mean;
+          Stats.Summary.to_string point.timeouts;
+          Stats.Summary.to_string point.retransmits;
+          Stats.Summary.to_string point.drops;
+          string_of_int point.violations;
+        ])
+      outcome.points
+  in
+  let jobs = List.length outcome.results in
+  Stats.Text_table.render ~header rows
+  ^ Printf.sprintf
+      "\n%d job(s): %d from cache, %d executed on %d worker(s) in %.1f s;  %d \
+       audit violation(s)\n"
+      jobs outcome.cache_hits outcome.jobs_executed outcome.workers
+      outcome.elapsed_seconds (total_violations outcome)

@@ -1,0 +1,90 @@
+(** Declarative multi-run sweep engine.
+
+    A {!grid} names the axes of a campaign — variants × gateway
+    disciplines × uniform data-loss rates × ACK-loss rates × seeds —
+    plus the scalar run parameters they share. {!jobs_of_grid} expands
+    it to the cartesian product of fully-resolved {!Job.t}s;
+    {!run} executes them on the {!Pool} (consulting the {!Cache}
+    first), then collapses each grid {e point} (same everything but
+    the seed) into cross-seed summary statistics. *)
+
+type grid = {
+  variants : Core.Variant.t list;
+  gateways : Job.gateway list;
+  uniform_losses : float list;
+  ack_losses : float list;
+  seeds : int64 list;
+  duration : float;
+  flows : int;
+  rwnd : int;
+}
+
+(** [grid ()] with the defaults of the §4 uniform-loss studies: Reno /
+    New-Reno / SACK / RR under a drop-tail:8 gateway, 2% data loss, no
+    ACK loss, six seeds derived from [seed] (default 7), 2 flows for
+    20 s with a 20-segment window. *)
+val grid :
+  ?variants:Core.Variant.t list ->
+  ?gateways:Job.gateway list ->
+  ?uniform_losses:float list ->
+  ?ack_losses:float list ->
+  ?seeds:int64 list ->
+  ?seed:int64 ->
+  ?seed_count:int ->
+  ?duration:float ->
+  ?flows:int ->
+  ?rwnd:int ->
+  unit ->
+  grid
+
+(** [jobs_of_grid grid] is the expansion, ordered variant-major,
+    seed-minor. *)
+val jobs_of_grid : grid -> Job.t list
+
+(** One grid point's cross-seed aggregate. *)
+type point = {
+  point_job : Job.t;  (** a representative job (its seed is the first) *)
+  goodput : Stats.Summary.t;  (** aggregate goodput, bps, across seeds *)
+  jain : Stats.Summary.t;  (** within-run fairness, across seeds *)
+  timeouts : Stats.Summary.t;  (** per-run total, across seeds *)
+  retransmits : Stats.Summary.t;
+  drops : Stats.Summary.t;
+  violations : int;  (** auditor violations summed over seeds *)
+}
+
+type outcome = {
+  grid : grid;
+  results : Job.result list;  (** one per job, in expansion order *)
+  points : point list;  (** in first-occurrence order *)
+  cache_hits : int;
+  jobs_executed : int;  (** jobs actually run (misses) *)
+  workers : int;  (** pool width used *)
+  elapsed_seconds : float;  (** wall clock for the whole sweep *)
+}
+
+(** [run grid] executes the campaign. [cache] enables the on-disk
+    result cache; [jobs] sets the pool width (default
+    {!Pool.default_jobs}); [on_progress] is called after every settled
+    job with the completed count and the total. *)
+val run :
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
+  grid ->
+  outcome
+
+(** [total_violations outcome] sums auditor violations over all jobs. *)
+val total_violations : outcome -> int
+
+(** [results_json outcome] is the array of per-job results — the
+    deterministic payload (no timings), which a warm-cache re-run
+    reproduces byte-for-byte. *)
+val results_json : outcome -> Json.t
+
+(** [report outcome] renders the per-point aggregate table plus a
+    cache/pool summary line. *)
+val report : outcome -> string
+
+(** [report_json outcome] renders the whole campaign (points and
+    per-job results) as a JSON document, newline-terminated. *)
+val report_json : outcome -> string

@@ -27,7 +27,7 @@ let run_one ~seed ~ack_loss variant =
     (* The first *data* drop (ACK drops also land in the log). *)
     let rec scan = function
       | [] -> failwith "Ack_loss: burst did not occur"
-      | (time, 0, seq) :: _ when seq >= 0 -> time
+      | { Scenario.time; flow = 0; payload = Scenario.Data _ } :: _ -> time
       | _ :: rest -> scan rest
     in
     scan t.Scenario.drop_log

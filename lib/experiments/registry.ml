@@ -1,0 +1,134 @@
+type t = { name : string; synopsis : string; run : seed:int64 -> string }
+
+let all =
+  [
+    {
+      name = "fig5";
+      synopsis =
+        "Figure 5: effective throughput during recovery from 3- and 6-packet \
+         loss bursts under drop-tail gateways";
+      run =
+        (fun ~seed ->
+          Fig5.report (Fig5.run ~drops:3 ~seed ())
+          ^ "\n"
+          ^ Fig5.report (Fig5.run ~drops:6 ~seed ()));
+    };
+    {
+      name = "fig5-background";
+      synopsis =
+        "Figure 5, literal §3.2 setup: losses from two background flows \
+         instead of a forced drop list";
+      run = (fun ~seed -> Fig5.report_background (Fig5.run_background ~seed ()));
+    };
+    {
+      name = "fig6";
+      synopsis =
+        "Figure 6: recovery dynamics and throughput under RED gateways with \
+         ten staggered flows";
+      run = (fun ~seed -> Fig6.report (Fig6.run ~seed ()));
+    };
+    {
+      name = "fig7";
+      synopsis =
+        "Figure 7: fitness of RR and SACK to the square-root throughput model \
+         under uniform loss";
+      run =
+        (fun ~seed:_ ->
+          let outcome = Fig7.run () in
+          Fig7.report outcome ^ "\n" ^ Fig7.plot outcome);
+    };
+    {
+      name = "fig7-delack";
+      synopsis =
+        "Figure 7 under delayed ACKs (extension; model constant C = sqrt(3/4))";
+      run =
+        (fun ~seed:_ ->
+          Fig7.report
+            (Fig7.run
+               ~loss_rates:[ 0.005; 0.01; 0.02; 0.05; 0.1 ]
+               ~seeds:[ 3L; 17L ] ~delayed_ack:true ()));
+    };
+    {
+      name = "table5";
+      synopsis =
+        "Table 5: fairness against TCP Reno (transfer delay and loss rate of \
+         a 100 KB flow among 19 background flows)";
+      run = (fun ~seed -> Table5.report (Table5.run ~seed ()));
+    };
+    {
+      name = "table5-lt";
+      synopsis =
+        "Table 5 with RFC 3042 limited transmit (extension; restores \
+         dupack-based recovery at the tiny per-flow windows 20 flows force)";
+      run =
+        (fun ~seed -> Table5.report (Table5.run ~seed ~limited_transmit:true ()));
+    };
+    {
+      name = "ablation";
+      synopsis =
+        "RR design-decision ablations (retreat pacing, further-loss back-off, \
+         exit window) on the 6-loss burst";
+      run = (fun ~seed:_ -> Ablation.report (Ablation.run ()));
+    };
+    {
+      name = "ackloss";
+      synopsis =
+        "ACK-loss robustness of recovery (§2.3): burst recovery under \
+         reverse-path drops";
+      run = (fun ~seed:_ -> Ack_loss.report (Ack_loss.run ()));
+    };
+    {
+      name = "sync";
+      synopsis =
+        "Global synchronization and fairness: drop-tail vs RED gateways \
+         (§3.3 motivation)";
+      run = (fun ~seed -> Sync.report (Sync.run ~seed ()));
+    };
+    {
+      name = "smooth";
+      synopsis =
+        "Smooth-Start (paper reference [21]): slow-start overshoot control";
+      run = (fun ~seed -> Smooth.report (Smooth.run ~seed ()));
+    };
+    {
+      name = "fig5-fack";
+      synopsis =
+        "FACK (paper reference [13]) against SACK and RR on the 6-loss \
+         Figure 5 scenario";
+      run =
+        (fun ~seed ->
+          Fig5.report
+            (Fig5.run ~drops:6 ~variants:Core.Variant.[ Sack; Fack; Rr ] ~seed ()));
+    };
+    {
+      name = "vegas";
+      synopsis =
+        "Vegas decomposition (paper reference [8]): recovery vs \
+         congestion-avoidance contributions";
+      run = (fun ~seed -> Vegas_claim.report (Vegas_claim.run ~seed ()));
+    };
+    {
+      name = "rtt";
+      synopsis =
+        "RTT fairness: AIMD convergence with equal RTTs and the short-RTT \
+         bias with unequal ones (§5)";
+      run = (fun ~seed -> Rtt_fairness.report (Rtt_fairness.run ~seed ()));
+    };
+    {
+      name = "twoway";
+      synopsis =
+        "Two-way traffic (paper reference [22]): ACK compression and loss \
+         with data in both directions";
+      run = (fun ~seed -> Two_way.report (Two_way.run ~seed ()));
+    };
+    {
+      name = "sensitivity";
+      synopsis =
+        "Robustness sweep: the Figure 5 ordering across gateway buffer sizes \
+         and propagation delays";
+      run = (fun ~seed:_ -> Sensitivity.report (Sensitivity.run ()));
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names = List.map (fun e -> e.name) all

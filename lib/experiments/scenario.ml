@@ -78,11 +78,15 @@ type flow_result = {
   mutable completion : Workload.Ftp.completion option;
 }
 
+type drop_payload = Data of { seq : int } | Ack
+
+type drop = { time : float; flow : int; payload : drop_payload }
+
 type t = {
   engine : Sim.Engine.t;
   topology : Net.Dumbbell.t;
   results : flow_result array;
-  drop_log : (float * int * int) list;
+  drop_log : drop list;
   queue_occupancy : Stats.Series.t option;
   auditor : Audit.Auditor.t;
 }
@@ -107,13 +111,14 @@ let run spec =
   let rng = Sim.Rng.create spec.seed in
   let drop_log = ref [] in
   let log_drop packet =
-    let seq =
+    let payload =
       match packet.Net.Packet.kind with
-      | Net.Packet.Data { seq } -> seq
-      | Net.Packet.Ack _ -> -1
+      | Net.Packet.Data { seq } -> Data { seq }
+      | Net.Packet.Ack _ -> Ack
     in
     drop_log :=
-      (Sim.Engine.now engine, packet.Net.Packet.flow, seq) :: !drop_log
+      { time = Sim.Engine.now engine; flow = packet.Net.Packet.flow; payload }
+      :: !drop_log
   in
   (* The topology is needed inside the loss wrappers for per-flow drop
      accounting, but the wrappers are topology constructor arguments;
@@ -238,9 +243,13 @@ let tracefile t =
         (Stats.Series.to_list trace.Stats.Flow_trace.acks))
     t.results;
   List.iter
-    (fun (time, flow, seq) ->
-      let kind, size = if seq >= 0 then ("tcp", 1000) else ("ack", 40) in
-      events := (time, line 'd' time kind size flow (max seq 0)) :: !events)
+    (fun { time; flow; payload } ->
+      let kind, size, seq =
+        match payload with
+        | Data { seq } -> ("tcp", 1000, seq)
+        | Ack -> ("ack", 40, 0)
+      in
+      events := (time, line 'd' time kind size flow seq) :: !events)
     t.drop_log;
   let ordered =
     List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
@@ -250,6 +259,6 @@ let tracefile t =
 let first_drop_time t ~flow =
   let rec scan = function
     | [] -> None
-    | (time, f, _) :: rest -> if f = flow then Some time else scan rest
+    | drop :: rest -> if drop.flow = flow then Some drop.time else scan rest
   in
   scan t.drop_log

@@ -93,13 +93,18 @@ type flow_result = {
   mutable completion : Workload.Ftp.completion option;
 }
 
+(** What kind of packet a gateway dropped: a data segment (with its
+    sequence number) or an ACK travelling the reverse path. *)
+type drop_payload = Data of { seq : int } | Ack
+
+type drop = { time : float; flow : int; payload : drop_payload }
+
 type t = {
   engine : Sim.Engine.t;
   topology : Net.Dumbbell.t;
   results : flow_result array;
-  drop_log : (float * int * int) list;
-      (** (time, flow, seq) of dropped data packets, oldest first;
-          seq -1 for ACKs *)
+  drop_log : drop list;
+      (** every packet dropped anywhere in the topology, oldest first *)
   queue_occupancy : Stats.Series.t option;
       (** bottleneck queue length over time, when monitoring was on *)
   auditor : Audit.Auditor.t;

@@ -31,7 +31,9 @@ let run_one ~seed ~smooth variant =
   let startup_drops =
     List.length
       (List.filter
-         (fun (time, _, seq) -> seq >= 0 && time <= startup)
+         (fun { Scenario.time; payload; _ } ->
+           (match payload with Scenario.Data _ -> true | Scenario.Ack -> false)
+           && time <= startup)
          t.Scenario.drop_log)
   in
   {

@@ -19,7 +19,10 @@ let params = { Tcp.Params.default with rwnd = 20 }
 let synchronization ~rtt drop_log =
   let data_drops =
     List.filter_map
-      (fun (time, flow, seq) -> if seq >= 0 then Some (time, flow) else None)
+      (fun { Scenario.time; flow; payload } ->
+        match payload with
+        | Scenario.Data _ -> Some (time, flow)
+        | Scenario.Ack -> None)
       drop_log
   in
   let rec cluster events current last_time = function

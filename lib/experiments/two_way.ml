@@ -67,7 +67,10 @@ let run_two_way ~seed ~duration ~variant =
   let forward = List.init forward_flows Fun.id in
   let backward = List.init backward_flows (fun i -> forward_flows + i) in
   let ack_drops =
-    List.length (List.filter (fun (_, _, seq) -> seq < 0) t.Scenario.drop_log)
+    List.length
+      (List.filter
+         (fun { Scenario.payload; _ } -> payload = Scenario.Ack)
+         t.Scenario.drop_log)
   in
   let timeouts =
     List.fold_left

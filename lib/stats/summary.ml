@@ -1,0 +1,37 @@
+type t = { n : int; mean : float; stddev : float; ci95 : float }
+
+(* Two-sided 95% Student's t critical values by degrees of freedom;
+   beyond the table the normal quantile is close enough. *)
+let t_critical df =
+  let table =
+    [|
+      12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+      2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+      2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+    |]
+  in
+  if df < 1 then 0.0
+  else if df <= Array.length table then table.(df - 1)
+  else 1.96
+
+let of_list values =
+  let n = List.length values in
+  if n = 0 then { n = 0; mean = nan; stddev = 0.0; ci95 = 0.0 }
+  else begin
+    let nf = float_of_int n in
+    let mean = List.fold_left ( +. ) 0.0 values /. nf in
+    if n < 2 then { n; mean; stddev = 0.0; ci95 = 0.0 }
+    else begin
+      let sum_sq =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+      in
+      let stddev = sqrt (sum_sq /. (nf -. 1.0)) in
+      let ci95 = t_critical (n - 1) *. stddev /. sqrt nf in
+      { n; mean; stddev; ci95 }
+    end
+  end
+
+let to_string ?(scale = 1.0) t =
+  if t.n = 0 then "-"
+  else if t.n < 2 then Printf.sprintf "%.1f" (t.mean *. scale)
+  else Printf.sprintf "%.1f +- %.1f" (t.mean *. scale) (t.ci95 *. scale)

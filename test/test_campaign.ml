@@ -1,0 +1,251 @@
+(* Campaign layer: grid expansion, the fork pool, the content-addressed
+   result cache, cross-seed aggregation, and the experiment registry. *)
+
+let tiny_grid ?(seed_count = 2) () =
+  (* Small enough to keep the suite fast, lossy enough to exercise the
+     recovery paths the metrics summarise. *)
+  Campaign.Sweep.grid
+    ~variants:Core.Variant.[ Newreno; Rr ]
+    ~uniform_losses:[ 0.01 ] ~seed:11L ~seed_count ~duration:3.0 ~flows:2 ()
+
+let temp_cache_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rr-campaign-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Campaign.Cache.create ~dir ()
+
+(* -- grid expansion and job identity -- *)
+
+let test_grid_expansion () =
+  let grid =
+    Campaign.Sweep.grid
+      ~variants:Core.Variant.[ Reno; Rr ]
+      ~gateways:[ Campaign.Job.Droptail 8; Campaign.Job.Red 25 ]
+      ~uniform_losses:[ 0.0; 0.02 ] ~ack_losses:[ 0.0 ] ~seed_count:3 ()
+  in
+  let jobs = Campaign.Sweep.jobs_of_grid grid in
+  Alcotest.(check int) "cartesian product size" (2 * 2 * 2 * 3)
+    (List.length jobs);
+  let digests = List.map Campaign.Job.digest jobs in
+  Alcotest.(check int) "digests are pairwise distinct"
+    (List.length jobs)
+    (List.length (List.sort_uniq compare digests))
+
+let test_digest_stability () =
+  let job =
+    {
+      Campaign.Job.variant = Core.Variant.Rr;
+      gateway = Campaign.Job.Droptail 8;
+      uniform_loss = 0.02;
+      ack_loss = 0.0;
+      seed = 7L;
+      duration = 20.0;
+      flows = 2;
+      rwnd = 20;
+    }
+  in
+  Alcotest.(check string)
+    "equal jobs hash equally" (Campaign.Job.digest job)
+    (Campaign.Job.digest { job with seed = 7L });
+  Alcotest.(check bool)
+    "the seed is part of the key" true
+    (Campaign.Job.digest job <> Campaign.Job.digest { job with seed = 8L });
+  Alcotest.(check bool)
+    "the gateway is part of the key" true
+    (Campaign.Job.digest job
+    <> Campaign.Job.digest { job with gateway = Campaign.Job.Red 8 })
+
+(* -- the fork pool -- *)
+
+let test_pool_order_and_results () =
+  let inputs = List.init 17 Fun.id in
+  let expected = List.map (fun x -> x * x) inputs in
+  Alcotest.(check (list int))
+    "parallel map preserves input order" expected
+    (Campaign.Pool.map ~jobs:4 (fun x -> x * x) inputs);
+  Alcotest.(check (list int))
+    "serial fallback agrees" expected
+    (Campaign.Pool.map ~jobs:1 (fun x -> x * x) inputs)
+
+let test_pool_propagates_failure () =
+  Alcotest.check_raises "a failing worker fails the batch"
+    (Failure "campaign worker: Failure(\"boom\")") (fun () ->
+      ignore
+        (Campaign.Pool.map ~jobs:2
+           (fun x -> if x = 2 then failwith "boom" else x)
+           [ 0; 1; 2; 3 ]))
+
+(* -- JSON round-trips -- *)
+
+let test_json_roundtrip () =
+  let document =
+    Campaign.Json.Obj
+      [
+        ("name", Campaign.Json.Str "sweep \"quoted\"\n");
+        ("count", Campaign.Json.Num 42.0);
+        ("rate", Campaign.Json.Num 0.017);
+        ("flags", Campaign.Json.List [ Campaign.Json.Bool true; Campaign.Json.Null ]);
+      ]
+  in
+  let rendered = Campaign.Json.to_string document in
+  match Campaign.Json.of_string rendered with
+  | Error message -> Alcotest.failf "reparse failed: %s" message
+  | Ok reparsed ->
+    Alcotest.(check string)
+      "print/parse/print is stable" rendered
+      (Campaign.Json.to_string reparsed)
+
+let test_result_json_roundtrip () =
+  let job = List.hd (Campaign.Sweep.jobs_of_grid (tiny_grid ())) in
+  let result = Campaign.Job.run job in
+  let json = Campaign.Job.result_to_json result in
+  match
+    Campaign.Json.of_string (Campaign.Json.pretty json)
+    |> Result.map (Campaign.Job.result_of_json job)
+  with
+  | Error message -> Alcotest.failf "parse failed: %s" message
+  | Ok (Error message) -> Alcotest.failf "decode failed: %s" message
+  | Ok (Ok decoded) ->
+    Alcotest.(check bool)
+      "decoded result is structurally identical" true (decoded = result)
+
+(* -- the cache -- *)
+
+let test_cache_hit_is_byte_identical () =
+  let cache = temp_cache_dir () in
+  let grid = tiny_grid () in
+  let cold = Campaign.Sweep.run ~cache ~jobs:1 grid in
+  let warm = Campaign.Sweep.run ~cache ~jobs:1 grid in
+  Alcotest.(check int) "cold run hits nothing" 0 cold.Campaign.Sweep.cache_hits;
+  Alcotest.(check int)
+    "warm run hits everything"
+    (List.length warm.Campaign.Sweep.results)
+    warm.Campaign.Sweep.cache_hits;
+  Alcotest.(check int) "warm run executes nothing" 0
+    warm.Campaign.Sweep.jobs_executed;
+  Alcotest.(check string)
+    "cached results render byte-identically"
+    (Campaign.Json.to_string (Campaign.Sweep.results_json cold))
+    (Campaign.Json.to_string (Campaign.Sweep.results_json warm))
+
+let test_cache_ignores_corrupt_entries () =
+  let cache = temp_cache_dir () in
+  let job = List.hd (Campaign.Sweep.jobs_of_grid (tiny_grid ())) in
+  let path =
+    Filename.concat (Campaign.Cache.dir cache) (Campaign.Job.digest job ^ ".json")
+  in
+  let oc = open_out path in
+  output_string oc "{ truncated";
+  close_out oc;
+  Alcotest.(check bool)
+    "corrupt entry is a miss, not an error" true
+    (Campaign.Cache.find cache job = None);
+  let result = Campaign.Job.run job in
+  Campaign.Cache.store cache result;
+  Alcotest.(check bool)
+    "store repairs the entry" true
+    (Campaign.Cache.find cache job = Some result)
+
+(* -- parallel vs serial equivalence -- *)
+
+let test_parallel_matches_serial () =
+  let grid = tiny_grid () in
+  let serial = Campaign.Sweep.run ~jobs:1 grid in
+  let parallel = Campaign.Sweep.run ~jobs:2 grid in
+  Alcotest.(check int) "4 seeded jobs" 4
+    (List.length serial.Campaign.Sweep.results);
+  Alcotest.(check string)
+    "2-worker sweep reproduces the serial results"
+    (Campaign.Json.to_string (Campaign.Sweep.results_json serial))
+    (Campaign.Json.to_string (Campaign.Sweep.results_json parallel));
+  Alcotest.(check string)
+    "aggregates agree"
+    (Campaign.Sweep.report_json { serial with elapsed_seconds = 0.0; workers = 0 })
+    (Campaign.Sweep.report_json
+       { parallel with elapsed_seconds = 0.0; workers = 0 })
+
+let test_sweep_is_audited () =
+  let outcome = Campaign.Sweep.run ~jobs:2 (tiny_grid ()) in
+  Alcotest.(check int) "no invariant violations" 0
+    (Campaign.Sweep.total_violations outcome);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "every job ran under the auditor" true
+        (r.Campaign.Job.audit_checks > 0))
+    outcome.Campaign.Sweep.results
+
+let test_aggregation () =
+  let outcome = Campaign.Sweep.run ~jobs:1 (tiny_grid ~seed_count:3 ()) in
+  Alcotest.(check int) "one point per variant" 2
+    (List.length outcome.Campaign.Sweep.points);
+  List.iter
+    (fun point ->
+      let goodput = point.Campaign.Sweep.goodput in
+      Alcotest.(check int) "three seeds per point" 3 goodput.Stats.Summary.n;
+      Alcotest.(check bool) "mean goodput is positive" true
+        (goodput.Stats.Summary.mean > 0.0);
+      Alcotest.(check bool) "confidence interval is non-negative" true
+        (goodput.Stats.Summary.ci95 >= 0.0);
+      let jain = point.Campaign.Sweep.jain.Stats.Summary.mean in
+      Alcotest.(check bool) "jain index within (0, 1]" true
+        (jain > 0.0 && jain <= 1.0))
+    outcome.Campaign.Sweep.points
+
+(* -- summary statistics -- *)
+
+let test_summary () =
+  let s = Stats.Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.Summary.mean;
+  Alcotest.(check (float 1e-6)) "sample stddev" 2.13809 s.Stats.Summary.stddev;
+  Alcotest.(check bool) "ci95 = t * s / sqrt n" true
+    (Float.abs (s.Stats.Summary.ci95 -. (2.365 *. 2.13809 /. sqrt 8.0)) < 1e-4);
+  let single = Stats.Summary.of_list [ 3.0 ] in
+  Alcotest.(check (float 0.0)) "n=1 has no spread" 0.0 single.Stats.Summary.ci95;
+  Alcotest.(check int) "empty sample" 0 (Stats.Summary.of_list []).Stats.Summary.n
+
+(* -- the experiment registry -- *)
+
+let test_registry_unique_and_complete () =
+  let names = Experiments.Registry.names in
+  Alcotest.(check int) "every experiment is registered exactly once"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core artifact %s is registered" name)
+        true
+        (Experiments.Registry.find name <> None))
+    [ "fig5"; "fig6"; "fig7"; "table5"; "ablation"; "sensitivity" ];
+  Alcotest.(check bool) "unknown names are not found" true
+    (Experiments.Registry.find "no-such-experiment" = None);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a synopsis" e.Experiments.Registry.name)
+        true
+        (String.length e.Experiments.Registry.synopsis > 0))
+    Experiments.Registry.all
+
+let suite =
+  [
+    ( "campaign",
+      [
+        Alcotest.test_case "grid expansion" `Quick test_grid_expansion;
+        Alcotest.test_case "digest stability" `Quick test_digest_stability;
+        Alcotest.test_case "pool order" `Quick test_pool_order_and_results;
+        Alcotest.test_case "pool failure" `Quick test_pool_propagates_failure;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "result json roundtrip" `Slow test_result_json_roundtrip;
+        Alcotest.test_case "cache byte-identical" `Slow
+          test_cache_hit_is_byte_identical;
+        Alcotest.test_case "cache corrupt entry" `Slow
+          test_cache_ignores_corrupt_entries;
+        Alcotest.test_case "parallel = serial" `Slow test_parallel_matches_serial;
+        Alcotest.test_case "sweep audited" `Slow test_sweep_is_audited;
+        Alcotest.test_case "aggregation" `Slow test_aggregation;
+        Alcotest.test_case "summary stats" `Quick test_summary;
+        Alcotest.test_case "registry" `Quick test_registry_unique_and_complete;
+      ] );
+  ]

@@ -243,6 +243,16 @@ let test_deterministic_replay () =
   let drops_b, una_b = run 77L in
   let drops_c, _ = run 78L in
   Alcotest.(check bool) "identical drop logs" true (drops_a = drops_b);
+  (* The RED run drops data, not ACKs, and every data drop carries its
+     real sequence number (no -1 sentinel in the typed log). *)
+  Alcotest.(check bool) "data drops carry sequence numbers" true
+    (drops_a <> []
+    && List.for_all
+         (fun { Experiments.Scenario.payload; _ } ->
+           match payload with
+           | Experiments.Scenario.Data { seq } -> seq >= 0
+           | Experiments.Scenario.Ack -> false)
+         drops_a);
   Alcotest.(check bool) "identical ack trajectories" true (una_a = una_b);
   Alcotest.(check bool) "seed changes the run" true (drops_a <> drops_c)
 
