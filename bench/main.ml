@@ -7,7 +7,10 @@
      dune exec bench/main.exe               # full reproduction + timings
      dune exec bench/main.exe -- --fast     # skip the Bechamel pass
      dune exec bench/main.exe -- --json     # machine-readable timings
-     dune exec bench/main.exe -- --check    # diff timings vs baseline.json *)
+     dune exec bench/main.exe -- --check    # diff timings vs baseline.json
+     dune exec bench/main.exe -- --only sched,link --check
+                                            # restrict to benchmark-name
+                                            # prefixes (perf-smoke uses this) *)
 
 open Bechamel
 open Toolkit
@@ -34,80 +37,159 @@ let reproduce () =
   in
   print_string (Campaign.Sweep.report outcome)
 
+(* -- scheduler and link micro-benchmark bodies -- *)
+
+let nop () = ()
+
+(* 50k fire-and-forget events at scattered pseudo-random delays: the
+   push/pop pattern of the simulation hot path, per scheduler. *)
+let sched_push_pop scheduler () =
+  let engine = Sim.Engine.create ~scheduler () in
+  for round = 0 to 4 do
+    for i = 1 to 10_000 do
+      Sim.Engine.schedule_unit engine
+        ~delay:(float_of_int (((i * 7919) + round) mod 1009) *. 0.001)
+        nop
+    done;
+    Sim.Engine.run engine
+  done
+
+(* Same population through the handle path, cancelling every other
+   event before the run drains the rest past the lazy deletions. *)
+let sched_cancel scheduler () =
+  let engine = Sim.Engine.create ~scheduler () in
+  let handles = Array.make 10_000 None in
+  for round = 0 to 4 do
+    for i = 0 to 9_999 do
+      handles.(i) <-
+        Some
+          (Sim.Engine.schedule_after engine
+             ~delay:(float_of_int (((i * 7919) + round) mod 1009) *. 0.001)
+             nop)
+    done;
+    for i = 0 to 9_999 do
+      if i land 1 = 0 then
+        match handles.(i) with
+        | Some handle -> Sim.Engine.cancel engine handle
+        | None -> ()
+    done;
+    Sim.Engine.run engine
+  done
+
+(* A link kept saturated by a 20k-packet backlog: every packet costs a
+   serialization event plus a propagation event, all on the fused
+   delivery-record path. *)
+let link_saturated () =
+  let engine = Sim.Engine.create () in
+  let queue = Net.Droptail.create ~capacity:20_000 () in
+  let delivered = ref 0 in
+  let link =
+    Net.Link.create ~engine ~bandwidth_bps:(Sim.Units.mbps 100.0) ~delay:0.001
+      ~queue
+      ~dst:(fun _ -> incr delivered)
+      ()
+  in
+  for i = 1 to 20_000 do
+    Net.Link.send link
+      (Net.Packet.data ~uid:i ~flow:0 ~seq:i ~size_bytes:1000 ~born:0.0)
+  done;
+  Sim.Engine.run engine;
+  assert (!delivered = 20_000)
+
 (* -- Bechamel timing: one test per artifact -- *)
 
-let stage_unit f = Staged.stage (fun () -> ignore (f ()))
+(* Kept as a plain (name, thunk) list so --only can restrict a run to
+   name prefixes without paying for the rest. *)
+let all_benchmarks : (string * (unit -> unit)) list =
+  [
+    ("fig5/3drops", fun () -> ignore (Experiments.Fig5.run ~drops:3 ()));
+    ("fig5/6drops", fun () -> ignore (Experiments.Fig5.run ~drops:6 ()));
+    ( "fig6/red",
+      fun () ->
+        ignore
+          (Experiments.Fig6.run ~variants:Core.Variant.[ Newreno; Sack; Rr ] ())
+    );
+    ( "fig7/point",
+      fun () ->
+        (* One representative sweep point; the full figure is 9 of
+           these per variant pair. *)
+        ignore
+          (Experiments.Fig7.run ~loss_rates:[ 0.02 ] ~seeds:[ 3L ]
+             ~duration:100.0 ()) );
+    ( "table5/all-cases",
+      fun () -> ignore (Experiments.Table5.run ~deadline:60.0 ()) );
+    ("ablation/6drops", fun () -> ignore (Experiments.Ablation.run ()));
+    ( "ackloss/point",
+      fun () -> ignore (Experiments.Ack_loss.run ~rates:[ 0.1 ] ~seeds:[ 2L ] ())
+    );
+    ( "sync/droptail-vs-red",
+      fun () ->
+        ignore (Experiments.Sync.run ~variants:[ Core.Variant.Rr ] ~duration:10.0 ())
+    );
+    ("smooth/grid", fun () -> ignore (Experiments.Smooth.run ()));
+    ("vegas/decomposition", fun () -> ignore (Experiments.Vegas_claim.run ()));
+    ( "two-way/ack-compression",
+      fun () ->
+        ignore
+          (Experiments.Two_way.run ~variants:[ Core.Variant.Rr ] ~duration:20.0 ())
+    );
+    ( "sensitivity/grid",
+      fun () ->
+        ignore
+          (Experiments.Sensitivity.run ~buffers:[ 8 ]
+             ~delays:[ Sim.Units.ms 96.0 ] ()) );
+    ( "rtt-fairness/grid",
+      fun () ->
+        ignore
+          (Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ]
+             ~duration:40.0 ()) );
+    ( "campaign/12-job-sweep",
+      fun () ->
+        ignore
+          (Campaign.Sweep.run ~jobs:1
+             (Campaign.Sweep.grid
+                ~variants:Core.Variant.[ Newreno; Rr ]
+                ~uniform_losses:[ 0.01; 0.05 ] ~seed_count:3 ~duration:5.0 ())) );
+    ( "micro/engine-100k-events",
+      fun () ->
+        let engine = Sim.Engine.create () in
+        for i = 1 to 100_000 do
+          ignore
+            (Sim.Engine.schedule_after engine
+               ~delay:(float_of_int (i mod 97))
+               nop)
+        done;
+        Sim.Engine.run engine );
+    ( "micro/rr-20s-lossy-flow",
+      fun () ->
+        ignore
+          (Experiments.Scenario.run
+             (Experiments.Scenario.make
+                ~config:(Net.Dumbbell.paper_config ~flows:1)
+                ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
+                ~params:{ Tcp.Params.default with rwnd = 20 }
+                ~seed:1L ~duration:20.0 ~uniform_loss:0.01 ())) );
+    ("sched/push-pop", sched_push_pop `Calendar);
+    ("sched/push-pop-heap", sched_push_pop `Heap);
+    ("sched/cancel", sched_cancel `Calendar);
+    ("sched/cancel-heap", sched_cancel `Heap);
+    ("link/saturated", link_saturated);
+  ]
 
-let tests =
+let matches_only only name =
+  only = []
+  || List.exists (fun prefix -> String.starts_with ~prefix name) only
+
+let tests ~only =
   Test.make_grouped ~name:"rr-repro"
-    [
-      Test.make ~name:"fig5/3drops"
-        (stage_unit (fun () -> Experiments.Fig5.run ~drops:3 ()));
-      Test.make ~name:"fig5/6drops"
-        (stage_unit (fun () -> Experiments.Fig5.run ~drops:6 ()));
-      Test.make ~name:"fig6/red"
-        (stage_unit (fun () ->
-             Experiments.Fig6.run
-               ~variants:Core.Variant.[ Newreno; Sack; Rr ] ()));
-      Test.make ~name:"fig7/point"
-        (stage_unit (fun () ->
-             (* One representative sweep point; the full figure is 9 of
-                these per variant pair. *)
-             Experiments.Fig7.run ~loss_rates:[ 0.02 ] ~seeds:[ 3L ]
-               ~duration:100.0 ()));
-      Test.make ~name:"table5/all-cases"
-        (stage_unit (fun () -> Experiments.Table5.run ~deadline:60.0 ()));
-      Test.make ~name:"ablation/6drops"
-        (stage_unit (fun () -> Experiments.Ablation.run ()));
-      Test.make ~name:"ackloss/point"
-        (stage_unit (fun () ->
-             Experiments.Ack_loss.run ~rates:[ 0.1 ] ~seeds:[ 2L ] ()));
-      Test.make ~name:"sync/droptail-vs-red"
-        (stage_unit (fun () ->
-             Experiments.Sync.run ~variants:[ Core.Variant.Rr ] ~duration:10.0 ()));
-      Test.make ~name:"smooth/grid"
-        (stage_unit (fun () -> Experiments.Smooth.run ()));
-      Test.make ~name:"vegas/decomposition"
-        (stage_unit (fun () -> Experiments.Vegas_claim.run ()));
-      Test.make ~name:"two-way/ack-compression"
-        (stage_unit (fun () ->
-             Experiments.Two_way.run ~variants:[ Core.Variant.Rr ]
-               ~duration:20.0 ()));
-      Test.make ~name:"sensitivity/grid"
-        (stage_unit (fun () ->
-             Experiments.Sensitivity.run ~buffers:[ 8 ]
-               ~delays:[ Sim.Units.ms 96.0 ] ()));
-      Test.make ~name:"rtt-fairness/grid"
-        (stage_unit (fun () ->
-             Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ]
-               ~duration:40.0 ()));
-      Test.make ~name:"campaign/12-job-sweep"
-        (stage_unit (fun () ->
-             Campaign.Sweep.run ~jobs:1
-               (Campaign.Sweep.grid
-                  ~variants:Core.Variant.[ Newreno; Rr ]
-                  ~uniform_losses:[ 0.01; 0.05 ] ~seed_count:3 ~duration:5.0 ())));
-      Test.make ~name:"micro/engine-100k-events"
-        (Staged.stage (fun () ->
-             let engine = Sim.Engine.create () in
-             for i = 1 to 100_000 do
-               ignore
-                 (Sim.Engine.schedule_after engine
-                    ~delay:(float_of_int (i mod 97))
-                    (fun () -> ()))
-             done;
-             Sim.Engine.run engine));
-      Test.make ~name:"micro/rr-20s-lossy-flow"
-        (stage_unit (fun () ->
-             Experiments.Scenario.run
-               (Experiments.Scenario.make
-                  ~config:(Net.Dumbbell.paper_config ~flows:1)
-                  ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
-                  ~params:{ Tcp.Params.default with rwnd = 20 }
-                  ~seed:1L ~duration:20.0 ~uniform_loss:0.01 ())));
-    ]
+    (List.filter_map
+       (fun (name, f) ->
+         if matches_only only name then
+           Some (Test.make ~name (Staged.stage f))
+         else None)
+       all_benchmarks)
 
-let measure () =
+let measure ~only () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -115,7 +197,7 @@ let measure () =
   let cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
   in
-  let raw = Benchmark.all cfg instances tests in
+  let raw = Benchmark.all cfg instances (tests ~only) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
     Hashtbl.fold
@@ -127,17 +209,17 @@ let measure () =
   in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
 
-let benchmark () =
+let benchmark ~only () =
   banner "Bechamel timings (wall-clock per experiment run)";
   List.iter
     (fun (name, nanoseconds) ->
       Printf.printf "  %-44s %10.3f ms/run\n" name (nanoseconds /. 1e6))
-    (measure ())
+    (measure ~only ())
 
 (* Machine-readable timings for regression tracking; the checked-in
    bench/baseline.json is a snapshot of this output. *)
-let benchmark_json () =
-  let rows = measure () in
+let benchmark_json ~only () =
+  let rows = measure ~only () in
   print_string "{\"schema\":\"rr-sim-bench/1\",\"unit\":\"ms\",\"results\":{";
   List.iteri
     (fun i (name, nanoseconds) ->
@@ -158,7 +240,15 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let benchmark_check ~baseline ~tolerance =
+(* Baseline keys carry the Bechamel group prefix ("rr-repro/..."); the
+   --only prefixes are written against the bare benchmark names. *)
+let strip_group key =
+  let prefix = "rr-repro/" in
+  if String.starts_with ~prefix key then
+    String.sub key (String.length prefix) (String.length key - String.length prefix)
+  else key
+
+let benchmark_check ~only ~baseline ~tolerance =
   let doc =
     match Campaign.Json.of_string (read_file baseline) with
     | Ok doc -> doc
@@ -177,7 +267,10 @@ let benchmark_check ~baseline ~tolerance =
       Printf.eprintf "%s has no results object\n" baseline;
       exit 2
   in
-  let current = measure () in
+  let recorded =
+    List.filter (fun (name, _) -> matches_only only (strip_group name)) recorded
+  in
+  let current = measure ~only () in
   let failures = ref 0 in
   let rows =
     List.map
@@ -227,12 +320,17 @@ let () =
     in
     scan argv
   in
+  let only =
+    match value_of "--only" "" with
+    | "" -> []
+    | prefixes -> String.split_on_char ',' prefixes
+  in
   if has "--check" then
-    benchmark_check
+    benchmark_check ~only
       ~baseline:(value_of "--baseline" "bench/baseline.json")
       ~tolerance:(float_of_string (value_of "--tolerance" "10.0"))
-  else if has "--json" then benchmark_json ()
+  else if has "--json" then benchmark_json ~only ()
   else begin
     reproduce ();
-    if not (has "--fast") then benchmark ()
+    if not (has "--fast") then benchmark ~only ()
   end

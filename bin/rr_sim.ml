@@ -10,6 +10,22 @@ let seed_arg =
   let doc = "Random seed for stochastic components (RED, loss injection)." in
   Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Every engine created below (including in forked sweep workers) picks
+   up the process-wide default, so setting it once at command start is
+   enough. Both schedulers produce byte-identical output; the flag
+   exists for performance comparison and as an escape hatch. *)
+let scheduler_arg =
+  let scheduler_conv = Arg.enum [ ("calendar", `Calendar); ("heap", `Heap) ] in
+  let doc =
+    "Event scheduler backing the simulation engines: the ns-2-style calendar \
+     queue (calendar, default) or the binary heap (heap). Results are \
+     byte-identical either way."
+  in
+  Arg.(
+    value
+    & opt scheduler_conv (Sim.Engine.default_scheduler ())
+    & info [ "scheduler" ] ~docv:"SCHED" ~doc)
+
 let variant_conv =
   let parse s =
     Result.map_error (fun message -> `Msg message) (Core.Variant.of_string s)
@@ -49,7 +65,8 @@ let fig5_term =
     in
     Arg.(value & flag & info [ "background" ] ~doc)
   in
-  let run drops window background seed =
+  let run scheduler drops window background seed =
+    Sim.Engine.set_default_scheduler scheduler;
     if background then
       print_string
         (Experiments.Fig5.report_background (Experiments.Fig5.run_background ~seed ()))
@@ -57,7 +74,7 @@ let fig5_term =
       print_string
         (Experiments.Fig5.report (Experiments.Fig5.run ~drops ~measure_window:window ~seed ()))
   in
-  Term.(const run $ drops $ window $ background $ seed_arg)
+  Term.(const run $ scheduler_arg $ drops $ window $ background $ seed_arg)
 
 let fig5_cmd =
   Cmd.v
@@ -82,7 +99,8 @@ let fig6_term =
     let doc = "Restrict to one TCP variant." in
     Arg.(value & opt (some variant_conv) None & info [ "variant" ] ~doc)
   in
-  let run plots duration only_variant seed csv =
+  let run scheduler plots duration only_variant seed csv =
+    Sim.Engine.set_default_scheduler scheduler;
     let variants =
       match only_variant with
       | Some v -> Some [ v ]
@@ -120,7 +138,7 @@ let fig6_term =
           outcome.Experiments.Fig6.results)
       csv
   in
-  Term.(const run $ plots $ duration $ only_variant $ seed_arg $ csv_arg)
+  Term.(const run $ scheduler_arg $ plots $ duration $ only_variant $ seed_arg $ csv_arg)
 
 let fig6_cmd =
   Cmd.v
@@ -148,14 +166,15 @@ let fig7_term =
     in
     Arg.(value & flag & info [ "delack" ] ~doc)
   in
-  let run duration runs delack seed =
+  let run scheduler duration runs delack seed =
+    Sim.Engine.set_default_scheduler scheduler;
     let seeds = List.init runs (fun i -> Int64.add seed (Int64.of_int i)) in
     let outcome = Experiments.Fig7.run ~seeds ~duration ~delayed_ack:delack () in
     print_string (Experiments.Fig7.report outcome);
     print_newline ();
     print_string (Experiments.Fig7.plot outcome)
   in
-  Term.(const run $ duration $ runs $ delack $ seed_arg)
+  Term.(const run $ scheduler_arg $ duration $ runs $ delack $ seed_arg)
 
 let fig7_cmd =
   Cmd.v
@@ -168,10 +187,11 @@ let fig7_cmd =
 (* table5 *)
 
 let table5_term =
-  let run seed =
+  let run scheduler seed =
+    Sim.Engine.set_default_scheduler scheduler;
     print_string (Experiments.Table5.report (Experiments.Table5.run ~seed ()))
   in
-  Term.(const run $ seed_arg)
+  Term.(const run $ scheduler_arg $ seed_arg)
 
 let table5_cmd =
   Cmd.v
@@ -188,10 +208,11 @@ let ablation_term =
     let doc = "Loss-burst size for the ablation scenario." in
     Arg.(value & opt int 6 & info [ "drops" ] ~docv:"N" ~doc)
   in
-  let run drops =
+  let run scheduler drops =
+    Sim.Engine.set_default_scheduler scheduler;
     print_string (Experiments.Ablation.report (Experiments.Ablation.run ~drops ()))
   in
-  Term.(const run $ drops)
+  Term.(const run $ scheduler_arg $ drops)
 
 let ablation_cmd =
   Cmd.v
@@ -206,7 +227,11 @@ let ack_loss_cmd =
        ~doc:
          "ACK-loss robustness of recovery (paper section 2.3): burst recovery \
           under reverse-path drops.")
-    Term.(const (fun () -> print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Ack_loss.report (Experiments.Ack_loss.run ())))
+       $ scheduler_arg)
 
 let sync_cmd =
   Cmd.v
@@ -214,7 +239,11 @@ let sync_cmd =
        ~doc:
          "Global synchronization and fairness: drop-tail vs RED gateways \
           (paper section 3.3 motivation).")
-    Term.(const (fun () -> print_string (Experiments.Sync.report (Experiments.Sync.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Sync.report (Experiments.Sync.run ())))
+       $ scheduler_arg)
 
 let smooth_cmd =
   Cmd.v
@@ -222,7 +251,11 @@ let smooth_cmd =
        ~doc:
          "Smooth-Start extension (paper reference [21]): slow-start overshoot \
           control.")
-    Term.(const (fun () -> print_string (Experiments.Smooth.report (Experiments.Smooth.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Smooth.report (Experiments.Smooth.run ())))
+       $ scheduler_arg)
 
 let rtt_cmd =
   Cmd.v
@@ -230,7 +263,11 @@ let rtt_cmd =
        ~doc:
          "RTT fairness: AIMD convergence with equal RTTs (paper section 5) \
           and the short-RTT bias with unequal ones.")
-    Term.(const (fun () -> print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Rtt_fairness.report (Experiments.Rtt_fairness.run ())))
+       $ scheduler_arg)
 
 let sensitivity_cmd =
   Cmd.v
@@ -238,7 +275,11 @@ let sensitivity_cmd =
        ~doc:
          "Robustness sweep: the Figure 5 ordering across gateway buffer sizes \
           and propagation delays.")
-    Term.(const (fun () -> print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Sensitivity.report (Experiments.Sensitivity.run ())))
+       $ scheduler_arg)
 
 let two_way_cmd =
   Cmd.v
@@ -246,7 +287,11 @@ let two_way_cmd =
        ~doc:
          "Two-way traffic (paper reference [22]): ACK compression and loss \
           when data flows in both directions.")
-    Term.(const (fun () -> print_string (Experiments.Two_way.report (Experiments.Two_way.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Two_way.report (Experiments.Two_way.run ())))
+       $ scheduler_arg)
 
 let vegas_cmd =
   Cmd.v
@@ -254,7 +299,11 @@ let vegas_cmd =
        ~doc:
          "Vegas decomposition (paper reference [8]): does Vegas' gain come \
           from recovery or congestion avoidance?")
-    Term.(const (fun () -> print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ()))) $ const ())
+    Term.(
+       const (fun scheduler ->
+           Sim.Engine.set_default_scheduler scheduler;
+           print_string (Experiments.Vegas_claim.report (Experiments.Vegas_claim.run ())))
+       $ scheduler_arg)
 
 (* audit: invariant sweep over every variant and scenario shape *)
 
@@ -331,7 +380,11 @@ let audit_cmd =
          "Run the invariant auditor over every TCP variant under drop-tail \
           and RED gateways and a range of loss patterns; exit non-zero on \
           any violation.")
-    Term.(const audit_sweep $ seed_arg)
+    Term.(
+      const (fun scheduler seed ->
+          Sim.Engine.set_default_scheduler scheduler;
+          audit_sweep seed)
+      $ scheduler_arg $ seed_arg)
 
 (* run: ad-hoc scenario *)
 
@@ -391,8 +444,9 @@ let run_term =
     let doc = "Print the invariant-audit report; exit non-zero on violations." in
     Arg.(value & flag & info [ "audit" ] ~doc)
   in
-  let run variant flows duration red buffer loss rwnd ack_loss delack
-      limited_transmit tracefile trace audit seed csv =
+  let run scheduler variant flows duration red buffer loss rwnd ack_loss
+      delack limited_transmit tracefile trace audit seed csv =
+    Sim.Engine.set_default_scheduler scheduler;
     let gateway =
       if red then
         Net.Dumbbell.Red { capacity = buffer; params = Net.Red.paper_params }
@@ -473,9 +527,9 @@ let run_term =
     end
   in
   Term.(
-    const run $ variant $ flows $ duration $ red $ buffer $ loss $ rwnd
-    $ ack_loss $ delack $ limited_transmit $ tracefile $ trace $ audit
-    $ seed_arg $ csv_arg)
+    const run $ scheduler_arg $ variant $ flows $ duration $ red $ buffer
+    $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ tracefile $ trace
+    $ audit $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -566,8 +620,9 @@ let sweep_term =
     let doc = "Emit the campaign (points and per-job results) as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run variants gateways losses ack_losses seed_count duration flows rwnd
-      jobs cache_dir no_cache json seed =
+  let run scheduler variants gateways losses ack_losses seed_count duration
+      flows rwnd jobs cache_dir no_cache json seed =
+    Sim.Engine.set_default_scheduler scheduler;
     let grid =
       Campaign.Sweep.grid ~variants ~gateways ~uniform_losses:losses
         ~ack_losses ~seed ~seed_count ~duration ~flows ~rwnd ()
@@ -589,8 +644,9 @@ let sweep_term =
     if Campaign.Sweep.total_violations outcome > 0 then exit 1
   in
   Term.(
-    const run $ variants $ gateways $ losses $ ack_losses $ seed_count
-    $ duration $ flows $ rwnd $ jobs $ cache_dir $ no_cache $ json $ seed_arg)
+    const run $ scheduler_arg $ variants $ gateways $ losses $ ack_losses
+    $ seed_count $ duration $ flows $ rwnd $ jobs $ cache_dir $ no_cache
+    $ json $ seed_arg)
 
 let sweep_cmd =
   Cmd.v
@@ -625,7 +681,8 @@ let all_term =
     in
     Arg.(value & opt (some (list ~sep:',' string)) None & info [ "only" ] ~docv:"NAMES" ~doc)
   in
-  let run only seed =
+  let run scheduler only seed =
+    Sim.Engine.set_default_scheduler scheduler;
     let experiments =
       match only with
       | None -> Experiments.Registry.all
@@ -647,7 +704,7 @@ let all_term =
         print_string (e.Experiments.Registry.run ~seed))
       experiments
   in
-  Term.(const run $ only $ seed_arg)
+  Term.(const run $ scheduler_arg $ only $ seed_arg)
 
 let all_cmd =
   Cmd.v

@@ -1,11 +1,32 @@
 type t = {
   out : out_channel;
+  (* Events are formatted into [buf] and written out in [flush_at]-sized
+     chunks, so tracing costs a memory append per event instead of a
+     per-event channel write. *)
+  buf : Buffer.t;
+  flush_at : int;
   last_cumulative : (int, int) Hashtbl.t;  (* flow -> highest ackno seen *)
 }
 
-let create ~out () = { out; last_cumulative = Hashtbl.create 7 }
+let default_flush_at = 1 lsl 16
 
-let line t fmt = Printf.ksprintf (fun s -> output_string t.out (s ^ "\n")) fmt
+let create ?(flush_at = default_flush_at) ~out () =
+  if flush_at <= 0 then invalid_arg "Trace.create: flush_at <= 0";
+  { out; buf = Buffer.create (min flush_at (1 lsl 16)); flush_at;
+    last_cumulative = Hashtbl.create 7 }
+
+let drain t =
+  if Buffer.length t.buf > 0 then begin
+    Buffer.output_buffer t.out t.buf;
+    Buffer.clear t.buf
+  end
+
+let line t fmt =
+  Printf.kbprintf
+    (fun buf ->
+      Buffer.add_char buf '\n';
+      if Buffer.length buf >= t.flush_at then drain t)
+    t.buf fmt
 
 let attach_sender t agent =
   let flow = agent.Tcp.Agent.flow in
@@ -49,4 +70,6 @@ let attach_queue t ~engine ~name disc =
       line t {|{"t":%.6f,"ev":"%s","queue":"%s",%s}|} (Sim.Engine.now engine)
         ev name (packet_fields packet))
 
-let flush t = flush t.out
+let flush t =
+  drain t;
+  flush t.out

@@ -19,12 +19,17 @@
     sequence numbers, [uid] is the per-simulation packet id and [dup]
     marks ACKs that do not advance the flow's cumulative point. The
     channel is owned by the caller; the tracer only writes and
-    {!flush}es. *)
+    {!flush}es. Lines are staged in an internal buffer and written out
+    in chunks, so callers must {!flush} before closing the channel. *)
 
 type t
 
-(** [create ~out ()] builds a tracer writing to [out]. *)
-val create : out:out_channel -> unit -> t
+(** [create ?flush_at ~out ()] builds a tracer writing to [out]. The
+    internal buffer is drained to the channel whenever it reaches
+    [flush_at] bytes (default 64 KiB) and on {!flush}.
+
+    @raise Invalid_argument if [flush_at <= 0]. *)
+val create : ?flush_at:int -> out:out_channel -> unit -> t
 
 (** [attach_sender t agent] records send/ack/recovery/timeout events of
     [agent]. *)
@@ -35,5 +40,6 @@ val attach_sender : t -> Tcp.Agent.t -> unit
     [name]. *)
 val attach_queue : t -> engine:Sim.Engine.t -> name:string -> Net.Queue_disc.t -> unit
 
-(** [flush t] flushes the underlying channel. *)
+(** [flush t] drains the staging buffer and flushes the underlying
+    channel. *)
 val flush : t -> unit

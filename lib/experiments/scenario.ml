@@ -205,9 +205,14 @@ let run spec =
           ~probe:queue.Net.Queue_disc.length ~interval ~until:spec.duration)
       spec.monitor_queue
   in
-  Sim.Engine.run_until engine ~time:spec.duration;
-  Audit.Auditor.finalize auditor;
-  Option.iter Audit.Trace.flush tracer;
+  (* The tracer stages its JSONL lines in a buffer; drain it on every
+     exit path, including a raising run — otherwise the tail of the
+     trace is lost exactly when it is most needed. *)
+  Fun.protect
+    ~finally:(fun () -> Option.iter Audit.Trace.flush tracer)
+    (fun () ->
+      Sim.Engine.run_until engine ~time:spec.duration;
+      Audit.Auditor.finalize auditor);
   if not (Audit.Auditor.ok auditor) then
     prerr_string (Audit.Auditor.report auditor);
   {

@@ -1,0 +1,286 @@
+(* ns-2-style calendar queue (Brown 1988): an array of bucket "days"
+   that the virtual clock sweeps cyclically, each bucket holding a
+   sorted linked list of the events whose timestamps fall into any
+   "year" of that day. With the bucket width adapted to the observed
+   inter-event gap, enqueue and dequeue-min are O(1) amortized instead
+   of the binary heap's O(log n).
+
+   Tie order: every entry carries an insertion sequence number and all
+   comparisons are on (time, seq), so equal-timestamp events pop in
+   insertion order — the same stable-FIFO contract as [Heap], which is
+   what keeps the two schedulers byte-identical on simulation output.
+
+   Year bookkeeping is done in integers ([vbucket] = trunc(time/width),
+   recomputed on every width change), never by accumulating float
+   bucket tops, so boundary roundoff cannot reorder events.
+
+   Resizes are the cost to amortize: they thread every entry onto one
+   chain through the existing [next] links (no temporary array, no
+   sort), estimate the new width with two O(n) passes, and reinsert.
+   Growth jumps 4x and shrinking waits for an 8x population drop and
+   keeps the current width, so a fill/drain cycle rebuilds the table a
+   handful of times instead of at every doubling. *)
+
+type 'a entry = {
+  time : float;
+  seq : int;
+  value : 'a;
+  mutable vbucket : int;
+  mutable next : 'a entry option;
+}
+
+type 'a t = {
+  mutable buckets : 'a entry option array;
+  mutable tails : 'a entry option array;
+  mutable mask : int;
+  mutable width : float;
+  (* 1/width; bucket mapping multiplies instead of divides. Every
+     vbucket in the structure is computed with the same reciprocal, so
+     rounding is consistent within a width epoch. *)
+  mutable inv_width : float;
+  mutable size : int;
+  mutable next_seq : int;
+  (* Search position: [last_time] is a lower bound on the minimum
+     timestamp present and [cur_vbucket] = trunc(last_time/width). *)
+  mutable cur_vbucket : int;
+  mutable last_time : float;
+}
+
+let min_buckets = 8
+
+let create ?(width = 1.0) () =
+  if width <= 0.0 then invalid_arg "Calqueue.create: width <= 0";
+  {
+    buckets = Array.make min_buckets None;
+    tails = Array.make min_buckets None;
+    mask = min_buckets - 1;
+    width;
+    inv_width = 1.0 /. width;
+    size = 0;
+    next_seq = 0;
+    cur_vbucket = 0;
+    last_time = 0.0;
+  }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let vbucket_of t time = int_of_float (time *. t.inv_width)
+
+(* Insert into the sorted list of the entry's bucket. The common case —
+   an event later than everything already in its bucket — is an O(1)
+   tail append, which keeps bursts of equal-timestamp events linear. *)
+let insert_entry t e =
+  let i = e.vbucket land t.mask in
+  match t.tails.(i) with
+  | None ->
+    e.next <- None;
+    let cell = Some e in
+    t.buckets.(i) <- cell;
+    t.tails.(i) <- cell
+  | Some tail when before tail e ->
+    e.next <- None;
+    let cell = Some e in
+    tail.next <- cell;
+    t.tails.(i) <- cell
+  | Some _ -> (
+    match t.buckets.(i) with
+    | None -> assert false
+    | Some head when before e head ->
+      e.next <- Some head;
+      t.buckets.(i) <- Some e
+    | Some head ->
+      (* e is after head and before tail: insertion lands strictly
+         inside the list, so the tail pointer is untouched. *)
+      let rec ins prev =
+        match prev.next with
+        | Some n when before n e -> ins n
+        | rest ->
+          e.next <- rest;
+          prev.next <- Some e
+      in
+      ins head)
+
+(* Thread every entry onto a single chain through the existing [next]
+   links (constant extra space) and return its head. *)
+let unlink_all t =
+  let head = ref None in
+  let tail = ref None in
+  Array.iteri
+    (fun i bucket_head ->
+      match bucket_head with
+      | None -> ()
+      | Some _ ->
+        (match !tail with
+        | None -> head := bucket_head
+        | Some last -> last.next <- bucket_head);
+        tail := t.tails.(i))
+    t.buckets;
+  !head
+
+(* Width adaptation, two O(n) passes over the chain: a global average
+   gap first, then the observed density within the next ~64 global-gap
+   units of the minimum — events near the head are the ones the sweep
+   visits next, and this keeps a dense cluster from being drowned out
+   by far-future outliers (pending retransmission timers). A bucket
+   should hold a few events per year, hence the conventional 3x. *)
+let estimate_width t chain =
+  let lo = ref infinity and hi = ref neg_infinity and n = ref 0 in
+  let rec scan = function
+    | None -> ()
+    | Some e ->
+      if e.time < !lo then lo := e.time;
+      if e.time > !hi then hi := e.time;
+      incr n;
+      scan e.next
+  in
+  scan chain;
+  if !n < 2 || !hi <= !lo then t.width
+  else begin
+    let global_gap = (!hi -. !lo) /. float_of_int (!n - 1) in
+    let window = !lo +. (64.0 *. global_gap) in
+    let in_window = ref 0 and wide = ref !lo in
+    let rec count = function
+      | None -> ()
+      | Some e ->
+        if e.time <= window then begin
+          incr in_window;
+          if e.time > !wide then wide := e.time
+        end;
+        count e.next
+    in
+    count chain;
+    let span = !wide -. !lo in
+    if span > 0.0 && !in_window >= 2 then
+      3.0 *. span /. float_of_int (!in_window - 1)
+    else 3.0 *. global_gap
+  end
+
+let rebuild t ~nbuckets ~fresh_width =
+  let chain = unlink_all t in
+  if fresh_width then begin
+    t.width <- estimate_width t chain;
+    t.inv_width <- 1.0 /. t.width
+  end;
+  t.buckets <- Array.make nbuckets None;
+  t.tails <- Array.make nbuckets None;
+  t.mask <- nbuckets - 1;
+  t.cur_vbucket <- vbucket_of t t.last_time;
+  let rec reinsert = function
+    | None -> ()
+    | Some e ->
+      let next = e.next in
+      e.vbucket <- vbucket_of t e.time;
+      insert_entry t e;
+      reinsert next
+  in
+  reinsert chain
+
+let push t ~priority value =
+  let e =
+    {
+      time = priority;
+      seq = t.next_seq;
+      value;
+      vbucket = vbucket_of t priority;
+      next = None;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  insert_entry t e;
+  t.size <- t.size + 1;
+  if priority < t.last_time then begin
+    t.last_time <- priority;
+    t.cur_vbucket <- e.vbucket
+  end;
+  if t.size > 2 * (t.mask + 1) then
+    rebuild t ~nbuckets:(4 * (t.mask + 1)) ~fresh_width:true
+
+(* Locate the minimum entry: sweep bucket years starting from the
+   current position; a bucket's head is in year [vb] exactly when its
+   precomputed [vbucket] equals [vb]. If a whole calendar round finds
+   nothing, every event is far in the future — find the earliest bucket
+   head directly and jump the clock there. *)
+let find_min_nonempty t =
+  let nbuckets = t.mask + 1 in
+  let rec sweep step vb =
+    if step = nbuckets then direct ()
+    else
+      match t.buckets.(vb land t.mask) with
+      | Some head when head.vbucket = vb ->
+        t.cur_vbucket <- vb;
+        t.last_time <- head.time;
+        head
+      | _ -> sweep (step + 1) (vb + 1)
+  and direct () =
+    let best = ref None in
+    Array.iter
+      (fun head ->
+        match (head, !best) with
+        | None, _ -> ()
+        | Some h, None -> best := Some h
+        | Some h, Some b -> if before h b then best := Some h)
+      t.buckets;
+    match !best with
+    | None -> assert false
+    | Some h ->
+      t.cur_vbucket <- h.vbucket;
+      t.last_time <- h.time;
+      h
+  in
+  sweep 0 t.cur_vbucket
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = find_min_nonempty t in
+    Some (e.time, e.value)
+
+(* Next power of two >= n (n >= 1). *)
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go min_buckets
+
+(* Unlink a located minimum entry from its bucket. *)
+let remove_min t e =
+  let i = e.vbucket land t.mask in
+  t.buckets.(i) <- e.next;
+  if e.next = None then t.tails.(i) <- None;
+  e.next <- None;
+  t.size <- t.size - 1;
+  let nbuckets = t.mask + 1 in
+  if nbuckets > min_buckets && t.size < nbuckets / 8 then
+    (* Keep the width: a draining queue thins out, but the spacing of
+       what remains was estimated from the same population. *)
+    rebuild t ~nbuckets:(pow2_at_least (2 * t.size)) ~fresh_width:false
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = find_min_nonempty t in
+    remove_min t e;
+    Some (e.time, e.value)
+  end
+
+let pop_if_before t ~limit ~default =
+  if t.size = 0 then default
+  else begin
+    let e = find_min_nonempty t in
+    if e.time > limit then default
+    else begin
+      remove_min t e;
+      e.value
+    end
+  end
+
+let clear t =
+  t.buckets <- Array.make min_buckets None;
+  t.tails <- Array.make min_buckets None;
+  t.mask <- min_buckets - 1;
+  t.size <- 0;
+  t.next_seq <- 0;
+  t.cur_vbucket <- 0;
+  t.last_time <- 0.0

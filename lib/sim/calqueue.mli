@@ -1,0 +1,46 @@
+(** Calendar queue (Brown 1988, as in the ns-2 scheduler): bucketed
+    event ring with dynamic resizing and bucket-width adaptation.
+
+    Same contract as {!Heap} — elements ordered by a [float] priority
+    and, within equal priorities, by insertion order (stable FIFO) —
+    but [push]/[pop] are O(1) amortized instead of O(log n), which is
+    what makes large event populations (saturated links, wide sweeps)
+    scheduler-cheap. The bucket count doubles and halves with the
+    population and the bucket width is re-estimated from observed
+    inter-event gaps at every resize. *)
+
+type 'a t
+
+(** [create ?width ()] returns an empty queue. [width] seeds the bucket
+    width in priority units before the first adaptive resize.
+
+    @raise Invalid_argument if [width <= 0]. *)
+val create : ?width:float -> unit -> 'a t
+
+(** [length t] is the number of elements currently stored. *)
+val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push t ~priority v] inserts [v]. *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** [peek t] returns the minimum element without removing it, or [None]
+    if the queue is empty. *)
+val peek : 'a t -> (float * 'a) option
+
+(** [pop t] removes and returns the minimum element, or [None] if the
+    queue is empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [pop_if_before t ~limit ~default] removes and returns the minimum
+    element if its priority is [<= limit]; otherwise leaves the queue
+    untouched and returns [default]. Allocation-free: the hot path of
+    the event loop, where per-event [option] and tuple cells would be
+    pure garbage. *)
+val pop_if_before : 'a t -> limit:float -> default:'a -> 'a
+
+(** [clear t] removes all elements and resets the insertion-order
+    state, so a reused queue behaves like a fresh one. *)
+val clear : 'a t -> unit

@@ -1,27 +1,77 @@
-type event = { fire : unit -> unit; mutable cancelled : bool }
+type state = Pending | Consumed | Cancelled
+
+type event = {
+  mutable fire : unit -> unit;
+  mutable state : state;
+  (* The scheduled firing time, duplicated here so the run loop can pop
+     bare event records through the allocation-free [pop_if_before]
+     path and still advance the clock. *)
+  mutable time : float;
+  (* Events scheduled through the no-handle fast path never escape to a
+     caller, so their records can be recycled through the free list the
+     moment they fire. Handle-bearing events must not be recycled: the
+     caller may still hold the handle. *)
+  recyclable : bool;
+  mutable next_free : event;
+}
 
 type handle = event
 
+type scheduler = [ `Calendar | `Heap ]
+
+type queue = Q_heap of event Heap.t | Q_cal of event Calqueue.t
+
 type t = {
   mutable clock : float;
-  queue : event Heap.t;
+  queue : queue;
   mutable stopped : bool;
-  (* Live (non-cancelled) events, so [pending] and the run loop can avoid
-     being fooled by lazily-deleted cancellations. *)
+  (* Live (non-cancelled, non-fired) events, so [pending] and the run
+     loop can avoid being fooled by lazily-deleted cancellations. *)
   mutable live : int;
+  mutable free : event;
 }
 
-let create () = { clock = 0.0; queue = Heap.create (); stopped = false; live = 0 }
+let nop () = ()
+
+(* Free-list terminator: a self-linked sentinel shared by all engines
+   (never enqueued, never mutated). *)
+let rec nil =
+  { fire = nop; state = Consumed; time = 0.0; recyclable = false; next_free = nil }
+
+let default = ref (`Calendar : scheduler)
+
+let default_scheduler () = !default
+
+let set_default_scheduler s = default := s
+
+let create ?scheduler () =
+  let queue =
+    match match scheduler with Some s -> s | None -> !default with
+    | `Heap -> Q_heap (Heap.create ())
+    | `Calendar -> Q_cal (Calqueue.create ())
+  in
+  { clock = 0.0; queue; stopped = false; live = 0; free = nil }
+
+let scheduler t = match t.queue with Q_heap _ -> `Heap | Q_cal _ -> `Calendar
 
 let now t = t.clock
 
-let schedule_at t ~time fire =
+let qpush t ~time event =
+  event.time <- time;
+  match t.queue with
+  | Q_heap q -> Heap.push q ~priority:time event
+  | Q_cal q -> Calqueue.push q ~priority:time event
+
+let check_time t time =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
-         t.clock);
-  let event = { fire; cancelled = false } in
-  Heap.push t.queue ~priority:time event;
+         t.clock)
+
+let schedule_at t ~time fire =
+  check_time t time;
+  let event = { fire; state = Pending; time; recyclable = false; next_free = nil } in
+  qpush t ~time event;
   t.live <- t.live + 1;
   event
 
@@ -29,41 +79,106 @@ let schedule_after t ~delay fire =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t ~time:(t.clock +. delay) fire
 
+let schedule_unit_at t ~time fire =
+  check_time t time;
+  let event =
+    if t.free != nil then begin
+      let event = t.free in
+      t.free <- event.next_free;
+      event.next_free <- nil;
+      event.fire <- fire;
+      event.state <- Pending;
+      event
+    end
+    else { fire; state = Pending; time; recyclable = true; next_free = nil }
+  in
+  qpush t ~time event;
+  t.live <- t.live + 1
+
+let schedule_unit t ~delay fire =
+  if delay < 0.0 then invalid_arg "Engine.schedule_unit: negative delay";
+  schedule_unit_at t ~time:(t.clock +. delay) fire
+
 let cancel t handle =
-  if not handle.cancelled then begin
-    handle.cancelled <- true;
+  match handle.state with
+  | Pending ->
+    handle.state <- Cancelled;
     t.live <- t.live - 1
-  end
+  | Consumed | Cancelled -> ()
 
 let pending t = t.live
 
-let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, event) ->
-    if event.cancelled then true
-    else begin
-      t.live <- t.live - 1;
-      t.clock <- time;
-      event.fire ();
-      true
-    end
+let fire_one t event =
+  match event.state with
+  | Cancelled | Consumed -> ()
+  | Pending ->
+    event.state <- Consumed;
+    t.live <- t.live - 1;
+    t.clock <- event.time;
+    let fire = event.fire in
+    if event.recyclable then begin
+      (* Release before firing so the callback's own schedule_unit
+         calls can already reuse this record. *)
+      event.fire <- nop;
+      event.next_free <- t.free;
+      t.free <- event
+    end;
+    fire ()
 
+(* The drain loops are specialized per scheduler so the hot path is a
+   direct allocation-free pop per event, with the queue-representation
+   branch hoisted out of the loop. *)
 let run t =
   t.stopped <- false;
-  let rec loop () = if (not t.stopped) && step t then loop () in
-  loop ()
+  match t.queue with
+  | Q_heap q ->
+    let rec loop () =
+      if not t.stopped then begin
+        let e = Heap.pop_if_before q ~limit:infinity ~default:nil in
+        if e != nil then begin
+          fire_one t e;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  | Q_cal q ->
+    let rec loop () =
+      if not t.stopped then begin
+        let e = Calqueue.pop_if_before q ~limit:infinity ~default:nil in
+        if e != nil then begin
+          fire_one t e;
+          loop ()
+        end
+      end
+    in
+    loop ()
 
 let run_until t ~time =
   t.stopped <- false;
-  let rec loop () =
-    if t.stopped then ()
-    else
-      match Heap.peek t.queue with
-      | Some (next, _) when next <= time -> if step t then loop ()
-      | Some _ | None -> ()
-  in
-  loop ();
+  (match t.queue with
+  | Q_heap q ->
+    let rec loop () =
+      if not t.stopped then begin
+        let e = Heap.pop_if_before q ~limit:time ~default:nil in
+        if e != nil then begin
+          fire_one t e;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  | Q_cal q ->
+    let rec loop () =
+      if not t.stopped then begin
+        let e = Calqueue.pop_if_before q ~limit:time ~default:nil in
+        if e != nil then begin
+          fire_one t e;
+          loop ()
+        end
+      end
+    in
+    loop ());
   (* A stop mid-run leaves the clock at the last fired event; advancing
      it to [time] anyway would fabricate an idle period that never ran. *)
   if (not t.stopped) && time > t.clock then t.clock <- time

@@ -3,16 +3,36 @@
     An engine owns virtual time and a queue of pending events. Components
     schedule closures to run at future instants; [run] drains the queue in
     time order (stable for simultaneous events) and advances the clock.
-    Engines are ordinary values — no global state — so tests can run many
-    independent simulations in one process. *)
+    Engines are ordinary values — no global state beyond the configurable
+    default scheduler — so tests can run many independent simulations in
+    one process. *)
 
 type t
 
 (** Cancellation handle for a scheduled event. *)
 type handle
 
-(** [create ()] returns an engine with the clock at time 0. *)
-val create : unit -> t
+(** Event-queue implementation: [`Calendar] is the ns-2-style calendar
+    queue (O(1) amortized operations, the default), [`Heap] the binary
+    heap. Both fire identical (time, insertion-order) sequences; the
+    choice is purely a performance knob. *)
+type scheduler = [ `Calendar | `Heap ]
+
+(** [default_scheduler ()] is the scheduler picked by {!create} when
+    none is passed explicitly. *)
+val default_scheduler : unit -> scheduler
+
+(** [set_default_scheduler s] changes the process-wide default, for
+    front ends (e.g. [rr-sim --scheduler]) that build engines deep
+    inside experiment code. *)
+val set_default_scheduler : scheduler -> unit
+
+(** [create ?scheduler ()] returns an engine with the clock at time 0.
+    [scheduler] defaults to {!default_scheduler}[ ()]. *)
+val create : ?scheduler:scheduler -> unit -> t
+
+(** [scheduler t] reports which queue implementation [t] runs on. *)
+val scheduler : t -> scheduler
 
 (** [now t] is the current virtual time in seconds. *)
 val now : t -> float
@@ -27,12 +47,26 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
     [delay] must be non-negative. *)
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 
-(** [cancel t handle] prevents the event from firing. Cancelling an event
-    that already fired or was already cancelled is a no-op. *)
+(** [schedule_unit_at t ~time f] is {!schedule_at} for fire-and-forget
+    events: no cancellation handle is returned, which lets the engine
+    recycle the event record through an internal free list. This is the
+    allocation-free fast path for the per-packet events of the hot
+    simulation loop.
+
+    @raise Invalid_argument if [time < now t]. *)
+val schedule_unit_at : t -> time:float -> (unit -> unit) -> unit
+
+(** [schedule_unit t ~delay f] is {!schedule_after} without a handle;
+    see {!schedule_unit_at}. *)
+val schedule_unit : t -> delay:float -> (unit -> unit) -> unit
+
+(** [cancel t handle] prevents the event from firing. Cancelling an
+    event that already fired or was already cancelled is a no-op (and
+    in particular does not disturb {!pending}). *)
 val cancel : t -> handle -> unit
 
-(** [pending t] is the number of events still queued (including cancelled
-    ones not yet discarded). *)
+(** [pending t] is the number of events still scheduled to fire
+    (cancelled and already-fired events are not counted). *)
 val pending : t -> int
 
 (** [run t] processes events until the queue is empty. *)

@@ -76,6 +76,25 @@ let pop t =
     Some (entry.priority, entry.value)
   end
 
+let pop_if_before t ~limit ~default =
+  if t.size = 0 then default
+  else begin
+    let entry = t.data.(0) in
+    if entry.priority > limit then default
+    else begin
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        sift_down t 0
+      end;
+      entry.value
+    end
+  end
+
 let clear t =
   t.size <- 0;
-  t.data <- [||]
+  t.data <- [||];
+  (* Reset the tie-order state too: a reused heap must behave exactly
+     like a fresh one, or cleared-and-reused engines would carry
+     insertion-order history across runs. *)
+  t.next_seq <- 0

@@ -27,5 +27,13 @@ val peek : 'a t -> (float * 'a) option
     heap is empty. *)
 val pop : 'a t -> (float * 'a) option
 
-(** [clear t] removes all elements. *)
+(** [pop_if_before t ~limit ~default] removes and returns the minimum
+    element if its priority is [<= limit]; otherwise leaves the heap
+    untouched and returns [default]. Allocation-free: the hot path of
+    the event loop, where per-event [option] and tuple cells would be
+    pure garbage. *)
+val pop_if_before : 'a t -> limit:float -> default:'a -> 'a
+
+(** [clear t] removes all elements and resets the insertion-order
+    state, so a reused heap behaves like a fresh one. *)
 val clear : 'a t -> unit

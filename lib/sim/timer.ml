@@ -1,32 +1,83 @@
+(* Restartable one-shot timer with lazy re-arm.
+
+   RTO timers restart on every ACK and delayed-ACK timers on every data
+   packet, so the naive cancel-and-reschedule would push (and later pop
+   and skip) one dead far-future queue entry per packet. Instead,
+   restarting to a *later* deadline — the overwhelmingly common case,
+   since the clock has advanced — only moves the logical [expiry]; the
+   queue entry already outstanding fires first, notices the deadline
+   moved, and re-queues itself for the remainder. Queue traffic drops
+   from one entry per restart to one per expiry interval, and the
+   entries that are pushed go through the engine's recyclable no-handle
+   path.
+
+   [epoch] identifies the authoritative queue entry: cancel, start and
+   an earlier-deadline restart bump it, so any entry still in the queue
+   from a previous life of the timer wakes up, sees a stale epoch and
+   does nothing. *)
+
 type t = {
   engine : Engine.t;
   callback : unit -> unit;
-  mutable armed : (Engine.handle * float) option;
+  mutable armed : bool;
+  (* Logical deadline; meaningful only while [armed]. *)
+  mutable expiry : float;
+  mutable epoch : int;
+  (* Firing time of the authoritative queue entry; [expiry] can only
+     run ahead of it (lazy restart), never behind. *)
+  mutable queued : float;
 }
 
-let create engine ~callback = { engine; callback; armed = None }
+let create engine ~callback =
+  { engine; callback; armed = false; expiry = 0.0; epoch = 0; queued = 0.0 }
 
-let is_armed t = t.armed <> None
+let is_armed t = t.armed
 
-let expiry t = Option.map snd t.armed
+let expiry t = if t.armed then Some t.expiry else None
+
+let rec enqueue t =
+  let epoch = t.epoch in
+  t.queued <- t.expiry;
+  Engine.schedule_unit_at t.engine ~time:t.expiry (fun () -> fired t epoch)
+
+and fired t epoch =
+  if epoch = t.epoch && t.armed then
+    if t.expiry <= Engine.now t.engine then begin
+      t.armed <- false;
+      t.epoch <- t.epoch + 1;
+      t.callback ()
+    end
+    else begin
+      (* The deadline moved later while this entry was in flight:
+         re-arm for the remainder. *)
+      t.epoch <- t.epoch + 1;
+      enqueue t
+    end
 
 let cancel t =
-  match t.armed with
-  | None -> ()
-  | Some (handle, _) ->
-    Engine.cancel t.engine handle;
-    t.armed <- None
+  if t.armed then begin
+    t.armed <- false;
+    t.epoch <- t.epoch + 1
+  end
 
 let start t ~after =
-  if is_armed t then invalid_arg "Timer.start: already armed";
-  let time = Engine.now t.engine +. after in
-  let handle =
-    Engine.schedule_at t.engine ~time (fun () ->
-        t.armed <- None;
-        t.callback ())
-  in
-  t.armed <- Some (handle, time)
+  if t.armed then invalid_arg "Timer.start: already armed";
+  t.armed <- true;
+  t.expiry <- Engine.now t.engine +. after;
+  t.epoch <- t.epoch + 1;
+  enqueue t
 
 let restart t ~after =
-  cancel t;
-  start t ~after
+  if not t.armed then start t ~after
+  else begin
+    let expiry = Engine.now t.engine +. after in
+    if expiry >= t.queued then
+      (* Lazy path: the outstanding entry fires no later than the new
+         deadline and will re-queue itself. *)
+      t.expiry <- expiry
+    else begin
+      t.expiry <- expiry;
+      t.epoch <- t.epoch + 1;
+      enqueue t
+    end
+  end

@@ -1,0 +1,156 @@
+(* Calendar-queue tests: the Heap contract (min ordering, FIFO ties,
+   clear) plus resize/width-adaptation stress and a randomized oracle
+   check that Calqueue and Heap agree operation-for-operation. *)
+
+let check = Alcotest.(check int)
+
+let pop_all queue =
+  let rec drain acc =
+    match Sim.Calqueue.pop queue with
+    | None -> List.rev acc
+    | Some (priority, value) -> drain ((priority, value) :: acc)
+  in
+  drain []
+
+let test_empty () =
+  let queue : int Sim.Calqueue.t = Sim.Calqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Sim.Calqueue.is_empty queue);
+  check "length" 0 (Sim.Calqueue.length queue);
+  Alcotest.(check bool) "peek none" true (Sim.Calqueue.peek queue = None);
+  Alcotest.(check bool) "pop none" true (Sim.Calqueue.pop queue = None)
+
+let test_ordering () =
+  let queue = Sim.Calqueue.create () in
+  List.iter
+    (fun priority -> Sim.Calqueue.push queue ~priority (int_of_float priority))
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = List.map snd (pop_all queue) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] order
+
+let test_stability () =
+  let queue = Sim.Calqueue.create () in
+  List.iter (fun v -> Sim.Calqueue.push queue ~priority:1.0 v) [ 10; 20; 30; 40 ];
+  Alcotest.(check (list int))
+    "fifo on ties" [ 10; 20; 30; 40 ]
+    (List.map snd (pop_all queue))
+
+let test_mixed_stability () =
+  let queue = Sim.Calqueue.create () in
+  Sim.Calqueue.push queue ~priority:2.0 1;
+  Sim.Calqueue.push queue ~priority:1.0 2;
+  Sim.Calqueue.push queue ~priority:2.0 3;
+  Sim.Calqueue.push queue ~priority:1.0 4;
+  Alcotest.(check (list int))
+    "ties stay fifo among equals" [ 2; 4; 1; 3 ]
+    (List.map snd (pop_all queue))
+
+let test_peek_does_not_remove () =
+  let queue = Sim.Calqueue.create () in
+  Sim.Calqueue.push queue ~priority:1.0 7;
+  (match Sim.Calqueue.peek queue with
+  | Some (_, 7) -> ()
+  | Some _ | None -> Alcotest.fail "peek");
+  check "still there" 1 (Sim.Calqueue.length queue)
+
+let test_clear_resets_tie_state () =
+  (* A cleared queue must order ties exactly like a fresh one. *)
+  let fresh = Sim.Calqueue.create () in
+  let reused = Sim.Calqueue.create () in
+  List.iter (fun v -> Sim.Calqueue.push reused ~priority:3.0 v) [ 1; 2; 3 ];
+  ignore (Sim.Calqueue.pop reused);
+  Sim.Calqueue.clear reused;
+  check "cleared" 0 (Sim.Calqueue.length reused);
+  List.iter
+    (fun queue ->
+      Sim.Calqueue.push queue ~priority:1.0 10;
+      Sim.Calqueue.push queue ~priority:1.0 20;
+      Sim.Calqueue.push queue ~priority:0.5 30)
+    [ fresh; reused ];
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "same as fresh" (pop_all fresh) (pop_all reused)
+
+(* Push enough to force several grow resizes (and width re-estimation),
+   then drain through the shrink path. *)
+let test_resize_stress () =
+  let queue = Sim.Calqueue.create () in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    Sim.Calqueue.push queue ~priority:(float_of_int ((i * 7919) mod n) /. 100.0) i
+  done;
+  check "all stored" n (Sim.Calqueue.length queue);
+  let out = List.map fst (pop_all queue) in
+  Alcotest.(check bool) "sorted drain" true (out = List.sort compare out);
+  check "drained" 0 (Sim.Calqueue.length queue)
+
+(* A dense cluster plus far-future outliers exercises the direct-search
+   fallback (a full calendar round finds no event in the current year). *)
+let test_sparse_far_future () =
+  let queue = Sim.Calqueue.create () in
+  Sim.Calqueue.push queue ~priority:1e6 1;
+  Sim.Calqueue.push queue ~priority:2e6 2;
+  for i = 0 to 63 do
+    Sim.Calqueue.push queue ~priority:(float_of_int i *. 0.001) (100 + i)
+  done;
+  let out = pop_all queue in
+  Alcotest.(check int) "count" 66 (List.length out);
+  let times = List.map fst out in
+  Alcotest.(check bool) "sorted" true (times = List.sort compare times);
+  Alcotest.(check (list int))
+    "outliers last" [ 1; 2 ]
+    (List.filteri (fun i _ -> i >= 64) (List.map snd out))
+
+let test_invalid_width () =
+  Alcotest.check_raises "width" (Invalid_argument "Calqueue.create: width <= 0")
+    (fun () -> ignore (Sim.Calqueue.create ~width:0.0 () : int Sim.Calqueue.t))
+
+(* Oracle property: an arbitrary interleaving of pushes and pops gives
+   exactly the Heap's answers, ties included (times quantized to force
+   plenty of collisions). *)
+let prop_matches_heap =
+  QCheck2.Test.make ~name:"calqueue matches heap on random workloads" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 400)
+        (oneof
+           [
+             map (fun k -> `Push (float_of_int k /. 8.0)) (int_range 0 200);
+             return `Pop;
+           ]))
+    (fun ops ->
+      let heap = Sim.Heap.create () in
+      let cal = Sim.Calqueue.create () in
+      let i = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push priority ->
+            Sim.Heap.push heap ~priority !i;
+            Sim.Calqueue.push cal ~priority !i;
+            incr i;
+            Sim.Heap.length heap = Sim.Calqueue.length cal
+          | `Pop -> Sim.Heap.pop heap = Sim.Calqueue.pop cal)
+        ops
+      && pop_all cal
+         = (let rec drain acc =
+              match Sim.Heap.pop heap with
+              | None -> List.rev acc
+              | Some entry -> drain (entry :: acc)
+            in
+            drain []))
+
+let suite =
+  [
+    ( "calqueue",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "stability" `Quick test_stability;
+        Alcotest.test_case "mixed stability" `Quick test_mixed_stability;
+        Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+        Alcotest.test_case "clear resets tie state" `Quick
+          test_clear_resets_tie_state;
+        Alcotest.test_case "resize stress" `Quick test_resize_stress;
+        Alcotest.test_case "sparse far future" `Quick test_sparse_far_future;
+        Alcotest.test_case "invalid width" `Quick test_invalid_width;
+        QCheck_alcotest.to_alcotest prop_matches_heap;
+      ] );
+  ]

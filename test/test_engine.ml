@@ -104,6 +104,113 @@ let test_stop_during_run_until () =
   Alcotest.(check bool) "later event not fired" false !late;
   Alcotest.(check (float 1e-9)) "clock at stop point" 1.0 (Sim.Engine.now engine)
 
+let test_cancel_after_fire () =
+  (* Regression: cancelling a handle whose event already fired used to
+     decrement the live count again, driving [pending] negative. *)
+  let engine = Sim.Engine.create () in
+  let handle = Sim.Engine.schedule_at engine ~time:1.0 (fun () -> ()) in
+  Sim.Engine.run engine;
+  Sim.Engine.cancel engine handle;
+  Alcotest.(check int) "pending not negative" 0 (Sim.Engine.pending engine);
+  ignore (Sim.Engine.schedule_at engine ~time:2.0 (fun () -> ()));
+  Sim.Engine.cancel engine handle;
+  Alcotest.(check int) "later events unaffected" 1 (Sim.Engine.pending engine)
+
+let test_schedule_unit () =
+  (* Fire-and-forget events interleave with handle events in the same
+     (time, insertion) order, and record recycling across many
+     generations does not disturb it. *)
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  Sim.Engine.schedule_unit engine ~delay:1.0 (note "u1");
+  ignore (Sim.Engine.schedule_after engine ~delay:1.0 (note "h1"));
+  Sim.Engine.schedule_unit engine ~delay:1.0 (note "u2");
+  Alcotest.(check int) "all pending" 3 (Sim.Engine.pending engine);
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "fifo" [ "u1"; "h1"; "u2" ] (List.rev !log);
+  Alcotest.(check int) "drained" 0 (Sim.Engine.pending engine);
+  let count = ref 0 in
+  let rec chain () =
+    incr count;
+    if !count < 1000 then Sim.Engine.schedule_unit engine ~delay:0.5 chain
+  in
+  Sim.Engine.schedule_unit engine ~delay:0.5 chain;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "recycled chain" 1000 !count
+
+let test_schedule_unit_rejects_past () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_at engine ~time:2.0 (fun () -> ()));
+  Sim.Engine.run engine;
+  Alcotest.check_raises "past" (Invalid_argument
+    "Engine.schedule_at: time 1 is before now 2")
+    (fun () -> Sim.Engine.schedule_unit_at engine ~time:1.0 (fun () -> ()));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule_unit: negative delay") (fun () ->
+      Sim.Engine.schedule_unit engine ~delay:(-1.0) (fun () -> ()))
+
+let test_scheduler_selection () =
+  Alcotest.(check bool) "default is calendar" true
+    (Sim.Engine.scheduler (Sim.Engine.create ()) = `Calendar);
+  Alcotest.(check bool) "explicit heap" true
+    (Sim.Engine.scheduler (Sim.Engine.create ~scheduler:`Heap ()) = `Heap);
+  let saved = Sim.Engine.default_scheduler () in
+  Fun.protect
+    ~finally:(fun () -> Sim.Engine.set_default_scheduler saved)
+    (fun () ->
+      Sim.Engine.set_default_scheduler `Heap;
+      Alcotest.(check bool) "default override" true
+        (Sim.Engine.scheduler (Sim.Engine.create ()) = `Heap))
+
+(* Differential property: a random schedule/cancel/fire workload —
+   handle events, fire-and-forget events, events scheduled from inside
+   running events, and cancellations — fires the identical (time, id)
+   sequence under both schedulers, equal-timestamp ties included
+   (times are quantized to quarter-seconds to force many ties). *)
+let prop_schedulers_agree =
+  let open QCheck2.Gen in
+  let time = map (fun k -> float_of_int k /. 4.0) (int_range 0 40) in
+  let op =
+    oneof
+      [
+        map (fun t -> `Schedule t) time;
+        map (fun t -> `Schedule_unit t) time;
+        map2 (fun t d -> `Nested (t, d)) time time;
+        map (fun k -> `Cancel k) (int_range 0 1000);
+      ]
+  in
+  QCheck2.Test.make ~name:"heap and calendar schedulers fire identically"
+    ~count:300
+    (list_size (int_range 1 80) op)
+    (fun ops ->
+      let run scheduler =
+        let engine = Sim.Engine.create ~scheduler () in
+        let fired = ref [] in
+        let note id () = fired := (Sim.Engine.now engine, id) :: !fired in
+        let handles = ref [||] in
+        let register handle =
+          handles := Array.append !handles [| handle |]
+        in
+        List.iteri
+          (fun id op ->
+            match op with
+            | `Schedule t -> register (Sim.Engine.schedule_at engine ~time:t (note id))
+            | `Schedule_unit t ->
+              Sim.Engine.schedule_unit_at engine ~time:t (note id)
+            | `Nested (t, d) ->
+              Sim.Engine.schedule_unit_at engine ~time:t (fun () ->
+                  note id ();
+                  Sim.Engine.schedule_unit engine ~delay:d (note (1000 + id)))
+            | `Cancel k ->
+              let n = Array.length !handles in
+              if n > 0 then Sim.Engine.cancel engine !handles.(k mod n))
+          ops;
+        Sim.Engine.run engine;
+        (List.rev !fired, Sim.Engine.pending engine)
+      in
+      run `Heap = run `Calendar)
+
 let prop_random_schedule_fires_in_order =
   QCheck2.Test.make ~name:"random schedules fire in time order" ~count:300
     QCheck2.Gen.(list_size (int_range 1 60) (float_bound_inclusive 100.0))
@@ -187,6 +294,12 @@ let suite =
         Alcotest.test_case "stop" `Quick test_stop;
         Alcotest.test_case "stop during run_until" `Quick
           test_stop_during_run_until;
+        Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire;
+        Alcotest.test_case "schedule_unit" `Quick test_schedule_unit;
+        Alcotest.test_case "schedule_unit rejects past" `Quick
+          test_schedule_unit_rejects_past;
+        Alcotest.test_case "scheduler selection" `Quick test_scheduler_selection;
+        QCheck_alcotest.to_alcotest prop_schedulers_agree;
         QCheck_alcotest.to_alcotest prop_random_schedule_fires_in_order;
       ] );
     ( "timer",

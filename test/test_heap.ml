@@ -60,6 +60,23 @@ let test_clear () =
   Sim.Heap.push heap ~priority:9.0 9;
   check "usable after clear" 1 (Sim.Heap.length heap)
 
+let test_clear_resets_tie_state () =
+  (* Regression: [clear] must reset the insertion-sequence counter too,
+     so a reused heap orders ties exactly like a fresh one. *)
+  let fresh = Sim.Heap.create () in
+  let reused = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.push reused ~priority:3.0 v) [ 1; 2; 3 ];
+  ignore (Sim.Heap.pop reused);
+  Sim.Heap.clear reused;
+  List.iter
+    (fun heap ->
+      Sim.Heap.push heap ~priority:1.0 10;
+      Sim.Heap.push heap ~priority:1.0 20;
+      Sim.Heap.push heap ~priority:0.5 30)
+    [ fresh; reused ];
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "same as fresh" (pop_all fresh) (pop_all reused)
+
 let test_interleaved () =
   let heap = Sim.Heap.create () in
   Sim.Heap.push heap ~priority:3.0 3;
@@ -97,6 +114,8 @@ let suite =
         Alcotest.test_case "mixed stability" `Quick test_mixed_stability;
         Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
         Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "clear resets tie state" `Quick
+          test_clear_resets_tie_state;
         Alcotest.test_case "interleaved" `Quick test_interleaved;
         QCheck_alcotest.to_alcotest prop_sorted_output;
         QCheck_alcotest.to_alcotest prop_length;
