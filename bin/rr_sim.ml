@@ -388,6 +388,51 @@ let audit_cmd =
 
 (* run: ad-hoc scenario *)
 
+let faults_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Faults.Spec.of_string s) in
+  let print ppf spec = Format.pp_print_string ppf (Faults.Spec.to_string spec) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let cross_conv =
+  let parse s =
+    let invalid () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid cross-traffic %S (expected BPS[:BYTES][:reverse])" s))
+    in
+    let build ?packet_bytes ?(reverse = false) rate =
+      match float_of_string_opt rate with
+      | Some rate_bps when rate_bps > 0.0 ->
+        let direction =
+          if reverse then Net.Dumbbell.Backward else Net.Dumbbell.Forward
+        in
+        Ok (Experiments.Scenario.cbr ?packet_bytes ~direction ~rate_bps ())
+      | _ -> invalid ()
+    in
+    match String.split_on_char ':' (String.trim s) with
+    | [ rate ] -> build rate
+    | [ rate; "reverse" ] -> build ~reverse:true rate
+    | [ rate; bytes ] -> (
+      match int_of_string_opt bytes with
+      | Some packet_bytes when packet_bytes > 0 -> build ~packet_bytes rate
+      | _ -> invalid ())
+    | [ rate; bytes; "reverse" ] -> (
+      match int_of_string_opt bytes with
+      | Some packet_bytes when packet_bytes > 0 ->
+        build ~packet_bytes ~reverse:true rate
+      | _ -> invalid ())
+    | _ -> invalid ()
+  in
+  let print ppf (c : Experiments.Scenario.cross) =
+    Format.fprintf ppf "%g:%d%s" c.Experiments.Scenario.rate_bps
+      c.Experiments.Scenario.packet_bytes
+      (match c.Experiments.Scenario.cross_direction with
+      | Net.Dumbbell.Backward -> ":reverse"
+      | Net.Dumbbell.Forward -> "")
+  in
+  Arg.conv ~docv:"BPS[:BYTES][:reverse]" (parse, print)
+
 let run_term =
   let variant =
     let doc = "TCP variant (tahoe, reno, newreno, sack, rr)." in
@@ -444,15 +489,39 @@ let run_term =
     let doc = "Print the invariant-audit report; exit non-zero on violations." in
     Arg.(value & flag & info [ "audit" ] ~doc)
   in
+  let faults =
+    let doc =
+      "Inject faults, as a comma-separated clause list: flap:PERIOD+DOWN \
+       (periodic trunk outage), flap:rand:UP+DOWN (random outages, \
+       exponential holding times), drop|hold (queued-backlog policy at cut \
+       time), reorder:PROB[:MAXEXTRA] (bounded random extra delay), \
+       jitter:MAX (FIFO-preserving delay noise), reverse (reorder/jitter the \
+       ACK path too). Example: --faults flap:4+0.5,drop,reorder:0.05"
+    in
+    Arg.(value & opt faults_conv Faults.Spec.none & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let cross =
+    let doc =
+      "Add an unresponsive CBR cross-traffic source of RATE bits per second \
+       (repeatable): BPS[:BYTES][:reverse], e.g. 200000:1000 or \
+       100000:reverse for the ACK path."
+    in
+    Arg.(value & opt_all cross_conv [] & info [ "cross-traffic" ] ~docv:"BPS[:BYTES][:reverse]" ~doc)
+  in
   let run scheduler variant flows duration red buffer loss rwnd ack_loss
-      delack limited_transmit tracefile trace audit seed csv =
+      delack limited_transmit tracefile trace audit faults cross seed csv =
     Sim.Engine.set_default_scheduler scheduler;
     let gateway =
       if red then
         Net.Dumbbell.Red { capacity = buffer; params = Net.Red.paper_params }
       else Net.Dumbbell.Droptail { capacity = buffer }
     in
-    let config = { (Net.Dumbbell.paper_config ~flows) with gateway } in
+    let config =
+      {
+        (Net.Dumbbell.paper_config ~flows:(flows + List.length cross)) with
+        gateway;
+      }
+    in
     let trace_channel = Option.map open_out trace in
     (* Close (and thereby flush) the JSONL trace on every exit path,
        including a raising run — otherwise the tail of the trace is
@@ -466,7 +535,7 @@ let run_term =
               ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
               ~params:{ Tcp.Params.default with rwnd; limited_transmit }
               ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
-              ~monitor_queue:0.1 ?trace_out:trace_channel ()
+              ~monitor_queue:0.1 ?trace_out:trace_channel ~faults ~cross ()
           in
           Experiments.Scenario.run spec)
     in
@@ -499,6 +568,26 @@ let run_term =
       (if red then "RED" else "drop-tail")
       buffer duration
       (Stats.Text_table.render ~header rows);
+    Array.iter
+      (fun cr ->
+        let sent = Workload.Cbr.sent cr.Experiments.Scenario.source in
+        Printf.printf
+          "cross flow %d (%s, %.0f bps): %d packet(s) sent, %d delivered\n"
+          cr.Experiments.Scenario.cross_flow
+          cr.Experiments.Scenario.cross.Experiments.Scenario.cross_label
+          cr.Experiments.Scenario.cross.Experiments.Scenario.rate_bps sent
+          cr.Experiments.Scenario.received)
+      t.Experiments.Scenario.cross_results;
+    Option.iter
+      (fun injector ->
+        Printf.printf
+          "faults: %d link down(s), %d queued packet(s) dropped, %d \
+           reordered, %d jittered\n"
+          (Faults.Injector.downs injector)
+          (Faults.Injector.fault_drops injector)
+          (Faults.Injector.reordered injector)
+          (Faults.Injector.jittered injector))
+      t.Experiments.Scenario.injector;
     Option.iter
       (fun dir ->
         List.iteri
@@ -529,7 +618,7 @@ let run_term =
   Term.(
     const run $ scheduler_arg $ variant $ flows $ duration $ red $ buffer
     $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ tracefile $ trace
-    $ audit $ seed_arg $ csv_arg)
+    $ audit $ faults $ cross $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -588,6 +677,27 @@ let sweep_term =
     let doc = "Comma-separated reverse-path ACK-loss rates." in
     Arg.(value & opt (list ~sep:',' float) [ 0.0 ] & info [ "ack-loss" ] ~docv:"RATES" ~doc)
   in
+  let reorders =
+    let doc =
+      "Comma-separated packet-reordering probabilities at the bottleneck (0 \
+       = off)."
+    in
+    Arg.(value & opt (list ~sep:',' float) [ 0.0 ] & info [ "reorder" ] ~docv:"PROBS" ~doc)
+  in
+  let flap_periods =
+    let doc =
+      "Comma-separated trunk-outage periods in seconds (0 = off; each outage \
+       lasts 300 ms)."
+    in
+    Arg.(value & opt (list ~sep:',' float) [ 0.0 ] & info [ "flap-period" ] ~docv:"SECONDS" ~doc)
+  in
+  let cbr_shares =
+    let doc =
+      "Comma-separated CBR cross-traffic loads as fractions of the \
+       bottleneck capacity (0 = off)."
+    in
+    Arg.(value & opt (list ~sep:',' float) [ 0.0 ] & info [ "cbr-share" ] ~docv:"SHARES" ~doc)
+  in
   let seed_count =
     let doc = "Seeds per grid point (SEED, SEED+1, ...)." in
     Arg.(value & opt int 6 & info [ "seeds" ] ~docv:"N" ~doc)
@@ -620,12 +730,14 @@ let sweep_term =
     let doc = "Emit the campaign (points and per-job results) as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run scheduler variants gateways losses ack_losses seed_count duration
-      flows rwnd jobs cache_dir no_cache json seed =
+  let run scheduler variants gateways losses ack_losses reorders flap_periods
+      cbr_shares seed_count duration flows rwnd jobs cache_dir no_cache json
+      seed =
     Sim.Engine.set_default_scheduler scheduler;
     let grid =
       Campaign.Sweep.grid ~variants ~gateways ~uniform_losses:losses
-        ~ack_losses ~seed ~seed_count ~duration ~flows ~rwnd ()
+        ~ack_losses ~reorders ~flap_periods ~cbr_shares ~seed ~seed_count
+        ~duration ~flows ~rwnd ()
     in
     let cache =
       if no_cache then None else Some (Campaign.Cache.create ~dir:cache_dir ())
@@ -645,8 +757,8 @@ let sweep_term =
   in
   Term.(
     const run $ scheduler_arg $ variants $ gateways $ losses $ ack_losses
-    $ seed_count $ duration $ flows $ rwnd $ jobs $ cache_dir $ no_cache
-    $ json $ seed_arg)
+    $ reorders $ flap_periods $ cbr_shares $ seed_count $ duration $ flows
+    $ rwnd $ jobs $ cache_dir $ no_cache $ json $ seed_arg)
 
 let sweep_cmd =
   Cmd.v

@@ -70,6 +70,20 @@ let attach_queue t ~engine ~name disc =
       line t {|{"t":%.6f,"ev":"%s","queue":"%s",%s}|} (Sim.Engine.now engine)
         ev name (packet_fields packet))
 
+let attach_injector t injector =
+  Faults.Injector.subscribe injector (fun ~time event ->
+      match event with
+      | Faults.Injector.Link_down { link } ->
+        line t {|{"t":%.6f,"ev":"link_down","link":"%s"}|} time link
+      | Faults.Injector.Link_up { link } ->
+        line t {|{"t":%.6f,"ev":"link_up","link":"%s"}|} time link
+      | Faults.Injector.Fault_drop { link; packet } ->
+        line t {|{"t":%.6f,"ev":"fault_drop","link":"%s",%s}|} time link
+          (packet_fields packet)
+      | Faults.Injector.Reordered { path; packet; extra } ->
+        line t {|{"t":%.6f,"ev":"reorder","path":"%s","extra":%.6f,%s}|} time
+          path extra (packet_fields packet))
+
 let flush t =
   drain t;
   flush t.out

@@ -40,6 +40,16 @@ val attach_sender : t -> Tcp.Agent.t -> unit
     [name]. *)
 val attach_queue : t -> engine:Sim.Engine.t -> name:string -> Net.Queue_disc.t -> unit
 
+(** [attach_injector t injector] records fault-injection events:
+
+    {v
+    {"t":4.000000,"ev":"link_down","link":"bottleneck"}
+    {"t":4.500000,"ev":"link_up","link":"bottleneck"}
+    {"t":4.000000,"ev":"fault_drop","link":"bottleneck","flow":0,"kind":"data","seq":41,"uid":230}
+    {"t":2.104510,"ev":"reorder","path":"bottleneck","extra":0.013420,"flow":1,"kind":"data","seq":17,"uid":96}
+    v} *)
+val attach_injector : t -> Faults.Injector.t -> unit
+
 (** [flush t] drains the staging buffer and flushes the underlying
     channel. *)
 val flush : t -> unit

@@ -5,26 +5,48 @@ type t = {
   gateway : gateway;
   uniform_loss : float;
   ack_loss : float;
+  reorder : float;
+  flap_period : float;
+  cbr_share : float;
   seed : int64;
   duration : float;
   flows : int;
   rwnd : int;
 }
 
+let flap_down_for = 0.3
+
 let gateway_name = function
   | Droptail capacity -> Printf.sprintf "droptail:%d" capacity
   | Red capacity -> Printf.sprintf "red:%d" capacity
 
 let point_label job =
-  Printf.sprintf "%s/%s/loss %g%%/ack %g%%"
-    (Core.Variant.name job.variant)
-    (gateway_name job.gateway)
-    (100.0 *. job.uniform_loss)
-    (100.0 *. job.ack_loss)
+  let base =
+    Printf.sprintf "%s/%s/loss %g%%/ack %g%%"
+      (Core.Variant.name job.variant)
+      (gateway_name job.gateway)
+      (100.0 *. job.uniform_loss)
+      (100.0 *. job.ack_loss)
+  in
+  (* Fault/workload axes appear only when active, so labels (and the
+     reports built from them) look unchanged for classic grids. *)
+  let base =
+    if job.reorder > 0.0 then
+      base ^ Printf.sprintf "/reorder %g%%" (100.0 *. job.reorder)
+    else base
+  in
+  let base =
+    if job.flap_period > 0.0 then
+      base ^ Printf.sprintf "/flap %gs" job.flap_period
+    else base
+  in
+  if job.cbr_share > 0.0 then
+    base ^ Printf.sprintf "/cbr %g%%" (100.0 *. job.cbr_share)
+  else base
 
 (* Bump whenever the job layout or the semantics of a run change, so
    stale cache entries can never be mistaken for current ones. *)
-let schema = "rr-sim-campaign/1"
+let schema = "rr-sim-campaign/2"
 
 let to_json job =
   Json.Obj
@@ -33,6 +55,9 @@ let to_json job =
       ("gateway", Json.Str (gateway_name job.gateway));
       ("uniform_loss", Json.Num job.uniform_loss);
       ("ack_loss", Json.Num job.ack_loss);
+      ("reorder", Json.Num job.reorder);
+      ("flap_period", Json.Num job.flap_period);
+      ("cbr_share", Json.Num job.cbr_share);
       ("seed", Json.Str (Int64.to_string job.seed));
       ("duration", Json.Num job.duration);
       ("flows", Json.Num (float_of_int job.flows));
@@ -66,13 +91,54 @@ let run job =
     | Droptail capacity -> Net.Dumbbell.Droptail { capacity }
     | Red capacity -> Net.Dumbbell.Red { capacity; params = Net.Red.paper_params }
   in
-  let config = { (Net.Dumbbell.paper_config ~flows:job.flows) with gateway } in
+  let cross_slots = if job.cbr_share > 0.0 then 1 else 0 in
+  let config =
+    {
+      (Net.Dumbbell.paper_config ~flows:(job.flows + cross_slots)) with
+      gateway;
+    }
+  in
   let params = { Tcp.Params.default with rwnd = job.rwnd } in
+  let faults =
+    let spec = Faults.Spec.none in
+    let spec =
+      if job.reorder > 0.0 then
+        {
+          spec with
+          Faults.Spec.reorder =
+            Some
+              {
+                Faults.Spec.prob = job.reorder;
+                max_extra = Faults.Spec.default_reorder_extra;
+              };
+        }
+      else spec
+    in
+    if job.flap_period > 0.0 then
+      {
+        spec with
+        Faults.Spec.flaps =
+          Some
+            (Faults.Spec.Periodic
+               { period = job.flap_period; down_for = flap_down_for });
+      }
+    else spec
+  in
+  let cross =
+    if job.cbr_share > 0.0 then
+      [
+        Experiments.Scenario.cbr
+          ~rate_bps:
+            (job.cbr_share *. config.Net.Dumbbell.bottleneck_bandwidth_bps)
+          ();
+      ]
+    else []
+  in
   let spec =
     Experiments.Scenario.make ~config
       ~flows:(List.init job.flows (fun _ -> Experiments.Scenario.flow job.variant))
       ~params ~seed:job.seed ~duration:job.duration
-      ~uniform_loss:job.uniform_loss ~ack_loss:job.ack_loss ()
+      ~uniform_loss:job.uniform_loss ~ack_loss:job.ack_loss ~faults ~cross ()
   in
   let t = Experiments.Scenario.run spec in
   let mss = params.Tcp.Params.mss in

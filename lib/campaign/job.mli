@@ -14,11 +14,24 @@ type t = {
   gateway : gateway;
   uniform_loss : float;  (** data-drop rate at R1 *)
   ack_loss : float;  (** ACK-drop rate on the reverse path *)
+  reorder : float;
+      (** packet-reordering probability at the bottleneck, 0 = off
+          (hold-back bound {!Faults.Spec.default_reorder_extra}) *)
+  flap_period : float;
+      (** trunk-outage period in seconds, 0 = off; each outage lasts
+          {!flap_down_for} with the buffer held *)
+  cbr_share : float;
+      (** CBR cross-traffic load as a fraction of the bottleneck
+          capacity, 0 = off (occupies one extra topology slot) *)
   seed : int64;
   duration : float;  (** seconds *)
   flows : int;  (** same-variant flows sharing the bottleneck *)
   rwnd : int;  (** receiver advertised window, segments *)
 }
+
+(** [flap_down_for] is the fixed outage length of the [flap_period]
+    axis: 300 ms. *)
+val flap_down_for : float
 
 val gateway_name : gateway -> string
 

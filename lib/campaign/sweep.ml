@@ -3,6 +3,9 @@ type grid = {
   gateways : Job.gateway list;
   uniform_losses : float list;
   ack_losses : float list;
+  reorders : float list;
+  flap_periods : float list;
+  cbr_shares : float list;
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -11,14 +14,27 @@ type grid = {
 
 let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     ?(gateways = [ Job.Droptail 8 ]) ?(uniform_losses = [ 0.02 ])
-    ?(ack_losses = [ 0.0 ]) ?seeds ?(seed = 7L) ?(seed_count = 6)
+    ?(ack_losses = [ 0.0 ]) ?(reorders = [ 0.0 ]) ?(flap_periods = [ 0.0 ])
+    ?(cbr_shares = [ 0.0 ]) ?seeds ?(seed = 7L) ?(seed_count = 6)
     ?(duration = 20.0) ?(flows = 2) ?(rwnd = 20) () =
   let seeds =
     match seeds with
     | Some seeds -> seeds
     | None -> List.init seed_count (fun i -> Int64.add seed (Int64.of_int i))
   in
-  { variants; gateways; uniform_losses; ack_losses; seeds; duration; flows; rwnd }
+  {
+    variants;
+    gateways;
+    uniform_losses;
+    ack_losses;
+    reorders;
+    flap_periods;
+    cbr_shares;
+    seeds;
+    duration;
+    flows;
+    rwnd;
+  }
 
 let jobs_of_grid grid =
   List.concat_map
@@ -29,19 +45,31 @@ let jobs_of_grid grid =
             (fun uniform_loss ->
               List.concat_map
                 (fun ack_loss ->
-                  List.map
-                    (fun seed ->
-                      {
-                        Job.variant;
-                        gateway;
-                        uniform_loss;
-                        ack_loss;
-                        seed;
-                        duration = grid.duration;
-                        flows = grid.flows;
-                        rwnd = grid.rwnd;
-                      })
-                    grid.seeds)
+                  List.concat_map
+                    (fun reorder ->
+                      List.concat_map
+                        (fun flap_period ->
+                          List.concat_map
+                            (fun cbr_share ->
+                              List.map
+                                (fun seed ->
+                                  {
+                                    Job.variant;
+                                    gateway;
+                                    uniform_loss;
+                                    ack_loss;
+                                    reorder;
+                                    flap_period;
+                                    cbr_share;
+                                    seed;
+                                    duration = grid.duration;
+                                    flows = grid.flows;
+                                    rwnd = grid.rwnd;
+                                  })
+                                grid.seeds)
+                            grid.cbr_shares)
+                        grid.flap_periods)
+                    grid.reorders)
                 grid.ack_losses)
             grid.uniform_losses)
         grid.gateways)
@@ -165,6 +193,9 @@ let point_to_json point =
       ("gateway", Json.Str (Job.gateway_name point.point_job.Job.gateway));
       ("uniform_loss", Json.Num point.point_job.Job.uniform_loss);
       ("ack_loss", Json.Num point.point_job.Job.ack_loss);
+      ("reorder", Json.Num point.point_job.Job.reorder);
+      ("flap_period", Json.Num point.point_job.Job.flap_period);
+      ("cbr_share", Json.Num point.point_job.Job.cbr_share);
       ("seeds", Json.Num (float_of_int point.goodput.Stats.Summary.n));
       ("goodput_bps_mean", Json.Num point.goodput.Stats.Summary.mean);
       ("goodput_bps_ci95", Json.Num point.goodput.Stats.Summary.ci95);
@@ -191,11 +222,28 @@ let report_json outcome =
   ^ "\n"
 
 let report outcome =
+  (* Fault/workload columns appear only when some point exercises the
+     axis, so classic sweeps render exactly as before. *)
+  let any f = List.exists (fun p -> f p.point_job > 0.0) outcome.points in
+  let with_reorder = any (fun j -> j.Job.reorder) in
+  let with_flaps = any (fun j -> j.Job.flap_period) in
+  let with_cbr = any (fun j -> j.Job.cbr_share) in
+  let opt_cols triples =
+    List.concat_map
+      (fun (enabled, cell) -> if enabled then [ cell ] else [])
+      triples
+  in
   let header =
-    [
-      "variant"; "gateway"; "loss"; "ack loss"; "seeds"; "goodput (Kbps)";
-      "jain"; "timeouts"; "retx"; "drops"; "violations";
-    ]
+    [ "variant"; "gateway"; "loss"; "ack loss" ]
+    @ opt_cols
+        [
+          (with_reorder, "reorder");
+          (with_flaps, "flap"); (with_cbr, "cbr");
+        ]
+    @ [
+        "seeds"; "goodput (Kbps)"; "jain"; "timeouts"; "retx"; "drops";
+        "violations";
+      ]
   in
   let rows =
     List.map
@@ -206,14 +254,23 @@ let report outcome =
           Job.gateway_name job.Job.gateway;
           Printf.sprintf "%g%%" (100.0 *. job.Job.uniform_loss);
           Printf.sprintf "%g%%" (100.0 *. job.Job.ack_loss);
-          string_of_int point.goodput.Stats.Summary.n;
-          Stats.Summary.to_string ~scale:0.001 point.goodput;
-          Printf.sprintf "%.3f" point.jain.Stats.Summary.mean;
-          Stats.Summary.to_string point.timeouts;
-          Stats.Summary.to_string point.retransmits;
-          Stats.Summary.to_string point.drops;
-          string_of_int point.violations;
-        ])
+        ]
+        @ opt_cols
+            [
+              ( with_reorder,
+                Printf.sprintf "%g%%" (100.0 *. job.Job.reorder) );
+              (with_flaps, Printf.sprintf "%gs" job.Job.flap_period);
+              (with_cbr, Printf.sprintf "%g%%" (100.0 *. job.Job.cbr_share));
+            ]
+        @ [
+            string_of_int point.goodput.Stats.Summary.n;
+            Stats.Summary.to_string ~scale:0.001 point.goodput;
+            Printf.sprintf "%.3f" point.jain.Stats.Summary.mean;
+            Stats.Summary.to_string point.timeouts;
+            Stats.Summary.to_string point.retransmits;
+            Stats.Summary.to_string point.drops;
+            string_of_int point.violations;
+          ])
       outcome.points
   in
   let jobs = List.length outcome.results in

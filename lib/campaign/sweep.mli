@@ -13,6 +13,9 @@ type grid = {
   gateways : Job.gateway list;
   uniform_losses : float list;
   ack_losses : float list;
+  reorders : float list;  (** {!Job.t.reorder} values; [0.] = off *)
+  flap_periods : float list;  (** {!Job.t.flap_period} values; [0.] = off *)
+  cbr_shares : float list;  (** {!Job.t.cbr_share} values; [0.] = off *)
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -21,13 +24,16 @@ type grid = {
 
 (** [grid ()] with the defaults of the §4 uniform-loss studies: Reno /
     New-Reno / SACK / RR under a drop-tail:8 gateway, 2% data loss, no
-    ACK loss, six seeds derived from [seed] (default 7), 2 flows for
-    20 s with a 20-segment window. *)
+    ACK loss, no faults or cross-traffic, six seeds derived from [seed]
+    (default 7), 2 flows for 20 s with a 20-segment window. *)
 val grid :
   ?variants:Core.Variant.t list ->
   ?gateways:Job.gateway list ->
   ?uniform_losses:float list ->
   ?ack_losses:float list ->
+  ?reorders:float list ->
+  ?flap_periods:float list ->
+  ?cbr_shares:float list ->
   ?seeds:int64 list ->
   ?seed:int64 ->
   ?seed_count:int ->

@@ -1,0 +1,40 @@
+(** Competing with unresponsive CBR cross-traffic (beyond the paper).
+
+    The paper's evaluation shares the bottleneck only among TCP flows,
+    which all back off together. Real bottlenecks also carry traffic
+    that does not respond to loss at all — constant-bit-rate UDP
+    ({!Workload.Cbr}). This experiment gives a single TCP flow a
+    bottleneck whose bandwidth is partly consumed by a CBR source and
+    measures how much of the {e residual} capacity each variant
+    actually extracts: an aggressive recovery scheme keeps the pipe
+    full despite the permanently loss-inducing competitor, a timid one
+    leaves residual bandwidth idle after every episode. *)
+
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;  (** mean TCP goodput over seeds *)
+  timeouts : float;
+  residual_share : float;
+      (** goodput as a fraction of the bottleneck capacity the CBR
+          leaves over (1.0 = TCP uses everything it could) *)
+}
+
+type point = {
+  cbr_share : float;  (** CBR offered load / bottleneck capacity *)
+  cbr_delivered : float;  (** fraction of CBR packets that got through *)
+  cells : cell list;
+}
+
+type outcome = { points : point list }
+
+(** [run ()] sweeps CBR shares (default 0, 0.25, 0.5 of the bottleneck)
+    for New-Reno, SACK and RR. *)
+val run :
+  ?shares:float list ->
+  ?variants:Core.Variant.t list ->
+  ?seeds:int64 list ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the sweep. *)
+val report : outcome -> string

@@ -1,0 +1,45 @@
+(** Recovery across link outages (beyond the paper).
+
+    A mobile or multi-homed path does not lose isolated packets — it
+    goes {e dark} for hundreds of milliseconds (handoff) and comes back,
+    or a route withdrawal empties the bottleneck buffer outright. This
+    experiment cuts both trunk directions of the dumbbell on a periodic
+    schedule ({!Faults.Schedule.periodic} via {!Faults.Injector}) and
+    compares how each variant's goodput and timeout count survive, under
+    both down-transition policies:
+
+    - [`Hold_queued] (handoff): the bottleneck buffer survives the
+      outage and drains on restore — losses come only from overflow
+      while dark;
+    - [`Drop_queued] (outage): the buffer is discarded at cut time, so
+      every outage costs a whole window and recovery starts from
+      scratch. *)
+
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;  (** mean goodput over seeds *)
+  timeouts : float;  (** mean RTO expiries *)
+  fault_drops : float;  (** mean packets discarded by the flaps *)
+}
+
+type point = { policy : [ `Drop_queued | `Hold_queued ]; cells : cell list }
+
+type outcome = {
+  period : float;
+  down_for : float;
+  baseline : cell list;  (** same variants with no flaps at all *)
+  points : point list;
+}
+
+(** [run ()] measures a 300 ms outage every 5 s (default) for New-Reno,
+    SACK and RR under both policies. *)
+val run :
+  ?period:float ->
+  ?down_for:float ->
+  ?variants:Core.Variant.t list ->
+  ?seeds:int64 list ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

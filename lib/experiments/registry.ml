@@ -122,6 +122,34 @@ let all =
       run = (fun ~seed -> Two_way.report (Two_way.run ~seed ()));
     };
     {
+      name = "reorder";
+      synopsis =
+        "Packet-reordering robustness (beyond the paper): spurious fast \
+         retransmits under bounded extra delay";
+      run = (fun ~seed:_ -> Reorder.report (Reorder.run ()));
+    };
+    {
+      name = "flaps";
+      synopsis =
+        "Link-flap robustness (beyond the paper): periodic trunk outages \
+         under hold- and drop-buffer policies";
+      run = (fun ~seed:_ -> Flaps.report (Flaps.run ()));
+    };
+    {
+      name = "cross";
+      synopsis =
+        "Unresponsive CBR cross-traffic (beyond the paper): residual \
+         bandwidth use against a UDP competitor";
+      run = (fun ~seed:_ -> Cross_traffic.report (Cross_traffic.run ()));
+    };
+    {
+      name = "mice";
+      synopsis =
+        "Web-mice background (beyond the paper): bulk goodput vs short-flow \
+         completion times under Pareto on/off load";
+      run = (fun ~seed:_ -> Web_mice.report (Web_mice.run ()));
+    };
+    {
       name = "sensitivity";
       synopsis =
         "Robustness sweep: the Figure 5 ordering across gateway buffer sizes \

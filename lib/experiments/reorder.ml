@@ -1,0 +1,111 @@
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;
+  fast_retransmits : float;
+  timeouts : float;
+}
+
+type point = { prob : float; cells : cell list }
+
+type outcome = { points : point list }
+
+let duration = 20.0
+
+let run_one ~seed ~prob variant =
+  let faults =
+    if prob = 0.0 then Faults.Spec.none
+    else
+      {
+        Faults.Spec.none with
+        Faults.Spec.reorder =
+          Some
+            {
+              Faults.Spec.prob;
+              max_extra = Faults.Spec.default_reorder_extra;
+            };
+      }
+  in
+  let t =
+    Scenario.run
+      (Scenario.make
+         ~config:(Net.Dumbbell.paper_config ~flows:1)
+         ~flows:[ Scenario.flow variant ] ~seed ~duration ~faults ())
+  in
+  let result = t.Scenario.results.(0) in
+  let counters =
+    result.Scenario.agent.Tcp.Agent.base.Tcp.Sender_common.counters
+  in
+  let throughput =
+    Stats.Metrics.effective_throughput_bps result.Scenario.trace
+      ~mss:Tcp.Params.default.Tcp.Params.mss ~t0:2.0 ~t1:duration
+  in
+  ( throughput,
+    counters.Tcp.Counters.fast_retransmits,
+    counters.Tcp.Counters.timeouts )
+
+let run ?(probs = [ 0.0; 0.02; 0.05; 0.1 ])
+    ?(variants = Core.Variant.[ Newreno; Sack; Rr ]) ?(seeds = [ 5L; 23L ]) ()
+    =
+  let points =
+    List.map
+      (fun prob ->
+        let cells =
+          List.map
+            (fun variant ->
+              let runs =
+                List.map (fun seed -> run_one ~seed ~prob variant) seeds
+              in
+              {
+                variant;
+                throughput_bps =
+                  Stats.Metrics.mean (List.map (fun (x, _, _) -> x) runs);
+                fast_retransmits =
+                  Stats.Metrics.mean
+                    (List.map (fun (_, f, _) -> float_of_int f) runs);
+                timeouts =
+                  Stats.Metrics.mean
+                    (List.map (fun (_, _, t) -> float_of_int t) runs);
+              })
+            variants
+        in
+        { prob; cells })
+      probs
+  in
+  { points }
+
+let report outcome =
+  let variants =
+    match outcome.points with
+    | [] -> []
+    | point :: _ -> List.map (fun c -> c.variant) point.cells
+  in
+  let header =
+    "Reorder prob"
+    :: List.concat_map
+         (fun v ->
+           let n = Core.Variant.name v in
+           [ n ^ " goodput (Kbps)"; n ^ " fast rtx"; n ^ " timeouts" ])
+         variants
+  in
+  let rows =
+    List.map
+      (fun point ->
+        Printf.sprintf "%.0f%%" (100.0 *. point.prob)
+        :: List.concat_map
+             (fun cell ->
+               [
+                 Printf.sprintf "%.1f" (cell.throughput_bps /. 1000.0);
+                 Printf.sprintf "%.1f" cell.fast_retransmits;
+                 Printf.sprintf "%.1f" cell.timeouts;
+               ])
+             point.cells)
+      outcome.points
+  in
+  Printf.sprintf
+    "Packet reordering robustness (bounded extra delay at the bottleneck, no \
+     injected loss)\n\
+     recoveries beyond the 0%% row are spurious: reordered segments arrive \
+     within %.0f ms\n\n\
+     %s"
+    (1000.0 *. Faults.Spec.default_reorder_extra)
+    (Stats.Text_table.render ~header rows)

@@ -1,0 +1,37 @@
+(** Robustness to packet reordering (beyond the paper).
+
+    Fast retransmit infers loss from 3 duplicate ACKs, so a network
+    that reorders packets — route flutter, multi-path, link-layer
+    retransmission — triggers {e spurious} recoveries: the "lost"
+    segment arrives moments later, but the window has already been
+    halved. This experiment measures how each variant's throughput and
+    spurious-recovery count degrade as the reordering probability
+    grows, using {!Faults.Injector.reorder} at the bottleneck entry
+    (bounded extra delay, {!Faults.Spec.default_reorder_extra}).
+
+    Setup: one persistent flow on the paper's dumbbell, no injected
+    loss — recoveries beyond the prob-0 baseline (whose few episodes
+    are genuine buffer-overflow losses) are reordering-induced. *)
+
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;  (** mean goodput over seeds *)
+  fast_retransmits : float;  (** mean spurious recovery entries *)
+  timeouts : float;  (** mean RTO expiries *)
+}
+
+type point = { prob : float; cells : cell list }
+
+type outcome = { points : point list }
+
+(** [run ()] sweeps reordering probabilities (default 0 … 0.1) for
+    New-Reno, SACK and RR. *)
+val run :
+  ?probs:float list ->
+  ?variants:Core.Variant.t list ->
+  ?seeds:int64 list ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the sweep. *)
+val report : outcome -> string

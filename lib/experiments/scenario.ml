@@ -1,4 +1,7 @@
-type source = Infinite | File_bytes of int
+type source =
+  | Infinite
+  | File_bytes of int
+  | Mice of Workload.Mice.profile
 
 type built = { agent : Tcp.Agent.t; rr_handle : Core.Rr.handle option }
 
@@ -35,6 +38,26 @@ let flow ?(start = 0.0) ?(source = Infinite) ?(direction = Net.Dumbbell.Forward)
     direction;
   }
 
+type cross = {
+  cross_label : string;
+  rate_bps : float;
+  packet_bytes : int;
+  cross_start : float;
+  cross_until : float option;
+  cross_direction : Net.Dumbbell.direction;
+}
+
+let cbr ?(label = "cbr") ?(packet_bytes = 1000) ?(start = 0.0) ?until
+    ?(direction = Net.Dumbbell.Forward) ~rate_bps () =
+  {
+    cross_label = label;
+    rate_bps;
+    packet_bytes;
+    cross_start = start;
+    cross_until = until;
+    cross_direction = direction;
+  }
+
 type spec = {
   config : Net.Dumbbell.config;
   flows : flow_spec list;
@@ -48,12 +71,14 @@ type spec = {
   monitor_queue : float option;
   side_delays : float array option;
   trace_out : out_channel option;
+  faults : Faults.Spec.t;
+  cross : cross list;
 }
 
 let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
     ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays
-    ?trace_out () =
+    ?trace_out ?(faults = Faults.Spec.none) ?(cross = []) () =
   {
     config;
     flows;
@@ -67,6 +92,8 @@ let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     monitor_queue;
     side_delays;
     trace_out;
+    faults;
+    cross;
   }
 
 type flow_result = {
@@ -76,6 +103,14 @@ type flow_result = {
   receiver : Tcp.Receiver.t;
   trace : Stats.Flow_trace.t;
   mutable completion : Workload.Ftp.completion option;
+  mutable mice : Workload.Mice.t option;
+}
+
+type cross_result = {
+  cross : cross;
+  cross_flow : int;
+  source : Workload.Cbr.t;
+  mutable received : int;
 }
 
 type drop_payload = Data of { seq : int } | Ack
@@ -86,9 +121,11 @@ type t = {
   engine : Sim.Engine.t;
   topology : Net.Dumbbell.t;
   results : flow_result array;
+  cross_results : cross_result array;
   drop_log : drop list;
   queue_occupancy : Stats.Series.t option;
   auditor : Audit.Auditor.t;
+  injector : Faults.Injector.t option;
 }
 
 let rtt_estimate config ~mss ~ack_size =
@@ -105,10 +142,29 @@ let rtt_estimate config ~mss ~ack_size =
   one_way mss +. one_way ack_size
 
 let run spec =
-  if List.length spec.flows <> spec.config.Net.Dumbbell.flows then
-    invalid_arg "Scenario.run: flow specs do not match topology width";
+  if List.length spec.flows + List.length spec.cross
+     <> spec.config.Net.Dumbbell.flows
+  then
+    invalid_arg
+      "Scenario.run: flow + cross-traffic specs do not match topology width";
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create spec.seed in
+  (* Fault streams are split off only when faults are enabled, so a
+     fault-free spec draws exactly the same stream sequence as before
+     lib/faults existed — existing artifacts stay byte-identical. The
+     split order (flap, forward, reverse) is part of the reproducibility
+     contract. *)
+  let fault_streams =
+    if Faults.Spec.is_none spec.faults then None
+    else
+      let flap = Sim.Rng.split rng in
+      let forward = Sim.Rng.split rng in
+      let reverse = Sim.Rng.split rng in
+      Some (flap, forward, reverse)
+  in
+  let injector =
+    Option.map (fun _ -> Faults.Injector.create ~engine ()) fault_streams
+  in
   let drop_log = ref [] in
   let log_drop packet =
     let payload =
@@ -130,7 +186,31 @@ let run spec =
     | None -> ());
     log_drop packet
   in
+  (* Fault wrappers sit innermost (right at the trunk queue), loss
+     wrappers outside them: a packet first survives injected loss, then
+     suffers reordering/jitter on its way into the queue. *)
+  let wrap_faults ~path ~stream next =
+    match (fault_streams, injector) with
+    | Some _, Some inj ->
+      let next =
+        match spec.faults.Faults.Spec.jitter with
+        | Some max_jitter ->
+          Faults.Injector.jitter inj ~rng:stream ~max_jitter next
+        | None -> next
+      in
+      (match spec.faults.Faults.Spec.reorder with
+      | Some { Faults.Spec.prob; max_extra } ->
+        Faults.Injector.reorder inj ~path ~rng:stream ~prob ~max_extra next
+      | None -> next)
+    | _ -> next
+  in
   let wrap_bottleneck next =
+    let next =
+      match fault_streams with
+      | Some (_, forward, _) ->
+        wrap_faults ~path:"bottleneck" ~stream:forward next
+      | None -> next
+    in
     let next =
       if spec.uniform_loss > 0.0 then
         Net.Loss.uniform ~rng:(Sim.Rng.split rng) ~rate:spec.uniform_loss
@@ -142,13 +222,21 @@ let run spec =
     else next
   in
   let wrap_reverse next =
+    let next =
+      match fault_streams with
+      | Some (_, _, reverse) when spec.faults.Faults.Spec.reverse ->
+        wrap_faults ~path:"reverse" ~stream:reverse next
+      | _ -> next
+    in
     if spec.ack_loss > 0.0 then
       Net.Loss.uniform ~rng:(Sim.Rng.split rng) ~rate:spec.ack_loss
         ~data_only:false ~on_drop:injected_drop next
     else next
   in
   let directions =
-    Array.of_list (List.map (fun f -> f.direction) spec.flows)
+    Array.of_list
+      (List.map (fun f -> f.direction) spec.flows
+      @ List.map (fun c -> c.cross_direction) spec.cross)
   in
   let topology =
     Net.Dumbbell.create ~engine ~config:spec.config ~rng ~wrap_bottleneck
@@ -156,6 +244,25 @@ let run spec =
       ~directions ()
   in
   topology_cell := Some topology;
+  (* A flap models an outage of the physical trunk: both directions cut
+     together, under the same schedule. *)
+  (match (fault_streams, injector) with
+  | Some (flap_rng, _, _), Some inj -> (
+    match
+      Faults.Spec.flap_schedule spec.faults ~rng:flap_rng ~until:spec.duration
+    with
+    | None -> ()
+    | Some schedule ->
+      let policy = spec.faults.Faults.Spec.flap_policy in
+      Faults.Injector.flap_link inj ~name:"bottleneck" ~policy
+        ~on_drop:injected_drop
+        (Net.Dumbbell.bottleneck_link topology)
+        schedule;
+      Faults.Injector.flap_link inj ~name:"reverse" ~policy
+        ~on_drop:injected_drop
+        (Net.Dumbbell.reverse_trunk_link topology)
+        schedule)
+  | _ -> ());
   let auditor = Audit.Auditor.create ~engine () in
   let tracer = Option.map (fun out -> Audit.Trace.create ~out ()) spec.trace_out in
   List.iter
@@ -165,6 +272,10 @@ let run spec =
         (fun tr -> Audit.Trace.attach_queue tr ~engine ~name queue)
         tracer)
     (Net.Dumbbell.queues topology);
+  Option.iter
+    (fun tr ->
+      Option.iter (fun inj -> Audit.Trace.attach_injector tr inj) injector)
+    tracer;
   let make_flow flow_id flow_spec =
     let ({ agent; rr_handle } : built) =
       flow_spec.make ~engine ~params:spec.params ~flow:flow_id
@@ -186,17 +297,62 @@ let run spec =
       agent;
     Option.iter (fun tr -> Audit.Trace.attach_sender tr agent) tracer;
     let result =
-      { spec = flow_spec; agent; rr_handle; receiver; trace; completion = None }
+      {
+        spec = flow_spec;
+        agent;
+        rr_handle;
+        receiver;
+        trace;
+        completion = None;
+        mice = None;
+      }
     in
     (match flow_spec.source with
     | Infinite ->
       Workload.Ftp.persistent ~engine ~agent ~at:flow_spec.start
     | File_bytes bytes ->
       Workload.Ftp.file ~engine ~agent ~at:flow_spec.start ~bytes
-        ~on_complete:(fun completion -> result.completion <- Some completion));
+        ~on_complete:(fun completion -> result.completion <- Some completion)
+    | Mice profile ->
+      (* Each mice source gets its own stream, split here in flow order
+         — deterministic, and absent entirely from mice-free specs. *)
+      let profile =
+        if profile.Workload.Mice.until = infinity then
+          { profile with Workload.Mice.until = spec.duration }
+        else profile
+      in
+      let profile =
+        if profile.Workload.Mice.start = 0.0 then
+          { profile with Workload.Mice.start = flow_spec.start }
+        else profile
+      in
+      result.mice <-
+        Some
+          (Workload.Mice.create ~engine ~agent ~rng:(Sim.Rng.split rng) profile));
     result
   in
   let results = Array.of_list (List.mapi make_flow spec.flows) in
+  let tcp_flows = List.length spec.flows in
+  let cross_results =
+    Array.of_list
+      (List.mapi
+         (fun i cross ->
+           let cross_flow = tcp_flows + i in
+           let source =
+             Workload.Cbr.create ~engine ~flow:cross_flow
+               ~rate_bps:cross.rate_bps ~packet_bytes:cross.packet_bytes
+               ~at:cross.cross_start
+               ~until:(Option.value cross.cross_until ~default:spec.duration)
+               ~emit:(fun packet ->
+                 Net.Dumbbell.inject_data topology ~flow:cross_flow packet)
+               ()
+           in
+           let result = { cross; cross_flow; source; received = 0 } in
+           Net.Dumbbell.on_data topology ~flow:cross_flow (fun _ ->
+               result.received <- result.received + 1);
+           result)
+         spec.cross)
+  in
   let queue_occupancy =
     Option.map
       (fun interval ->
@@ -219,9 +375,11 @@ let run spec =
     engine;
     topology;
     results;
+    cross_results;
     drop_log = List.rev !drop_log;
     queue_occupancy;
     auditor;
+    injector;
   }
 
 let drops t ~flow = Net.Dumbbell.drops_of_flow t.topology flow

@@ -6,7 +6,15 @@
     a while, and read traces back. This module is that instance
     machinery; the per-figure modules only choose parameters. *)
 
-type source = Infinite | File_bytes of int
+(** What drives a flow's sender: the paper's persistent FTP, a single
+    finite file, or a Pareto on/off "web mice" train
+    ({!Workload.Mice}). For [Mice], a profile [until] of [infinity] is
+    replaced by the scenario duration, and a profile [start] of [0] by
+    the flow's [start]. *)
+type source =
+  | Infinite
+  | File_bytes of int
+  | Mice of Workload.Mice.profile
 
 (** What an {!agent_maker} hands back: the agent plus, for
     Robust-Recovery senders, the introspection handle the run's auditor
@@ -44,6 +52,29 @@ val flow :
   Core.Variant.t ->
   flow_spec
 
+(** An unresponsive CBR (UDP-like) cross-traffic source occupying one
+    topology slot after the TCP flows. *)
+type cross = {
+  cross_label : string;
+  rate_bps : float;
+  packet_bytes : int;
+  cross_start : float;
+  cross_until : float option;  (** default: the scenario duration *)
+  cross_direction : Net.Dumbbell.direction;
+}
+
+(** [cbr ~rate_bps ()] is a forward CBR source of 1000-byte packets
+    running for the whole scenario. *)
+val cbr :
+  ?label:string ->
+  ?packet_bytes:int ->
+  ?start:float ->
+  ?until:float ->
+  ?direction:Net.Dumbbell.direction ->
+  rate_bps:float ->
+  unit ->
+  cross
+
 type spec = {
   config : Net.Dumbbell.config;
   flows : flow_spec list;  (** one per flow id, in order *)
@@ -62,7 +93,18 @@ type spec = {
       (** per-flow access-link delay override (heterogeneous RTTs) *)
   trace_out : out_channel option;
       (** when set, a structured JSONL event trace ({!Audit.Trace}) of
-          every sender and queue is written there during the run *)
+          every sender, queue and injected fault is written there during
+          the run *)
+  faults : Faults.Spec.t;
+      (** link flaps / reordering / jitter to inject
+          ({!Faults.Spec.none} = clean network). Flaps cut both trunk
+          directions under one schedule; reordering and jitter wrap the
+          forward bottleneck entry, plus the reverse entry when the spec
+          says [reverse]. *)
+  cross : cross list;
+      (** CBR cross-traffic sources; they occupy topology flow slots
+          [List.length flows ..] in order, so
+          [config.flows = List.length flows + List.length cross] *)
 }
 
 (** [make ~config ~flows ()] builds a spec with the defaults the paper's
@@ -81,6 +123,8 @@ val make :
   ?monitor_queue:float ->
   ?side_delays:float array ->
   ?trace_out:out_channel ->
+  ?faults:Faults.Spec.t ->
+  ?cross:cross list ->
   unit ->
   spec
 
@@ -91,6 +135,18 @@ type flow_result = {
   receiver : Tcp.Receiver.t;
   trace : Stats.Flow_trace.t;
   mutable completion : Workload.Ftp.completion option;
+  mutable mice : Workload.Mice.t option;
+      (** the running mice source, for flows with a [Mice] source *)
+}
+
+(** One CBR source and where its packets went. [received] counts
+    packets that crossed the topology (sent − received − still-queued =
+    dropped). *)
+type cross_result = {
+  cross : cross;
+  cross_flow : int;  (** the topology flow slot it occupies *)
+  source : Workload.Cbr.t;
+  mutable received : int;
 }
 
 (** What kind of packet a gateway dropped: a data segment (with its
@@ -103,6 +159,7 @@ type t = {
   engine : Sim.Engine.t;
   topology : Net.Dumbbell.t;
   results : flow_result array;
+  cross_results : cross_result array;  (** one per [spec.cross] entry *)
   drop_log : drop list;
       (** every packet dropped anywhere in the topology, oldest first *)
   queue_occupancy : Stats.Series.t option;
@@ -111,6 +168,9 @@ type t = {
       (** the run's invariant auditor — always attached to every sender
           and queue; violations are reported on stderr after the run and
           left here for callers to inspect *)
+  injector : Faults.Injector.t option;
+      (** the run's fault injector and its counters, when [spec.faults]
+          injected anything *)
 }
 
 (** [run spec] builds and executes the scenario to [spec.duration].

@@ -1,0 +1,32 @@
+(** Bulk transfer among short-flow "web mice" (beyond the paper).
+
+    The paper's background load is persistent FTPs; real bottlenecks
+    mostly carry short, bursty web transfers ({!Workload.Mice}) whose
+    slow-start bursts arrive at random and keep the queue churning.
+    This experiment runs one bulk flow of each variant through a
+    mice-dominated bottleneck and reports both sides of the bargain:
+    the bulk flow's goodput {e and} the mice's mean completion time —
+    a recovery scheme that monopolizes the queue would win the first
+    while inflating the second. *)
+
+type cell = {
+  variant : Core.Variant.t;  (** the bulk flow's variant *)
+  throughput_bps : float;  (** mean bulk goodput over seeds *)
+  timeouts : float;  (** mean bulk RTO expiries *)
+  mice_finished : float;  (** mean bursts completed across all mice *)
+  mice_completion : float;  (** mean burst completion time, seconds *)
+}
+
+type outcome = { mice_flows : int; cells : cell list }
+
+(** [run ()] measures each variant as the bulk flow against
+    [mice_flows] (default 2) New-Reno mice sources. *)
+val run :
+  ?mice_flows:int ->
+  ?variants:Core.Variant.t list ->
+  ?seeds:int64 list ->
+  unit ->
+  outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

@@ -1,0 +1,109 @@
+(** Schedule-driven fault injection for links and paths.
+
+    One injector per run collects every fault the run suffers — link
+    flaps, packet reordering, delay jitter — behind a single multicast
+    event stream, so tracers ({!Audit.Trace}) and reports see each
+    injected fault as it happens. All randomness is drawn from explicit
+    {!Sim.Rng.t} streams and all timing from the run's engine, so a
+    faulted run is byte-reproducible from its seed.
+
+    The three mechanisms:
+
+    - {!flap_link} applies a {!Schedule} to a {!Net.Link}: at each
+      transition the link is cut or restored ({!Net.Link.set_up}).
+      Going down, the queued backlog is either dropped ([`Drop_queued],
+      the outage model — think route withdrawal) or held in place
+      ([`Hold_queued], the handoff model — the buffer survives and
+      drains on restore).
+    - {!reorder} wraps a packet consumer: each packet is independently
+      held back for a bounded random extra delay with probability
+      [prob]; unheld packets overtake held ones, producing genuine
+      reordering with a bounded reordering depth.
+    - {!jitter} wraps a packet consumer with a random per-packet extra
+      delay that {e preserves} FIFO order (each delivery is clamped to
+      be no earlier than the previous one), modelling delay variance
+      without reordering. *)
+
+(** What happened. [Link_down]/[Link_up] are schedule transitions;
+    [Fault_drop] is a queued packet discarded by a [`Drop_queued] flap;
+    [Reordered] is a packet held back by {!reorder} for [extra]
+    seconds. Jitter is counted ({!jittered}) but not evented — it
+    touches every packet, and the per-packet story is already told by
+    the queue events around it. *)
+type event =
+  | Link_down of { link : string }
+  | Link_up of { link : string }
+  | Fault_drop of { link : string; packet : Net.Packet.t }
+  | Reordered of { path : string; packet : Net.Packet.t; extra : float }
+
+type t
+
+(** [create ~engine ()] builds an injector stamping events with
+    [engine]'s clock. *)
+val create : engine:Sim.Engine.t -> unit -> t
+
+(** [subscribe t f] adds [f] to the event multicast; every subscriber
+    sees every event, in subscription order, after the injector's own
+    counters are updated. Subscriptions cannot be removed. *)
+val subscribe : t -> (time:float -> event -> unit) -> unit
+
+(** {1 Mechanisms} *)
+
+(** [flap_link t ~name ~policy ?on_drop link schedule] schedules every
+    transition of [schedule] on the engine against [link]. With
+    [`Drop_queued], each down-transition drains the link's queue and
+    reports every drained packet to [on_drop] (for drop ledgers) and as
+    a {!Fault_drop} event. Must be called before the engine passes the
+    schedule's first transition time. *)
+val flap_link :
+  t ->
+  name:string ->
+  policy:[ `Drop_queued | `Hold_queued ] ->
+  ?on_drop:(Net.Packet.t -> unit) ->
+  Net.Link.t ->
+  Schedule.t ->
+  unit
+
+(** [reorder t ~path ~rng ~prob ~max_extra next] is a consumer feeding
+    [next], holding each packet with probability [prob] for a uniform
+    extra delay in [(0, max_extra]]. [path] labels the wrap point in
+    events (e.g. ["bottleneck"]).
+
+    @raise Invalid_argument unless [prob] is in [[0, 1]] and
+    [max_extra > 0]. *)
+val reorder :
+  t ->
+  path:string ->
+  rng:Sim.Rng.t ->
+  prob:float ->
+  max_extra:float ->
+  (Net.Packet.t -> unit) ->
+  Net.Packet.t ->
+  unit
+
+(** [jitter t ~rng ~max_jitter next] is a consumer feeding [next] after
+    a uniform extra delay in [[0, max_jitter)], clamped so deliveries
+    stay in arrival order.
+
+    @raise Invalid_argument unless [max_jitter > 0]. *)
+val jitter :
+  t ->
+  rng:Sim.Rng.t ->
+  max_jitter:float ->
+  (Net.Packet.t -> unit) ->
+  Net.Packet.t ->
+  unit
+
+(** {1 Counters} *)
+
+(** [downs t] counts down-transitions executed so far. *)
+val downs : t -> int
+
+(** [fault_drops t] counts packets discarded by [`Drop_queued] flaps. *)
+val fault_drops : t -> int
+
+(** [reordered t] counts packets held back by {!reorder}. *)
+val reordered : t -> int
+
+(** [jittered t] counts packets delayed by {!jitter}. *)
+val jittered : t -> int

@@ -1,0 +1,149 @@
+type flap =
+  | Periodic of { period : float; down_for : float }
+  | Random of { mean_up : float; mean_down : float }
+  | Explicit of (float * float) list
+
+type reorder = { prob : float; max_extra : float }
+
+type t = {
+  flaps : flap option;
+  flap_policy : [ `Drop_queued | `Hold_queued ];
+  reorder : reorder option;
+  jitter : float option;
+  reverse : bool;
+}
+
+let none =
+  {
+    flaps = None;
+    flap_policy = `Hold_queued;
+    reorder = None;
+    jitter = None;
+    reverse = false;
+  }
+
+let is_none t = t.flaps = None && t.reorder = None && t.jitter = None
+
+let default_reorder_extra = 0.05
+
+let flap_schedule t ~rng ~until =
+  match t.flaps with
+  | None -> None
+  | Some (Periodic { period; down_for }) ->
+    Some (Schedule.periodic ~period ~down_for ~until ())
+  | Some (Random { mean_up; mean_down }) ->
+    Some (Schedule.random ~rng ~mean_up ~mean_down ~until ())
+  | Some (Explicit pairs) -> Some (Schedule.of_flaps pairs)
+
+(* Render floats compactly ("4" not "4.") so labels and cache keys stay
+   tidy, while keeping enough digits to round-trip typical CLI values. *)
+let float_str f = Printf.sprintf "%.12g" f
+
+let to_string t =
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  if t.reverse then add "reverse";
+  (match t.jitter with
+  | Some m -> add (Printf.sprintf "jitter:%s" (float_str m))
+  | None -> ());
+  (match t.reorder with
+  | Some { prob; max_extra } ->
+    if max_extra = default_reorder_extra then
+      add (Printf.sprintf "reorder:%s" (float_str prob))
+    else
+      add (Printf.sprintf "reorder:%s:%s" (float_str prob) (float_str max_extra))
+  | None -> ());
+  (match t.flaps with
+  | None -> ()
+  | Some f ->
+    (match t.flap_policy with `Drop_queued -> add "drop" | `Hold_queued -> ());
+    (match f with
+    | Periodic { period; down_for } ->
+      add (Printf.sprintf "flap:%s+%s" (float_str period) (float_str down_for))
+    | Random { mean_up; mean_down } ->
+      add
+        (Printf.sprintf "flap:rand:%s+%s" (float_str mean_up)
+           (float_str mean_down))
+    | Explicit pairs ->
+      let body =
+        List.map
+          (fun (d, u) -> Printf.sprintf "@%s+%s" (float_str d) (float_str u))
+          pairs
+        |> String.concat ""
+      in
+      add (Printf.sprintf "flap:%s" body)));
+  String.concat "," !clauses
+
+let ( let* ) = Result.bind
+
+let parse_float ~what s =
+  match float_of_string_opt s with
+  | Some f when f = f (* not nan *) -> Ok f
+  | _ -> Error (Printf.sprintf "faults: bad %s %S" what s)
+
+let parse_pair ~what s =
+  match String.split_on_char '+' s with
+  | [ a; b ] ->
+    let* a = parse_float ~what a in
+    let* b = parse_float ~what b in
+    Ok (a, b)
+  | _ -> Error (Printf.sprintf "faults: expected A+B in %s, got %S" what s)
+
+let parse_explicit body =
+  (* body looks like "@2+2.5@8+9": leading '@', '@'-separated pairs. *)
+  match String.split_on_char '@' body with
+  | "" :: pairs when pairs <> [] ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+        let* pair = parse_pair ~what:"flap outage" p in
+        go (pair :: acc) rest
+    in
+    let* pairs = go [] pairs in
+    Ok (Explicit pairs)
+  | _ -> Error (Printf.sprintf "faults: bad explicit flap list %S" body)
+
+let parse_clause spec clause =
+  match String.split_on_char ':' clause with
+  | [ "" ] -> Ok spec
+  | [ "drop" ] -> Ok { spec with flap_policy = `Drop_queued }
+  | [ "hold" ] -> Ok { spec with flap_policy = `Hold_queued }
+  | [ "reverse" ] -> Ok { spec with reverse = true }
+  | [ "jitter"; m ] ->
+    let* m = parse_float ~what:"jitter bound" m in
+    if m <= 0.0 then Error "faults: jitter bound must be > 0"
+    else Ok { spec with jitter = Some m }
+  | [ "reorder"; p ] ->
+    let* prob = parse_float ~what:"reorder prob" p in
+    if prob < 0.0 || prob > 1.0 then Error "faults: reorder prob not in [0,1]"
+    else
+      Ok { spec with reorder = Some { prob; max_extra = default_reorder_extra } }
+  | [ "reorder"; p; m ] ->
+    let* prob = parse_float ~what:"reorder prob" p in
+    let* max_extra = parse_float ~what:"reorder max extra" m in
+    if prob < 0.0 || prob > 1.0 then Error "faults: reorder prob not in [0,1]"
+    else if max_extra <= 0.0 then Error "faults: reorder max extra must be > 0"
+    else Ok { spec with reorder = Some { prob; max_extra } }
+  | [ "flap"; "rand"; pair ] ->
+    let* mean_up, mean_down = parse_pair ~what:"flap:rand means" pair in
+    if mean_up <= 0.0 || mean_down <= 0.0 then
+      Error "faults: flap:rand means must be > 0"
+    else Ok { spec with flaps = Some (Random { mean_up; mean_down }) }
+  | [ "flap"; body ] when String.length body > 0 && body.[0] = '@' ->
+    let* flaps = parse_explicit body in
+    Ok { spec with flaps = Some flaps }
+  | [ "flap"; pair ] ->
+    let* period, down_for = parse_pair ~what:"flap period" pair in
+    if not (0.0 < down_for && down_for < period) then
+      Error "faults: flap needs 0 < DOWN < PERIOD"
+    else Ok { spec with flaps = Some (Periodic { period; down_for }) }
+  | _ -> Error (Printf.sprintf "faults: unknown clause %S" clause)
+
+let of_string s =
+  let rec go spec = function
+    | [] -> Ok spec
+    | clause :: rest ->
+      let* spec = parse_clause spec (String.trim clause) in
+      go spec rest
+  in
+  go none (String.split_on_char ',' s)

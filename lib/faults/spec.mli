@@ -1,0 +1,66 @@
+(** Declarative fault configuration.
+
+    A [Spec.t] names {e which} faults a run suffers without touching any
+    live object: it is what scenarios store, campaign jobs hash, and the
+    CLI parses. Turning a spec into scheduled events against a concrete
+    topology is the caller's job (see [Experiments.Scenario]), using
+    {!flap_schedule} for the link timeline and {!Injector.reorder} /
+    {!Injector.jitter} for the path wrappers.
+
+    The textual form ({!of_string} / {!to_string}) is a comma-separated
+    clause list, e.g. ["flap:4+0.5,drop,reorder:0.05,jitter:0.01"]:
+
+    - ["flap:PERIOD+DOWN"] — cut the trunk for [DOWN] s every
+      [PERIOD] s ({!Schedule.periodic});
+    - ["flap:rand:UP+DOWN"] — exponential on/off outages with mean up
+      time [UP] and mean down time [DOWN] ({!Schedule.random});
+    - ["drop"] / ["hold"] — what happens to the queued backlog at each
+      down transition (default ["hold"]);
+    - ["reorder:PROB"] or ["reorder:PROB:MAXEXTRA"] — hold each packet
+      with probability [PROB] for up to [MAXEXTRA] s (default
+      {!default_reorder_extra});
+    - ["jitter:MAX"] — FIFO-preserving uniform extra delay in
+      [[0, MAX)) s;
+    - ["reverse"] — apply reorder/jitter to the reverse (ACK) path as
+      well as the forward data path. *)
+
+type flap =
+  | Periodic of { period : float; down_for : float }
+  | Random of { mean_up : float; mean_down : float }
+  | Explicit of (float * float) list  (** (down_at, up_at) outages *)
+
+type reorder = { prob : float; max_extra : float }
+
+type t = {
+  flaps : flap option;
+  flap_policy : [ `Drop_queued | `Hold_queued ];
+  reorder : reorder option;
+  jitter : float option;  (** max extra delay, seconds *)
+  reverse : bool;  (** reorder/jitter the ACK path too *)
+}
+
+(** [none] has every fault disabled — the default of every scenario. *)
+val none : t
+
+(** [is_none t] reports whether [t] injects nothing. *)
+val is_none : t -> bool
+
+(** [default_reorder_extra] is the reorder hold-back bound used when
+    the textual form omits [MAXEXTRA]: 50 ms, a quarter RTT of the
+    paper's topology. *)
+val default_reorder_extra : float
+
+(** [flap_schedule t ~rng ~until] realizes the spec's flap description
+    as a concrete {!Schedule.t} over [[0, until]]. [rng] is consumed
+    only by [Random] flaps. [None] when the spec has no flaps. *)
+val flap_schedule : t -> rng:Sim.Rng.t -> until:float -> Schedule.t option
+
+(** [of_string s] parses the textual form. The empty string is
+    {!none}. *)
+val of_string : string -> (t, string) result
+
+(** [to_string t] renders the canonical textual form; a round-trip
+    through {!of_string} is the identity on parseable specs.
+    [Explicit] flaps render as ["flap:@D1+U1@D2+U2..."] (absolute
+    down/up times), which {!of_string} also accepts. *)
+val to_string : t -> string

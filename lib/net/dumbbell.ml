@@ -35,6 +35,7 @@ type t = {
   data_handlers : (Packet.t -> unit) ref array;
   ack_handlers : (Packet.t -> unit) ref array;
   bottleneck : Link.t;
+  reverse_bottleneck : Link.t;
   red_stats : Red.drop_stats option;
   drops : int array;  (* per-flow drop ledger *)
   queues : (string * Queue_disc.t) list;  (* every disc, gateway first *)
@@ -182,6 +183,7 @@ let create ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
     data_handlers;
     ack_handlers;
     bottleneck;
+    reverse_bottleneck;
     red_stats;
     drops;
     queues;
@@ -202,6 +204,10 @@ let on_data t ~flow handler = t.data_handlers.(flow) := handler
 let on_ack t ~flow handler = t.ack_handlers.(flow) := handler
 
 let bottleneck_queue t = Link.queue t.bottleneck
+
+let bottleneck_link t = t.bottleneck
+
+let reverse_trunk_link t = t.reverse_bottleneck
 
 let queues t = t.queues
 

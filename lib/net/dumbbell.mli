@@ -80,6 +80,16 @@ val on_ack : t -> flow:int -> (Packet.t -> unit) -> unit
 (** [bottleneck_queue t] is the gateway discipline under test. *)
 val bottleneck_queue : t -> Queue_disc.t
 
+(** [bottleneck_link t] is the forward trunk link R1→R2 (the link that
+    serves the gateway queue) — the attachment point for link-level
+    fault injection ({!Link.set_up}). *)
+val bottleneck_link : t -> Link.t
+
+(** [reverse_trunk_link t] is the reverse trunk R2→R1 carrying ACKs
+    (and [Backward] flows' data). An outage of the physical trunk cuts
+    both this and {!bottleneck_link}. *)
+val reverse_trunk_link : t -> Link.t
+
 (** [queues t] names every queue discipline in the topology — the
     gateway under test first ("gateway"), then the reverse gateway and
     the per-flow access/exit buffers — so auditors and tracers can

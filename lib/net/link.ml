@@ -21,6 +21,7 @@ type t = {
   queue : Queue_disc.t;
   dst : Packet.t -> unit;
   mutable busy : bool;
+  mutable up : bool;
   mutable delivered : int;
   mutable free : delivery option;
 }
@@ -35,6 +36,7 @@ let create ~engine ~bandwidth_bps ~delay ~queue ~dst () =
     queue;
     dst;
     busy = false;
+    up = true;
     delivered = 0;
     free = None;
   }
@@ -47,11 +49,14 @@ let delivered t = t.delivered
 
 (* Serve the queue head: serialize for size/bandwidth, then put the
    packet on the wire (delivery [delay] later) and start on the next
-   queued packet, if any. *)
+   queued packet, if any. A down link refuses to start serializing —
+   administrative transitions bind at packet boundaries. *)
 let rec transmit_next t =
-  match t.queue.Queue_disc.dequeue () with
-  | None -> t.busy <- false
-  | Some packet ->
+  if not t.up then t.busy <- false
+  else
+    match t.queue.Queue_disc.dequeue () with
+    | None -> t.busy <- false
+    | Some packet ->
     t.busy <- true;
     let tx_time =
       Sim.Units.transmission_time ~size_bytes:packet.Packet.size_bytes
@@ -88,3 +93,11 @@ and fire_delivery t d =
 
 let send t packet =
   if t.queue.Queue_disc.enqueue packet && not t.busy then transmit_next t
+
+let is_up t = t.up
+
+let set_up t up =
+  if t.up <> up then begin
+    t.up <- up;
+    if up && not t.busy then transmit_next t
+  end

@@ -36,3 +36,23 @@ val busy : t -> bool
 
 (** [delivered t] is the number of packets handed to [dst] so far. *)
 val delivered : t -> int
+
+(** {1 Administrative state (fault injection)}
+
+    A link is created up. While down, no new serialization starts: the
+    interface is silent and arriving packets accumulate in (or are
+    dropped by) the queue discipline as usual. The packet being
+    serialized when the link goes down finishes its transmission and is
+    delivered — transitions take effect at packet boundaries — and
+    packets already propagating are likewise unaffected, so taking a
+    link down never un-sends bits that left the interface. Bringing the
+    link back up resumes service of whatever the queue then holds.
+    [Faults.Injector] drives these from a deterministic schedule. *)
+
+(** [set_up t up] raises ([true]) or cuts ([false]) the interface.
+    Idempotent; [set_up t true] on a non-empty queue restarts service
+    immediately. *)
+val set_up : t -> bool -> unit
+
+(** [is_up t] reports the current administrative state. *)
+val is_up : t -> bool

@@ -50,3 +50,10 @@ let exponential t ~mean =
   let u = float t in
   (* u = 0 would give infinity; 1 - u is in (0, 1]. *)
   -.mean *. log (1.0 -. u)
+
+let pareto t ~shape ~scale =
+  assert (shape > 0.0);
+  assert (scale > 0.0);
+  let u = float t in
+  (* u = 0 would give infinity; 1 - u is in (0, 1]. *)
+  scale /. ((1.0 -. u) ** (1.0 /. shape))

@@ -39,3 +39,10 @@ val bernoulli : t -> float -> bool
 (** [exponential t ~mean] draws from the exponential distribution with
     the given mean. Requires [mean > 0]. *)
 val exponential : t -> mean:float -> float
+
+(** [pareto t ~shape ~scale] draws from the Pareto (type I) distribution
+    with tail index [shape] and minimum value [scale] — the heavy-tailed
+    law of web-transfer sizes and on/off burst lengths. The mean is
+    [scale * shape / (shape - 1)] for [shape > 1] (infinite otherwise).
+    Requires [shape > 0] and [scale > 0]. *)
+val pareto : t -> shape:float -> scale:float -> float

@@ -1,0 +1,67 @@
+(** Pareto on/off "web mice" — a short-flow dynamic workload.
+
+    A mice source turns one TCP agent into a train of short transfers:
+    it repeatedly supplies a Pareto-distributed burst of data, waits for
+    the last segment to be cumulatively acknowledged, then sleeps for a
+    Pareto-distributed think time before starting the next burst. The
+    heavy-tailed size law reproduces the web-traffic mix the robust
+    recovery paper's motivation scenarios assume (many transfers that
+    never leave slow start, a few elephants), and the think times make
+    the offered load bursty rather than saturating.
+
+    All randomness comes from the explicit {!Sim.Rng.t} handed to
+    {!create}, so a mice-driven run is reproducible from its seed.
+
+    The source owns the agent's completion callback
+    ([Sender_common.on_complete]); do not combine it with {!Ftp.file}
+    on the same agent. *)
+
+(** Burst-size and think-time law. Pareto scales are derived from the
+    means, so both shapes must exceed 1 (finite mean). [start] is when
+    the first burst begins; no new burst {e starts} at or after
+    [until] (a burst in flight at [until] runs to completion). *)
+type profile = {
+  mean_size_bytes : float;  (** mean transfer size, bytes *)
+  size_shape : float;  (** Pareto tail index of sizes, > 1 *)
+  mean_think : float;  (** mean off (think) time, seconds *)
+  think_shape : float;  (** Pareto tail index of think times, > 1 *)
+  start : float;
+  until : float;
+}
+
+(** [default] is a web-ish mix: 12 kB mean size with tail index 1.3,
+    500 ms mean think time with tail index 1.5, starting at 0 and never
+    self-terminating (callers set [until]). *)
+val default : profile
+
+(** One finished burst: wall-clock bounds and its size in segments. *)
+type completion = { started : float; finished : float; segments : int }
+
+type t
+
+(** [create ~engine ~agent ~rng profile] validates [profile], arms the
+    first burst at [profile.start], and returns the running source.
+
+    @raise Invalid_argument unless both shapes are > 1, the mean size
+    and think time are positive, and [start < until]. *)
+val create :
+  engine:Sim.Engine.t -> agent:Tcp.Agent.t -> rng:Sim.Rng.t -> profile -> t
+
+(** {1 Statistics} *)
+
+(** [bursts t] counts bursts started so far. *)
+val bursts : t -> int
+
+(** [finished_bursts t] counts bursts fully acknowledged so far. *)
+val finished_bursts : t -> int
+
+(** [segments_supplied t] totals the segments supplied across all
+    bursts. *)
+val segments_supplied : t -> int
+
+(** [completions t] lists finished bursts in completion order. *)
+val completions : t -> completion list
+
+(** [mean_completion_time t] averages [finished - started] over
+    {!completions}; [None] before the first completion. *)
+val mean_completion_time : t -> float option

@@ -6,6 +6,6 @@ let () =
    @ Test_link.suite @ Test_loss.suite @ Test_dumbbell.suite @ Test_rto.suite
    @ Test_receiver.suite @ Test_sender_common.suite @ Test_variants.suite
    @ Test_rr.suite @ Test_vegas.suite @ Test_stats.suite @ Test_model.suite
-   @ Test_workload.suite @ Test_variant_registry.suite
+   @ Test_workload.suite @ Test_faults.suite @ Test_variant_registry.suite
    @ Test_integration.suite @ Test_two_way.suite @ Test_experiments.suite
    @ Test_audit.suite @ Test_campaign.suite @ Test_scheduler_diff.suite)

@@ -39,6 +39,9 @@ let test_digest_stability () =
       gateway = Campaign.Job.Droptail 8;
       uniform_loss = 0.02;
       ack_loss = 0.0;
+      reorder = 0.0;
+      flap_period = 0.0;
+      cbr_share = 0.0;
       seed = 7L;
       duration = 20.0;
       flows = 2;

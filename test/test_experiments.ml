@@ -113,7 +113,8 @@ let test_scenario_flow_count_checked () =
       ~duration:1.0 ()
   in
   Alcotest.check_raises "mismatch"
-    (Invalid_argument "Scenario.run: flow specs do not match topology width")
+    (Invalid_argument
+       "Scenario.run: flow + cross-traffic specs do not match topology width")
     (fun () -> ignore (Experiments.Scenario.run spec))
 
 let test_ack_loss_shape () =

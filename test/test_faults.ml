@@ -1,0 +1,396 @@
+(* Fault-injection subsystem tests, in three layers:
+
+   - schedules: the pure timelines (explicit, periodic, random) and
+     their validation;
+   - mechanisms: flap drop/hold semantics against a live link, the
+     reorder hold-back bound, and the FIFO guarantee of jitter — all
+     deterministic under a fixed RNG;
+   - properties: any fault spec the generator produces leaves the
+     runtime auditor clean, and a faulted scenario's JSONL trace is
+     byte-identical across seeds and event schedulers. *)
+
+let packet ?(flow = 0) ?(size = 1000) seq =
+  Net.Packet.data ~uid:seq ~flow ~seq ~size_bytes:size ~born:0.0
+
+let times schedule =
+  List.map
+    (fun tr -> tr.Faults.Schedule.at)
+    (Faults.Schedule.transitions schedule)
+
+(* -- schedules -- *)
+
+let test_of_flaps () =
+  let s = Faults.Schedule.of_flaps [ (2.0, 2.5); (8.0, 9.0) ] in
+  Alcotest.(check (list (float 1e-9))) "transition times" [ 2.0; 2.5; 8.0; 9.0 ]
+    (times s);
+  Alcotest.(check (list bool)) "down/up alternation" [ false; true; false; true ]
+    (List.map (fun tr -> tr.Faults.Schedule.up) (Faults.Schedule.transitions s));
+  Alcotest.(check bool) "empty" true (Faults.Schedule.is_empty (Faults.Schedule.of_flaps []));
+  Alcotest.check_raises "up before down"
+    (Invalid_argument "Schedule.of_flaps: up_at <= down_at") (fun () ->
+      ignore (Faults.Schedule.of_flaps [ (2.0, 2.0) ]));
+  Alcotest.check_raises "overlapping outages"
+    (Invalid_argument "Schedule.of_flaps: flaps not strictly increasing")
+    (fun () -> ignore (Faults.Schedule.of_flaps [ (2.0, 3.0); (2.5, 4.0) ]));
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Schedule.of_flaps: negative time") (fun () ->
+      ignore (Faults.Schedule.of_flaps [ (-1.0, 1.0) ]))
+
+let test_periodic () =
+  let s = Faults.Schedule.periodic ~period:5.0 ~down_for:0.3 ~until:12.0 () in
+  Alcotest.(check (list (float 1e-9))) "handoff every 5 s" [ 5.0; 5.3; 10.0; 10.3 ]
+    (times s);
+  (* A restore falling past [until] is still emitted: the link never
+     ends a schedule stuck down. *)
+  let s = Faults.Schedule.periodic ~period:5.0 ~down_for:2.0 ~until:11.5 () in
+  Alcotest.(check (list (float 1e-9))) "restore past until kept"
+    [ 5.0; 7.0; 10.0; 12.0 ] (times s);
+  Alcotest.check_raises "down_for >= period"
+    (Invalid_argument "Schedule.periodic: need 0 < down_for < period")
+    (fun () ->
+      ignore (Faults.Schedule.periodic ~period:1.0 ~down_for:1.0 ~until:5.0 ()))
+
+let test_random_schedule () =
+  let build seed =
+    Faults.Schedule.random ~rng:(Sim.Rng.create seed) ~mean_up:3.0
+      ~mean_down:0.5 ~until:60.0 ()
+  in
+  let a = Faults.Schedule.transitions (build 7L) in
+  Alcotest.(check bool) "non-trivial" true (List.length a >= 4);
+  Alcotest.(check bool) "equal seeds, equal schedules" true
+    (a = Faults.Schedule.transitions (build 7L));
+  Alcotest.(check bool) "distinct seeds differ" true
+    (a <> Faults.Schedule.transitions (build 8L));
+  let rec alternating expected_up = function
+    | [] -> true
+    | tr :: rest ->
+      tr.Faults.Schedule.up = expected_up && alternating (not expected_up) rest
+  in
+  Alcotest.(check bool) "starts down, alternates" true (alternating false a);
+  let ts = List.map (fun tr -> tr.Faults.Schedule.at) a in
+  Alcotest.(check bool) "strictly increasing" true
+    (List.for_all2 (fun x y -> x < y) (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+       (List.tl ts))
+
+(* -- mechanisms -- *)
+
+(* 0.8 Mbps and 1000-byte packets: 10 ms serialization. Five packets
+   sent at t=0; the link goes down at 15 ms, when packet 1 has been
+   delivered, packet 2 is on the wire, and 3..5 sit in the queue. *)
+let flap_fixture ~policy =
+  let engine = Sim.Engine.create () in
+  let injector = Faults.Injector.create ~engine () in
+  let arrivals = ref [] in
+  let queue = Net.Droptail.create ~capacity:8 () in
+  let link =
+    Net.Link.create ~engine ~bandwidth_bps:(Sim.Units.mbps 0.8) ~delay:0.001
+      ~queue
+      ~dst:(fun p -> arrivals := Net.Packet.seq_exn p :: !arrivals)
+      ()
+  in
+  let events = ref [] in
+  Faults.Injector.subscribe injector (fun ~time:_ event -> events := event :: !events);
+  Faults.Injector.flap_link injector ~name:"trunk" ~policy link
+    (Faults.Schedule.of_flaps [ (0.015, 1.0) ]);
+  Sim.Engine.schedule_unit_at engine ~time:0.0 (fun () ->
+      for seq = 1 to 5 do
+        Net.Link.send link (packet seq)
+      done);
+  Sim.Engine.run engine;
+  (injector, List.rev !arrivals, List.rev !events)
+
+let test_flap_drop_queued () =
+  let injector, arrivals, events = flap_fixture ~policy:`Drop_queued in
+  Alcotest.(check (list int)) "only pre-outage packets survive" [ 1; 2 ] arrivals;
+  Alcotest.(check int) "one down transition" 1 (Faults.Injector.downs injector);
+  Alcotest.(check int) "backlog dropped" 3 (Faults.Injector.fault_drops injector);
+  let drop_seqs =
+    List.filter_map
+      (function
+        | Faults.Injector.Fault_drop { packet; _ } ->
+          Some (Net.Packet.seq_exn packet)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check (list int)) "drops evented in queue order" [ 3; 4; 5 ] drop_seqs;
+  Alcotest.(check bool) "down evented" true
+    (List.exists (function Faults.Injector.Link_down _ -> true | _ -> false) events);
+  Alcotest.(check bool) "up evented" true
+    (List.exists (function Faults.Injector.Link_up _ -> true | _ -> false) events)
+
+let test_flap_hold_queued () =
+  let injector, arrivals, _ = flap_fixture ~policy:`Hold_queued in
+  Alcotest.(check (list int)) "backlog survives the outage" [ 1; 2; 3; 4; 5 ]
+    arrivals;
+  Alcotest.(check int) "nothing dropped" 0 (Faults.Injector.fault_drops injector)
+
+(* Feed [n] packets one millisecond apart through a wrapper built by
+   [wrap], recording each (arrival_time, seq). *)
+let run_wrapped ~seed ~n wrap =
+  let engine = Sim.Engine.create () in
+  let injector = Faults.Injector.create ~engine () in
+  let rng = Sim.Rng.create seed in
+  let arrivals = ref [] in
+  let next p =
+    arrivals := (Sim.Engine.now engine, Net.Packet.seq_exn p) :: !arrivals
+  in
+  let consumer = wrap injector rng next in
+  for i = 0 to n - 1 do
+    Sim.Engine.schedule_unit_at engine
+      ~time:(0.001 *. float_of_int i)
+      (fun () -> consumer (packet i))
+  done;
+  Sim.Engine.run engine;
+  (injector, List.rev !arrivals)
+
+let test_reorder () =
+  let max_extra = 0.05 in
+  let wrap injector rng next =
+    Faults.Injector.reorder injector ~path:"test" ~rng ~prob:0.5 ~max_extra next
+  in
+  let injector, arrivals = run_wrapped ~seed:42L ~n:50 wrap in
+  Alcotest.(check int) "every packet delivered" 50 (List.length arrivals);
+  Alcotest.(check bool) "some packets held" true
+    (Faults.Injector.reordered injector > 0);
+  Alcotest.(check bool) "order actually perturbed" true
+    (List.map snd arrivals <> List.sort compare (List.map snd arrivals));
+  List.iter
+    (fun (t, seq) ->
+      let sent = 0.001 *. float_of_int seq in
+      Alcotest.(check bool) "within the hold-back bound" true
+        (t >= sent -. 1e-9 && t <= sent +. max_extra +. 1e-9))
+    arrivals;
+  let _, again = run_wrapped ~seed:42L ~n:50 wrap in
+  Alcotest.(check bool) "same seed, same arrival sequence" true
+    (arrivals = again);
+  let _, other = run_wrapped ~seed:43L ~n:50 wrap in
+  Alcotest.(check bool) "different seed differs" true (arrivals <> other)
+
+let test_jitter_preserves_fifo () =
+  let max_jitter = 0.05 in
+  let wrap injector rng next =
+    Faults.Injector.jitter injector ~rng ~max_jitter next
+  in
+  let injector, arrivals = run_wrapped ~seed:42L ~n:50 wrap in
+  Alcotest.(check int) "every packet counted" 50
+    (Faults.Injector.jittered injector);
+  Alcotest.(check (list int)) "FIFO order preserved"
+    (List.init 50 Fun.id)
+    (List.map snd arrivals);
+  ignore
+    (List.fold_left
+       (fun prev (t, seq) ->
+         Alcotest.(check bool) "delivery times non-decreasing" true (t >= prev);
+         let sent = 0.001 *. float_of_int seq in
+         Alcotest.(check bool) "delay within bound" true
+           (t >= sent -. 1e-9 && t <= sent +. max_jitter +. 1e-9);
+         t)
+       0.0 arrivals)
+
+(* -- the spec DSL -- *)
+
+let spec_of s =
+  match Faults.Spec.of_string s with
+  | Ok spec -> spec
+  | Error message -> Alcotest.failf "%S failed to parse: %s" s message
+
+let test_spec_parse () =
+  Alcotest.(check bool) "empty string is none" true
+    (Faults.Spec.is_none (spec_of ""));
+  Alcotest.(check string) "none renders empty" "" (Faults.Spec.to_string Faults.Spec.none);
+  let spec = spec_of "drop,flap:4+0.5" in
+  (match spec.Faults.Spec.flaps with
+  | Some (Faults.Spec.Periodic { period; down_for }) ->
+    Alcotest.(check (float 1e-9)) "period" 4.0 period;
+    Alcotest.(check (float 1e-9)) "down_for" 0.5 down_for
+  | _ -> Alcotest.fail "expected a periodic flap");
+  Alcotest.(check bool) "drop policy" true
+    (spec.Faults.Spec.flap_policy = `Drop_queued);
+  Alcotest.(check string) "canonical clause order" "flap:4+0.5,drop"
+    (Faults.Spec.to_string spec);
+  let spec = spec_of "reorder:0.05" in
+  (match spec.Faults.Spec.reorder with
+  | Some { Faults.Spec.prob; max_extra } ->
+    Alcotest.(check (float 1e-9)) "prob" 0.05 prob;
+    Alcotest.(check (float 1e-9)) "default hold-back"
+      Faults.Spec.default_reorder_extra max_extra
+  | None -> Alcotest.fail "expected reorder");
+  (match (spec_of "flap:rand:10+1").Faults.Spec.flaps with
+  | Some (Faults.Spec.Random { mean_up; mean_down }) ->
+    Alcotest.(check (float 1e-9)) "mean up" 10.0 mean_up;
+    Alcotest.(check (float 1e-9)) "mean down" 1.0 mean_down
+  | _ -> Alcotest.fail "expected a random flap");
+  match (spec_of "flap:@2+2.5@8+9").Faults.Spec.flaps with
+  | Some (Faults.Spec.Explicit pairs) ->
+    Alcotest.(check int) "two explicit outages" 2 (List.length pairs)
+  | _ -> Alcotest.fail "expected explicit flaps"
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      let spec = spec_of s in
+      let rendered = Faults.Spec.to_string spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S: render/parse is the identity" s)
+        true
+        (spec_of rendered = spec);
+      Alcotest.(check string)
+        (Printf.sprintf "%S: render is idempotent" s)
+        rendered
+        (Faults.Spec.to_string (spec_of rendered)))
+    [
+      "";
+      "flap:4+0.5";
+      "flap:4+0.5,drop";
+      "hold,flap:4+0.5";
+      "flap:rand:10+1";
+      "flap:@2+2.5@8+9,drop";
+      "reorder:0.05";
+      "reorder:0.05:0.1";
+      "jitter:0.01";
+      "reverse,jitter:0.01,reorder:0.02,flap:5+0.3";
+    ]
+
+let test_spec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Faults.Spec.of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error message ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error names the clause" s)
+          true
+          (String.length message > 0))
+    [
+      "bogus";
+      "flap:zzz";
+      "flap:4";
+      "flap:0.5+4";
+      (* down_for >= period *)
+      "reorder:1.5";
+      "reorder:-0.1";
+      "jitter:0";
+      "jitter:-1";
+    ]
+
+(* -- properties over whole scenarios -- *)
+
+let run_faulted ?(variant = Core.Variant.Rr) ?(seed = 7L) ?(duration = 5.0)
+    ?trace_out spec_string =
+  let faults = spec_of spec_string in
+  let config = Net.Dumbbell.paper_config ~flows:2 in
+  Experiments.Scenario.run
+    (Experiments.Scenario.make ~config
+       ~flows:
+         [
+           Experiments.Scenario.flow variant;
+           Experiments.Scenario.flow Core.Variant.Newreno;
+         ]
+       ~params:{ Tcp.Params.default with rwnd = 20 }
+       ~seed ~duration ~uniform_loss:0.01 ?trace_out ~faults ())
+
+let test_faulted_scenarios_stay_clean () =
+  List.iter
+    (fun spec ->
+      let t = run_faulted spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S: auditor clean" spec)
+        true
+        (Audit.Auditor.ok t.Experiments.Scenario.auditor);
+      Alcotest.(check bool)
+        (Printf.sprintf "%S: checks ran" spec)
+        true
+        (Audit.Auditor.checks_run t.Experiments.Scenario.auditor > 1000))
+    [
+      "flap:2+0.3";
+      "flap:2+0.3,drop";
+      "flap:rand:2+0.5,drop";
+      "reorder:0.1";
+      "jitter:0.01,reverse";
+      "flap:3+0.4,drop,reorder:0.05,jitter:0.005,reverse";
+    ]
+
+(* Property form: random flap/reorder/jitter parameters, random seed —
+   the conservation, FIFO-per-flow and sender-window invariants must
+   all hold with the injector active. *)
+let prop_random_faults_stay_clean =
+  QCheck2.Test.make ~name:"auditor finds no violations under random faults"
+    ~count:15
+    QCheck2.Gen.(
+      tup4 (int_range 1 10_000)
+        (oneofl [ "flap:%g+%g"; "flap:rand:%g+%g,drop"; "flap:%g+%g,drop" ])
+        (tup2 (float_range 1.0 4.0) (float_range 0.1 0.8))
+        (oneofl [ ""; ",reorder:0.05"; ",jitter:0.01"; ",reorder:0.1,reverse" ]))
+    (fun (seed, flap_format, (period, down_for), extra) ->
+      let spec =
+        Printf.sprintf (Scanf.format_from_string flap_format "%g+%g") period
+          down_for
+        ^ extra
+      in
+      let t = run_faulted ~seed:(Int64.of_int seed) ~duration:3.0 spec in
+      Audit.Auditor.ok t.Experiments.Scenario.auditor)
+
+let with_scheduler scheduler f =
+  let saved = Sim.Engine.default_scheduler () in
+  Sim.Engine.set_default_scheduler scheduler;
+  Fun.protect ~finally:(fun () -> Sim.Engine.set_default_scheduler saved) f
+
+let faulted_trace scheduler =
+  with_scheduler scheduler (fun () ->
+      let path = Filename.temp_file "rr-faults" ".jsonl" in
+      let out = open_out path in
+      ignore
+        (run_faulted ~trace_out:out
+           "flap:1.5+0.3,drop,reorder:0.05,jitter:0.005"
+          : Experiments.Scenario.t);
+      close_out out;
+      let ic = open_in_bin path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Sys.remove path;
+      contents)
+
+let test_faulted_trace_deterministic () =
+  let heap = faulted_trace `Heap in
+  Alcotest.(check bool) "trace non-trivial" true (String.length heap > 10_000);
+  Alcotest.(check string) "same seed, same bytes" heap (faulted_trace `Heap);
+  Alcotest.(check string) "byte-identical across schedulers" heap
+    (faulted_trace `Calendar);
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) ("trace carries " ^ kind) true
+        (let pattern = Printf.sprintf {|"ev":"%s"|} kind in
+         let plen = String.length pattern in
+         let rec scan i =
+           i + plen <= String.length heap
+           && (String.sub heap i plen = pattern || scan (i + 1))
+         in
+         scan 0))
+    [ "link_down"; "link_up"; "fault_drop"; "reorder" ]
+
+let suite =
+  [
+    ( "faults",
+      [
+        Alcotest.test_case "schedule of_flaps" `Quick test_of_flaps;
+        Alcotest.test_case "schedule periodic" `Quick test_periodic;
+        Alcotest.test_case "schedule random" `Quick test_random_schedule;
+        Alcotest.test_case "flap drops backlog" `Quick test_flap_drop_queued;
+        Alcotest.test_case "flap holds backlog" `Quick test_flap_hold_queued;
+        Alcotest.test_case "reorder bound + determinism" `Quick test_reorder;
+        Alcotest.test_case "jitter preserves FIFO" `Quick
+          test_jitter_preserves_fifo;
+        Alcotest.test_case "spec parse" `Quick test_spec_parse;
+        Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+        Alcotest.test_case "spec rejects garbage" `Quick
+          test_spec_rejects_garbage;
+        Alcotest.test_case "faulted scenarios stay clean" `Slow
+          test_faulted_scenarios_stay_clean;
+        QCheck_alcotest.to_alcotest prop_random_faults_stay_clean;
+        Alcotest.test_case "faulted trace deterministic" `Quick
+          test_faulted_trace_deterministic;
+      ] );
+  ]

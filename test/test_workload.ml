@@ -86,6 +86,104 @@ let test_supply_data_after_infinite_rejected () =
     (Invalid_argument "Agent.supply_data: source already infinite") (fun () ->
       Tcp.Agent.supply_data agent ~segments:5)
 
+(* -- CBR cross-traffic -- *)
+
+let test_cbr_rate_and_window () =
+  let engine = Sim.Engine.create () in
+  let emissions = ref [] in
+  let cbr =
+    Workload.Cbr.create ~engine ~flow:3 ~rate_bps:80_000.0 ~packet_bytes:1000
+      ~at:1.0 ~until:2.0
+      ~emit:(fun p ->
+        emissions := (Sim.Engine.now engine, p) :: !emissions)
+      ()
+  in
+  Sim.Engine.run engine;
+  (* 80 kbps at 1000 B/packet = 10 packets/s over [1, 2): emissions at
+     1.0, 1.1, ..., 1.9. *)
+  Alcotest.(check (float 1e-9)) "interval" 0.1 (Workload.Cbr.interval cbr);
+  Alcotest.(check int) "ten packets in the window" 10 (Workload.Cbr.sent cbr);
+  Alcotest.(check int) "bytes total" 10_000 (Workload.Cbr.bytes_sent cbr);
+  let emissions = List.rev !emissions in
+  (match emissions with
+  | (t0, p0) :: _ ->
+    Alcotest.(check (float 1e-9)) "first at start" 1.0 t0;
+    Alcotest.(check int) "tagged with the flow id" 3 p0.Net.Packet.flow
+  | [] -> Alcotest.fail "no emissions");
+  match List.rev emissions with
+  | (t_last, _) :: _ ->
+    Alcotest.(check bool) "nothing at or after until" true (t_last < 2.0)
+  | [] -> assert false
+
+let test_cbr_validation () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "rate" (Invalid_argument "Cbr.create: rate_bps <= 0")
+    (fun () ->
+      ignore
+        (Workload.Cbr.create ~engine ~flow:0 ~rate_bps:0.0 ~packet_bytes:1000
+           ~at:0.0 ~until:1.0 ~emit:ignore ()))
+
+(* -- Pareto on/off mice -- *)
+
+let mice_fixture ~seed ~profile =
+  let engine = Sim.Engine.create () in
+  let agent, receiver = loopback_agent engine in
+  let mice =
+    Workload.Mice.create ~engine ~agent ~rng:(Sim.Rng.create seed) profile
+  in
+  Sim.Engine.run_until engine ~time:(profile.Workload.Mice.until +. 30.0);
+  (mice, agent, receiver)
+
+let short_mice until =
+  { Workload.Mice.default with mean_size_bytes = 4_000.0; until }
+
+let test_mice_bursts_and_completions () =
+  let mice, _, receiver = mice_fixture ~seed:7L ~profile:(short_mice 20.0) in
+  Alcotest.(check bool) "several bursts ran" true (Workload.Mice.bursts mice > 3);
+  Alcotest.(check bool) "in-flight burst at until finishes" true
+    (Workload.Mice.finished_bursts mice = Workload.Mice.bursts mice);
+  Alcotest.(check int) "receiver got every supplied segment"
+    (Workload.Mice.segments_supplied mice)
+    (Tcp.Receiver.next_expected receiver);
+  let completions = Workload.Mice.completions mice in
+  Alcotest.(check int) "one completion per finished burst"
+    (Workload.Mice.finished_bursts mice)
+    (List.length completions);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "finished after started" true
+        (c.Workload.Mice.finished > c.Workload.Mice.started);
+      Alcotest.(check bool) "burst non-empty" true (c.Workload.Mice.segments > 0))
+    completions;
+  match Workload.Mice.mean_completion_time mice with
+  | Some mean -> Alcotest.(check bool) "positive mean" true (mean > 0.0)
+  | None -> Alcotest.fail "expected completions"
+
+let test_mice_deterministic () =
+  let timeline mice =
+    List.map
+      (fun c ->
+        (c.Workload.Mice.started, c.Workload.Mice.finished,
+         c.Workload.Mice.segments))
+      (Workload.Mice.completions mice)
+  in
+  let a, _, _ = mice_fixture ~seed:11L ~profile:(short_mice 15.0) in
+  let b, _, _ = mice_fixture ~seed:11L ~profile:(short_mice 15.0) in
+  let c, _, _ = mice_fixture ~seed:12L ~profile:(short_mice 15.0) in
+  Alcotest.(check bool) "same seed, same burst train" true
+    (timeline a = timeline b);
+  Alcotest.(check bool) "different seed differs" true (timeline a <> timeline c)
+
+let test_mice_validation () =
+  let engine = Sim.Engine.create () in
+  let agent, _ = loopback_agent engine in
+  let rng = Sim.Rng.create 1L in
+  Alcotest.check_raises "shape must give a finite mean"
+    (Invalid_argument "Mice.create: Pareto shapes must exceed 1") (fun () ->
+      ignore
+        (Workload.Mice.create ~engine ~agent ~rng
+           { Workload.Mice.default with size_shape = 1.0; until = 10.0 }))
+
 let suite =
   [
     ( "workload",
@@ -96,5 +194,11 @@ let suite =
         Alcotest.test_case "supply accumulates" `Quick test_supply_data_accumulates;
         Alcotest.test_case "source mixing rejected" `Quick
           test_supply_data_after_infinite_rejected;
+        Alcotest.test_case "cbr rate and window" `Quick test_cbr_rate_and_window;
+        Alcotest.test_case "cbr validation" `Quick test_cbr_validation;
+        Alcotest.test_case "mice bursts and completions" `Quick
+          test_mice_bursts_and_completions;
+        Alcotest.test_case "mice deterministic" `Quick test_mice_deterministic;
+        Alcotest.test_case "mice validation" `Quick test_mice_validation;
       ] );
   ]
