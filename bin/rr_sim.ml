@@ -730,17 +730,94 @@ let sweep_term =
     let doc = "Emit the campaign (points and per-job results) as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let timeout =
+    let doc =
+      "Per-job wall-clock deadline in seconds (0 = wait forever). A worker \
+       past its deadline is SIGKILLed and reaped, and its job counted as \
+       timed out (retried while --retries allows, quarantined after)."
+    in
+    Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let retries =
+    let doc =
+      "Extra attempts for a crashed or timed-out job, with deterministic \
+       exponential backoff (see --backoff). A job that fails every attempt \
+       is quarantined in the report instead of aborting the sweep."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff =
+    let doc = "Base retry backoff in seconds: retry N waits backoff * 2^(N-1)." in
+    Arg.(value & opt float 0.5 & info [ "backoff" ] ~docv:"SECONDS" ~doc)
+  in
+  let resume =
+    let doc =
+      "Resume an interrupted or partially failed campaign: validate the run \
+       journal under the cache directory and re-execute only unfinished or \
+       failed jobs — settled ones are served from the cache, byte-identical."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
   let run scheduler variants gateways losses ack_losses reorders flap_periods
       cbr_shares seed_count duration flows rwnd jobs cache_dir no_cache json
-      seed =
+      timeout retries backoff resume seed =
     Sim.Engine.set_default_scheduler scheduler;
+    (* Fail fast on an unparseable chaos spec instead of aborting
+       mid-sweep from inside the pool. *)
+    (match Sys.getenv_opt Campaign.Pool.chaos_env with
+    | Some spec when !Campaign.Pool.chaos = None -> (
+      match Campaign.Pool.chaos_of_string spec with
+      | Ok _ -> ()
+      | Error message ->
+        Printf.eprintf "rr-sim: %s: %s\n" Campaign.Pool.chaos_env message;
+        exit 2)
+    | _ -> ());
     let grid =
       Campaign.Sweep.grid ~variants ~gateways ~uniform_losses:losses
         ~ack_losses ~reorders ~flap_periods ~cbr_shares ~seed ~seed_count
         ~duration ~flows ~rwnd ()
     in
+    if resume && no_cache then begin
+      Printf.eprintf
+        "rr-sim: --resume needs the result cache (drop --no-cache)\n";
+      exit 2
+    end;
     let cache =
       if no_cache then None else Some (Campaign.Cache.create ~dir:cache_dir ())
+    in
+    let sweep_digest = Campaign.Sweep.sweep_digest grid in
+    let journal_path = Filename.concat cache_dir "journal.jsonl" in
+    let journal =
+      match cache with
+      | None -> None
+      | Some _ ->
+        if resume then (
+          match
+            Campaign.Journal.resume ~path:journal_path ~sweep:sweep_digest
+          with
+          | Ok (journal, previous) ->
+            Printf.eprintf
+              "resume: journal records %d settled and %d failed job(s); \
+               re-running the rest\n"
+              (List.length previous.Campaign.Journal.settled)
+              (List.length previous.Campaign.Journal.failed);
+            Some journal
+          | Error message ->
+            Printf.eprintf "rr-sim: cannot resume: %s\n" message;
+            exit 2)
+        else
+          Some
+            (Campaign.Journal.start ~path:journal_path ~sweep:sweep_digest
+               ~total:(List.length (Campaign.Sweep.jobs_of_grid grid)))
+    in
+    let policy =
+      {
+        Campaign.Pool.timeout = (if timeout > 0.0 then Some timeout else None);
+        retries = max 0 retries;
+        backoff =
+          (if backoff > 0.0 then backoff
+           else Campaign.Pool.default_policy.Campaign.Pool.backoff);
+      }
     in
     let jobs = if jobs <= 0 then Campaign.Pool.default_jobs () else jobs in
     let on_progress ~completed ~total =
@@ -750,24 +827,53 @@ let sweep_term =
         flush stderr
       end
     in
-    let outcome = Campaign.Sweep.run ?cache ~jobs ~on_progress grid in
+    (* Graceful shutdown: the first SIGINT/SIGTERM stops the collect
+       loop, which SIGKILLs and reaps the children; the journal is
+       flushed and a partial summary printed with a conventional
+       128+signal exit code. *)
+    let interrupted_by = ref None in
+    let install signal =
+      Sys.signal signal (Sys.Signal_handle (fun _ -> interrupted_by := Some signal))
+    in
+    let previous_int = install Sys.sigint in
+    let previous_term = install Sys.sigterm in
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.set_signal Sys.sigint previous_int;
+          Sys.set_signal Sys.sigterm previous_term;
+          Option.iter Campaign.Journal.close journal)
+        (fun () ->
+          Campaign.Sweep.run ?cache ?journal ~policy
+            ~stop:(fun () -> !interrupted_by <> None)
+            ~jobs ~on_progress grid)
+    in
+    if (not json) && outcome.Campaign.Sweep.interrupted then
+      prerr_newline ();
     if json then print_string (Campaign.Sweep.report_json outcome)
     else print_string (Campaign.Sweep.report outcome);
-    if Campaign.Sweep.total_violations outcome > 0 then exit 1
+    match !interrupted_by with
+    | Some signal -> exit (if signal = Sys.sigterm then 143 else 130)
+    | None ->
+      if outcome.Campaign.Sweep.quarantined <> [] then exit 3
+      else if Campaign.Sweep.total_violations outcome > 0 then exit 1
   in
   Term.(
     const run $ scheduler_arg $ variants $ gateways $ losses $ ack_losses
     $ reorders $ flap_periods $ cbr_shares $ seed_count $ duration $ flows
-    $ rwnd $ jobs $ cache_dir $ no_cache $ json $ seed_arg)
+    $ rwnd $ jobs $ cache_dir $ no_cache $ json $ timeout $ retries $ backoff
+    $ resume $ seed_arg)
 
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
-         "Run a variants x gateways x loss-rates x seeds campaign on a forked \
-          worker pool with an incremental result cache, and print cross-seed \
-          aggregates. Exits non-zero if the runtime auditor saw any invariant \
-          violation.")
+         "Run a variants x gateways x loss-rates x seeds campaign on a \
+          supervised forked worker pool (per-job deadlines, bounded retries, \
+          crash quarantine) with an incremental result cache and run \
+          journal. Always completes with partial results; exits 3 if any \
+          job was quarantined, 1 on auditor violations, 128+signal when \
+          interrupted (resume with --resume).")
     sweep_term
 
 (* list / all: the experiment registry *)

@@ -84,6 +84,47 @@ let attach_injector t injector =
         line t {|{"t":%.6f,"ev":"reorder","path":"%s","extra":%.6f,%s}|} time
           path extra (packet_fields packet))
 
+(* -- generic journal events --
+
+   The campaign layer reuses the tracer as its buffered JSONL writer
+   for run journals; events there carry wall-clock stamps and ad-hoc
+   fields, so the rendering has to escape arbitrary strings (exception
+   messages, digests) rather than trusting printf literals. *)
+
+type field = Int of int | Float of float | Str of string | Bool of bool
+
+let add_json_string buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let journal_event t ~time ~ev fields =
+  let buffer = Buffer.create 96 in
+  add_json_string buffer ev;
+  List.iter
+    (fun (key, value) ->
+      Buffer.add_char buffer ',';
+      add_json_string buffer key;
+      Buffer.add_char buffer ':';
+      match value with
+      | Int i -> Buffer.add_string buffer (string_of_int i)
+      | Float f -> Buffer.add_string buffer (Printf.sprintf "%g" f)
+      | Str s -> add_json_string buffer s
+      | Bool b -> Buffer.add_string buffer (if b then "true" else "false"))
+    fields;
+  line t {|{"t":%.6f,"ev":%s}|} time (Buffer.contents buffer)
+
 let flush t =
   drain t;
   flush t.out

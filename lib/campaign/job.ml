@@ -46,7 +46,7 @@ let point_label job =
 
 (* Bump whenever the job layout or the semantics of a run change, so
    stale cache entries can never be mistaken for current ones. *)
-let schema = "rr-sim-campaign/2"
+let schema = "rr-sim-campaign/3"
 
 let to_json job =
   Json.Obj

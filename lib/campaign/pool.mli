@@ -1,24 +1,134 @@
-(** [Unix.fork]-based worker pool.
+(** Supervised [Unix.fork]-based worker pool.
 
     Each task runs in its own forked child — full process isolation, so
     the simulator's global state (engine clocks, RNGs, counters) never
     leaks between concurrently-running jobs — and the result value is
-    marshalled back to the parent over a pipe. Children that raise
-    marshal the exception text instead; the parent re-raises after the
-    whole batch settles.
+    marshalled back to the parent over a pipe.
 
-    Simulation jobs are deterministic, so a parallel map returns
-    exactly what the serial map would, only sooner. *)
+    The parent is a supervisor, not a bystander: every attempt carries
+    an optional wall-clock deadline (expired workers are SIGKILLed and
+    reaped), failed attempts are retried up to a bounded budget with
+    deterministic exponential backoff, and a batch {e always} settles —
+    a crashed, hung or torn worker becomes a {!Failed} slot in the
+    result list instead of aborting its siblings. [Unix.select] and
+    [Unix.waitpid] are retried on [EINTR], so signal delivery (expected
+    once the CLI installs SIGINT/SIGTERM handlers) cannot abort a
+    collect mid-flight.
+
+    Simulation jobs are deterministic, so a parallel run returns
+    exactly what the serial run would, only sooner. *)
 
 (** [default_jobs ()] is the host's recommended parallelism (core
     count as reported by the runtime). *)
 val default_jobs : unit -> int
 
-(** [map ~jobs ?on_done f items] applies [f] to every item, running up
-    to [jobs] children concurrently, and returns the results in input
-    order. [jobs <= 1] degrades to a plain in-process [List.map] (no
-    forking). [on_done] is called in the parent as each item settles
-    (with the count settled so far), for progress display.
+(** {1 Failure taxonomy} *)
 
-    @raise Failure if any child failed, after all children settle. *)
+(** Why a job failed to settle. *)
+type failure =
+  | Crashed of string
+      (** the worker raised (payload = exception text), died — by
+          signal, nonzero exit, or without reporting — or shipped a
+          truncated payload (payload = diagnostic) *)
+  | Timed_out of float
+      (** the worker outlived its wall-clock deadline (payload =
+          the configured deadline, seconds) and was SIGKILLed *)
+  | Gave_up of int
+      (** every attempt of a retry budget failed (payload = total
+          attempts made); only produced when [retries > 0] *)
+
+(** [failure_to_string failure] is a one-line human rendering, e.g.
+    ["crashed: killed by SIGKILL"] or ["timed out after 5s"]. *)
+val failure_to_string : failure -> string
+
+(** One input item's terminal state. *)
+type 'b outcome =
+  | Settled of 'b  (** the job completed and returned a value *)
+  | Failed of failure  (** all attempts failed; the job is quarantined *)
+  | Not_run  (** the run was stopped before the job could settle *)
+
+(** {1 Supervision policy} *)
+
+type policy = {
+  timeout : float option;
+      (** per-attempt wall-clock deadline in seconds; [None] = wait
+          forever (the pre-supervision behaviour) *)
+  retries : int;  (** extra attempts after the first failure *)
+  backoff : float;
+      (** delay before retry [n] is [backoff * 2^(n-1)] seconds —
+          deterministic, so a chaos-injected schedule reproduces
+          exactly *)
+}
+
+(** No deadline, no retries, 0.5 s base backoff. *)
+val default_policy : policy
+
+(** {1 Deterministic chaos injection}
+
+    For supervision tests and the [@chaos-smoke] alias: a chaos plan
+    makes selected workers misbehave on schedule, in the child, after
+    the fork — so the parent exercises its real recovery paths against
+    real process death, not mocks. *)
+
+type chaos_action =
+  | Crash  (** the worker SIGKILLs itself before running the job *)
+  | Hang  (** the worker sleeps forever (reaped only by a deadline) *)
+  | Truncate
+      (** the worker runs the job but writes the marshalled payload
+          short by one byte, tearing it *)
+
+(** [plan ~index ~attempt] decides what (if anything) happens to the
+    worker running input [index] on its [attempt]-th try (1-based). *)
+type chaos_plan = index:int -> attempt:int -> chaos_action option
+
+(** Process-wide chaos hook consulted by {!run}; [None] (the default)
+    falls back to parsing {!chaos_env}. Tests set it directly. Only
+    forked workers obey it — the serial path ignores chaos. *)
+val chaos : chaos_plan option ref
+
+(** Name of the environment variable ["RR_SIM_POOL_CHAOS"] holding a
+    chaos spec for CLI runs. *)
+val chaos_env : string
+
+(** [chaos_of_string spec] parses the chaos DSL: [;]-separated clauses
+    [ACTION:JOB[,JOB...]] with actions [crash], [hang], [trunc] and job
+    targets [N] (first attempt only), [N*] (every attempt), [N@A]
+    (attempt [A] only). Example: ["crash:1;hang:3*;trunc:0@2"]. *)
+val chaos_of_string : string -> (chaos_plan, string) result
+
+(** {1 Running} *)
+
+(** [run ~jobs ?policy ?stop ?on_done ?on_retry ?on_settled f items]
+    applies [f] to every item, running up to [jobs] children
+    concurrently under [policy], and returns one {!outcome} per item in
+    input order. [jobs <= 1] degrades to a plain in-process loop (no
+    forking, no deadlines, no chaos; retries still apply).
+
+    [stop] is polled between collect rounds; once it returns [true],
+    running workers are SIGKILLed and reaped, and every job not yet
+    settled is reported {!Not_run} — already-settled work is kept.
+    [on_done] is called in the parent as each item settles (with the
+    count settled so far), for progress display. [on_retry] fires on
+    each non-final failed attempt, before the backoff; [on_settled]
+    fires on each terminal outcome — success or final failure — as it
+    happens, so callers can persist results incrementally (eager cache
+    stores, run journals).
+
+    @raise Invalid_argument if {!chaos_env} holds an unparseable spec. *)
+val run :
+  jobs:int ->
+  ?policy:policy ->
+  ?stop:(unit -> bool) ->
+  ?on_done:(int -> unit) ->
+  ?on_retry:(index:int -> attempt:int -> failure -> unit) ->
+  ?on_settled:(index:int -> ('b, failure) result -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome list
+
+(** [map ~jobs ?on_done f items] is the legacy all-or-nothing wrapper
+    over {!run} with {!default_policy}: results in input order, raising
+    after the whole batch settles if any job failed.
+
+    @raise Failure if any child failed. *)
 val map : jobs:int -> ?on_done:(int -> unit) -> ('a -> 'b) -> 'a list -> 'b list

@@ -75,6 +75,11 @@ let jobs_of_grid grid =
         grid.gateways)
     grid.variants
 
+let sweep_digest grid =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" (List.map Job.digest (jobs_of_grid grid))))
+
 type point = {
   point_job : Job.t;
   goodput : Stats.Summary.t;
@@ -85,10 +90,15 @@ type point = {
   violations : int;
 }
 
+type quarantined = { q_job : Job.t; q_failure : Pool.failure }
+
 type outcome = {
   grid : grid;
   results : Job.result list;
   points : point list;
+  quarantined : quarantined list;
+  skipped : int;
+  interrupted : bool;
   cache_hits : int;
   jobs_executed : int;
   workers : int;
@@ -131,7 +141,9 @@ let group_points results =
       })
     !order
 
-let run ?cache ?jobs ?(on_progress = fun ~completed:_ ~total:_ -> ()) grid =
+let run ?cache ?journal ?(policy = Pool.default_policy)
+    ?(stop = fun () -> false) ?jobs
+    ?(on_progress = fun ~completed:_ ~total:_ -> ()) grid =
   let started = Unix.gettimeofday () in
   let workers = match jobs with Some n -> max 1 n | None -> Pool.default_jobs () in
   let all_jobs = jobs_of_grid grid in
@@ -148,33 +160,75 @@ let run ?cache ?jobs ?(on_progress = fun ~completed:_ ~total:_ -> ()) grid =
   if cache_hits > 0 then on_progress ~completed:cache_hits ~total;
   let misses = List.filter_map (fun (job, hit) ->
       match hit with None -> Some job | Some _ -> None) slots in
-  let fresh =
-    Pool.map ~jobs:workers
+  let miss_jobs = Array.of_list misses in
+  (* Every terminal outcome is persisted the moment it is collected —
+     eager cache stores and journal records — so finished work survives
+     an interrupted sweep even without [--resume]. *)
+  let on_settled ~index outcome =
+    let job = miss_jobs.(index) in
+    match outcome with
+    | Ok result ->
+      Option.iter (fun cache -> Cache.store cache result) cache;
+      Option.iter (fun j -> Journal.settled j ~digest:(Job.digest job)) journal
+    | Error failure ->
+      Option.iter
+        (fun j ->
+          Journal.failed j ~digest:(Job.digest job)
+            ~failure:(Pool.failure_to_string failure))
+        journal
+  in
+  let on_retry ~index ~attempt failure =
+    Option.iter
+      (fun j ->
+        Journal.retry j ~digest:(Job.digest miss_jobs.(index)) ~attempt
+          ~failure:(Pool.failure_to_string failure))
+      journal
+  in
+  let outcomes =
+    Pool.run ~jobs:workers ~policy ~stop
       ~on_done:(fun settled -> on_progress ~completed:(cache_hits + settled) ~total)
-      Job.run misses
+      ~on_retry ~on_settled Job.run misses
   in
-  Option.iter (fun cache -> List.iter (Cache.store cache) fresh) cache;
-  (* Stitch cached and fresh results back into expansion order. *)
-  let fresh = ref fresh in
-  let results =
-    List.map
-      (fun (_, hit) ->
-        match hit with
-        | Some result -> result
-        | None -> (
-          match !fresh with
-          | result :: rest ->
-            fresh := rest;
-            result
-          | [] -> assert false))
-      slots
-  in
+  (* Stitch cached and fresh outcomes back into expansion order:
+     successes stay results, failures become quarantined rows, and
+     jobs cut short by a stop request are merely skipped. *)
+  let outcomes = ref outcomes in
+  let results_rev = ref [] in
+  let quarantined_rev = ref [] in
+  let skipped = ref 0 in
+  List.iter
+    (fun (job, hit) ->
+      match hit with
+      | Some result -> results_rev := result :: !results_rev
+      | None -> (
+        match !outcomes with
+        | outcome :: rest -> (
+          outcomes := rest;
+          match outcome with
+          | Pool.Settled result -> results_rev := result :: !results_rev
+          | Pool.Failed failure ->
+            quarantined_rev := { q_job = job; q_failure = failure } :: !quarantined_rev
+          | Pool.Not_run -> incr skipped)
+        | [] -> assert false))
+    slots;
+  let results = List.rev !results_rev in
+  let quarantined = List.rev !quarantined_rev in
+  let interrupted = stop () in
+  Option.iter
+    (fun j ->
+      Journal.finish j
+        ~settled:(List.length results - cache_hits)
+        ~failed:(List.length quarantined) ~interrupted)
+    journal;
   {
     grid;
     results;
     points = group_points results;
+    quarantined;
+    skipped = !skipped;
+    interrupted;
     cache_hits;
-    jobs_executed = List.length misses;
+    jobs_executed = List.length misses - !skipped;
     workers;
     elapsed_seconds = Unix.gettimeofday () -. started;
   }
@@ -207,15 +261,44 @@ let point_to_json point =
       ("audit_violations", Json.Num (float_of_int point.violations));
     ]
 
+let failure_json = function
+  | Pool.Crashed reason ->
+    Json.Obj [ ("kind", Json.Str "crashed"); ("reason", Json.Str reason) ]
+  | Pool.Timed_out deadline ->
+    Json.Obj
+      [ ("kind", Json.Str "timed_out"); ("deadline_seconds", Json.Num deadline) ]
+  | Pool.Gave_up attempts ->
+    Json.Obj
+      [
+        ("kind", Json.Str "gave_up");
+        ("attempts", Json.Num (float_of_int attempts));
+      ]
+
+let quarantined_to_json q =
+  Json.Obj
+    [
+      ("digest", Json.Str (Job.digest q.q_job));
+      ("job", Job.to_json q.q_job);
+      ("failure", failure_json q.q_failure);
+    ]
+
+let total_jobs outcome =
+  List.length outcome.results + List.length outcome.quarantined
+  + outcome.skipped
+
 let report_json outcome =
   Json.pretty
     (Json.Obj
        [
-         ("schema", Json.Str "rr-sim-sweep/1");
-         ("jobs", Json.Num (float_of_int (List.length outcome.results)));
+         ("schema", Json.Str "rr-sim-sweep/2");
+         ("jobs", Json.Num (float_of_int (total_jobs outcome)));
          ("cache_hits", Json.Num (float_of_int outcome.cache_hits));
          ("workers", Json.Num (float_of_int outcome.workers));
          ("elapsed_seconds", Json.Num outcome.elapsed_seconds);
+         ("interrupted", Json.Bool outcome.interrupted);
+         ("skipped", Json.Num (float_of_int outcome.skipped));
+         ( "quarantined",
+           Json.List (List.map quarantined_to_json outcome.quarantined) );
          ("points", Json.List (List.map point_to_json outcome.points));
          ("results", results_json outcome);
        ])
@@ -273,10 +356,39 @@ let report outcome =
           ])
       outcome.points
   in
-  let jobs = List.length outcome.results in
+  let jobs = total_jobs outcome in
+  (* Quarantine and interruption render only when present, so clean
+     sweeps stay byte-identical to the pre-supervision output. *)
+  let quarantine_block =
+    if outcome.quarantined = [] then ""
+    else
+      "\nquarantined job(s):\n"
+      ^ Stats.Text_table.render ~header:[ "job"; "seed"; "failure" ]
+          (List.map
+             (fun q ->
+               [
+                 Job.point_label q.q_job;
+                 Int64.to_string q.q_job.Job.seed;
+                 Pool.failure_to_string q.q_failure;
+               ])
+             outcome.quarantined)
+  in
+  let quarantine_note =
+    if outcome.quarantined = [] then ""
+    else Printf.sprintf ", %d quarantined" (List.length outcome.quarantined)
+  in
+  let interrupted_note =
+    if outcome.interrupted then
+      Printf.sprintf
+        "interrupted: %d job(s) not run; re-run with --resume to finish\n"
+        outcome.skipped
+    else ""
+  in
   Stats.Text_table.render ~header rows
+  ^ quarantine_block
   ^ Printf.sprintf
       "\n%d job(s): %d from cache, %d executed on %d worker(s) in %.1f s;  %d \
-       audit violation(s)\n"
+       audit violation(s)%s\n"
       jobs outcome.cache_hits outcome.jobs_executed outcome.workers
-      outcome.elapsed_seconds (total_violations outcome)
+      outcome.elapsed_seconds (total_violations outcome) quarantine_note
+  ^ interrupted_note

@@ -47,6 +47,11 @@ val grid :
     seed-minor. *)
 val jobs_of_grid : grid -> Job.t list
 
+(** [sweep_digest grid] identifies the campaign's job set — the hex MD5
+    over every job digest, in expansion order. The run journal records
+    it so [--resume] can refuse a journal from a different sweep. *)
+val sweep_digest : grid -> string
+
 (** One grid point's cross-seed aggregate. *)
 type point = {
   point_job : Job.t;  (** a representative job (its seed is the first) *)
@@ -58,22 +63,43 @@ type point = {
   violations : int;  (** auditor violations summed over seeds *)
 }
 
+(** One job that failed every attempt and was quarantined instead of
+    aborting the sweep. *)
+type quarantined = { q_job : Job.t; q_failure : Pool.failure }
+
 type outcome = {
   grid : grid;
-  results : Job.result list;  (** one per job, in expansion order *)
+  results : Job.result list;
+      (** one per {e settled} job, in expansion order *)
   points : point list;  (** in first-occurrence order *)
+  quarantined : quarantined list;
+      (** failed jobs, in expansion order; empty on a clean sweep *)
+  skipped : int;  (** jobs not run because the sweep was stopped *)
+  interrupted : bool;  (** the [stop] predicate fired *)
   cache_hits : int;
-  jobs_executed : int;  (** jobs actually run (misses) *)
+  jobs_executed : int;
+      (** misses that reached a terminal state (settled or failed) *)
   workers : int;  (** pool width used *)
   elapsed_seconds : float;  (** wall clock for the whole sweep *)
 }
 
-(** [run grid] executes the campaign. [cache] enables the on-disk
-    result cache; [jobs] sets the pool width (default
+(** [run grid] executes the campaign — and always returns, with partial
+    results, whatever the workers do. [cache] enables the on-disk
+    result cache; every fresh result is stored the moment it is
+    collected, so finished work survives interruption. [journal]
+    records each job's terminal state incrementally (see {!Journal});
+    the caller owns the handle and closes it. [policy] supervises the
+    workers (deadlines, retries, backoff — {!Pool.default_policy} keeps
+    the legacy wait-forever behaviour). [stop] is polled between
+    collect rounds; once true, in-flight workers are SIGKILLed and the
+    remaining jobs are skipped. [jobs] sets the pool width (default
     {!Pool.default_jobs}); [on_progress] is called after every settled
     job with the completed count and the total. *)
 val run :
   ?cache:Cache.t ->
+  ?journal:Journal.t ->
+  ?policy:Pool.policy ->
+  ?stop:(unit -> bool) ->
   ?jobs:int ->
   ?on_progress:(completed:int -> total:int -> unit) ->
   grid ->
@@ -88,9 +114,13 @@ val total_violations : outcome -> int
 val results_json : outcome -> Json.t
 
 (** [report outcome] renders the per-point aggregate table plus a
-    cache/pool summary line. *)
+    cache/pool summary line. Quarantined jobs render as an extra table
+    (job point, seed, failure) and interruption as a trailing note —
+    both only when present, so clean sweeps are byte-identical to the
+    pre-supervision format. *)
 val report : outcome -> string
 
-(** [report_json outcome] renders the whole campaign (points and
-    per-job results) as a JSON document, newline-terminated. *)
+(** [report_json outcome] renders the whole campaign (quarantined jobs,
+    points and per-job results) as a JSON document (schema
+    [rr-sim-sweep/2]), newline-terminated. *)
 val report_json : outcome -> string

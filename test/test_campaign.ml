@@ -79,6 +79,126 @@ let test_pool_propagates_failure () =
            (fun x -> if x = 2 then failwith "boom" else x)
            [ 0; 1; 2; 3 ]))
 
+(* -- pool supervision: deadlines, retries, quarantine, chaos -- *)
+
+let with_chaos plan f =
+  Campaign.Pool.chaos := Some plan;
+  Fun.protect ~finally:(fun () -> Campaign.Pool.chaos := None) f
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let check_contains what needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "%s: %S not found in %S" what needle haystack
+
+let test_chaos_spec_parsing () =
+  (match Campaign.Pool.chaos_of_string "crash:1;hang:2*;trunc:0@2" with
+  | Error message -> Alcotest.failf "parse failed: %s" message
+  | Ok plan ->
+    let check name expected index attempt =
+      Alcotest.(check bool) name true (plan ~index ~attempt = expected)
+    in
+    check "crash on the first attempt" (Some Campaign.Pool.Crash) 1 1;
+    check "crash clears on retry" None 1 2;
+    check "hang on every attempt" (Some Campaign.Pool.Hang) 2 1;
+    check "hang still on attempt 3" (Some Campaign.Pool.Hang) 2 3;
+    check "truncate only on attempt 2" (Some Campaign.Pool.Truncate) 0 2;
+    check "no truncate on attempt 1" None 0 1;
+    check "untargeted jobs run clean" None 3 1);
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S is rejected" spec)
+        true
+        (Result.is_error (Campaign.Pool.chaos_of_string spec)))
+    [ "bogus"; "explode:1"; "crash:-1"; "crash:x"; "crash:1@0"; "" ]
+
+let test_pool_worker_sigkilled () =
+  with_chaos
+    (fun ~index ~attempt:_ -> if index = 1 then Some Campaign.Pool.Crash else None)
+  @@ fun () ->
+  match Campaign.Pool.run ~jobs:2 (fun x -> x + 1) [ 10; 20; 30 ] with
+  | [ Campaign.Pool.Settled 11; Failed (Crashed reason); Settled 31 ] ->
+    check_contains "crash diagnostic names the signal" "SIGKILL" reason
+  | _ -> Alcotest.fail "expected [Settled 11; Failed (Crashed _); Settled 31]"
+
+let test_pool_hung_worker_times_out () =
+  with_chaos
+    (fun ~index ~attempt:_ -> if index = 0 then Some Campaign.Pool.Hang else None)
+  @@ fun () ->
+  let policy = { Campaign.Pool.default_policy with timeout = Some 0.4 } in
+  match Campaign.Pool.run ~jobs:2 ~policy (fun x -> x * 2) [ 1; 2 ] with
+  | [ Campaign.Pool.Failed (Timed_out deadline); Settled 4 ] ->
+    Alcotest.(check (float 1e-9)) "reports the configured deadline" 0.4 deadline
+  | _ -> Alcotest.fail "expected [Failed (Timed_out _); Settled 4]"
+
+let test_pool_truncated_payload_is_a_crash () =
+  with_chaos
+    (fun ~index ~attempt:_ ->
+      if index = 0 then Some Campaign.Pool.Truncate else None)
+  @@ fun () ->
+  match Campaign.Pool.run ~jobs:2 (fun x -> x + 1) [ 1; 2 ] with
+  | [ Campaign.Pool.Failed (Crashed reason); Settled 3 ] ->
+    check_contains "diagnostic names the torn payload" "truncated" reason
+  | _ -> Alcotest.fail "expected [Failed (Crashed _); Settled 3]"
+
+let test_pool_retry_then_succeed () =
+  with_chaos
+    (fun ~index ~attempt -> if index = 1 && attempt = 1 then Some Campaign.Pool.Crash else None)
+  @@ fun () ->
+  let retries = ref [] in
+  let policy =
+    { Campaign.Pool.timeout = Some 5.0; retries = 2; backoff = 0.01 }
+  in
+  let outcomes =
+    Campaign.Pool.run ~jobs:2 ~policy
+      ~on_retry:(fun ~index ~attempt _ -> retries := (index, attempt) :: !retries)
+      (fun x -> x * 10)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check bool)
+    "every job settles despite the first-attempt crash" true
+    (outcomes = [ Campaign.Pool.Settled 10; Settled 20; Settled 30 ]);
+  Alcotest.(check (list (pair int int)))
+    "exactly one retry, of job 1's first attempt" [ (1, 1) ] !retries
+
+let test_pool_gives_up_after_retry_budget () =
+  with_chaos
+    (fun ~index ~attempt:_ -> if index = 0 then Some Campaign.Pool.Crash else None)
+  @@ fun () ->
+  let retries = ref 0 in
+  let policy = { Campaign.Pool.default_policy with retries = 2; backoff = 0.01 } in
+  match
+    Campaign.Pool.run ~jobs:2 ~policy
+      ~on_retry:(fun ~index:_ ~attempt:_ _ -> incr retries)
+      (fun x -> x)
+      [ 1; 2 ]
+  with
+  | [ Campaign.Pool.Failed (Gave_up attempts); Settled 2 ] ->
+    Alcotest.(check int) "gave up after the whole budget" 3 attempts;
+    Alcotest.(check int) "two retries before giving up" 2 !retries
+  | _ -> Alcotest.fail "expected [Failed (Gave_up _); Settled 2]"
+
+let test_pool_serial_retry () =
+  let failures = ref 0 in
+  let policy = { Campaign.Pool.default_policy with retries = 1; backoff = 0.001 } in
+  let outcomes =
+    Campaign.Pool.run ~jobs:1 ~policy
+      (fun x ->
+        if x = 1 && !failures = 0 then begin
+          incr failures;
+          failwith "flaky"
+        end
+        else x * 10)
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool)
+    "the serial path retries too" true
+    (outcomes = [ Campaign.Pool.Settled 0; Settled 10 ])
+
 (* -- JSON round-trips -- *)
 
 let test_json_roundtrip () =
@@ -195,6 +315,134 @@ let test_aggregation () =
         (jain > 0.0 && jain <= 1.0))
     outcome.Campaign.Sweep.points
 
+(* -- sweep supervision: quarantine, interruption, journal resume -- *)
+
+let test_sweep_quarantines_failures () =
+  with_chaos
+    (fun ~index ~attempt:_ -> if index = 0 then Some Campaign.Pool.Crash else None)
+  @@ fun () ->
+  let outcome = Campaign.Sweep.run ~jobs:2 (tiny_grid ()) in
+  Alcotest.(check int) "one job quarantined" 1
+    (List.length outcome.Campaign.Sweep.quarantined);
+  Alcotest.(check int) "the rest settled" 3
+    (List.length outcome.Campaign.Sweep.results);
+  Alcotest.(check bool) "not interrupted" false
+    outcome.Campaign.Sweep.interrupted;
+  let text = Campaign.Sweep.report outcome in
+  check_contains "text report has a quarantine table" "quarantined job(s):" text;
+  check_contains "the failure is rendered" "crashed: killed by SIGKILL" text;
+  check_contains "the summary line counts it" "1 quarantined" text;
+  let json = Campaign.Sweep.report_json outcome in
+  match Campaign.Json.of_string json with
+  | Error message -> Alcotest.failf "report_json unparseable: %s" message
+  | Ok parsed ->
+    Alcotest.(check (option string))
+      "schema is bumped" (Some "rr-sim-sweep/2")
+      (Option.bind (Campaign.Json.member "schema" parsed) Campaign.Json.to_str);
+    (match
+       Option.bind (Campaign.Json.member "quarantined" parsed) Campaign.Json.to_list
+     with
+    | Some [ entry ] ->
+      Alcotest.(check (option string))
+        "failure kind is structured" (Some "crashed")
+        (Option.bind (Campaign.Json.member "failure" entry) (fun f ->
+             Option.bind (Campaign.Json.member "kind" f) Campaign.Json.to_str))
+    | _ -> Alcotest.fail "expected exactly one quarantined entry in JSON")
+
+let test_clean_sweep_report_is_unchanged () =
+  let outcome = Campaign.Sweep.run ~jobs:2 (tiny_grid ()) in
+  let text = Campaign.Sweep.report outcome in
+  Alcotest.(check bool) "no quarantine section on a clean sweep" false
+    (contains ~needle:"quarantined" text);
+  Alcotest.(check bool) "no interruption note on a clean sweep" false
+    (contains ~needle:"interrupted" text)
+
+let test_interrupted_sweep_keeps_finished_work () =
+  let cache = temp_cache_dir () in
+  let stop = ref false in
+  let outcome =
+    Campaign.Sweep.run ~cache ~jobs:2
+      ~stop:(fun () -> !stop)
+      ~on_progress:(fun ~completed ~total:_ -> if completed >= 1 then stop := true)
+      (tiny_grid ())
+  in
+  Alcotest.(check bool) "flagged interrupted" true
+    outcome.Campaign.Sweep.interrupted;
+  Alcotest.(check bool) "some jobs were skipped" true
+    (outcome.Campaign.Sweep.skipped > 0);
+  let settled = List.length outcome.Campaign.Sweep.results in
+  Alcotest.(check bool) "some jobs settled first" true (settled >= 1);
+  check_contains "partial summary renders the interruption"
+    "re-run with --resume" (Campaign.Sweep.report outcome);
+  (* The settled results were stored eagerly, so a follow-up sweep
+     serves them from the cache without re-execution. *)
+  let warm = Campaign.Sweep.run ~cache ~jobs:2 (tiny_grid ()) in
+  Alcotest.(check bool) "finished work survived the interruption" true
+    (warm.Campaign.Sweep.cache_hits >= settled);
+  Alcotest.(check int) "follow-up completes the campaign" 4
+    (List.length warm.Campaign.Sweep.results)
+
+let test_journal_resume_roundtrip () =
+  let grid = tiny_grid () in
+  let reference = Campaign.Sweep.run ~jobs:2 grid in
+  let cache = temp_cache_dir () in
+  let path = Filename.concat (Campaign.Cache.dir cache) "journal.jsonl" in
+  let sweep = Campaign.Sweep.sweep_digest grid in
+  let total = List.length (Campaign.Sweep.jobs_of_grid grid) in
+  (* First pass: one worker is SIGKILLed, so its job fails and is
+     journalled as such. *)
+  let journal = Campaign.Journal.start ~path ~sweep ~total in
+  let broken =
+    with_chaos
+      (fun ~index ~attempt:_ ->
+        if index = 2 then Some Campaign.Pool.Crash else None)
+      (fun () -> Campaign.Sweep.run ~cache ~journal ~jobs:2 grid)
+  in
+  Campaign.Journal.close journal;
+  Alcotest.(check int) "first pass quarantined one job" 1
+    (List.length broken.Campaign.Sweep.quarantined);
+  (match Campaign.Journal.load ~path with
+  | Error message -> Alcotest.failf "journal unreadable: %s" message
+  | Ok snapshot ->
+    Alcotest.(check string) "journal names the sweep" sweep
+      snapshot.Campaign.Journal.sweep;
+    Alcotest.(check int) "journal records the settled jobs" 3
+      (List.length snapshot.Campaign.Journal.settled);
+    Alcotest.(check int) "journal records the failure" 1
+      (List.length snapshot.Campaign.Journal.failed));
+  (* Second pass: resume. Only the failed job may execute, and the
+     completed campaign must be byte-identical to an uninterrupted
+     run. *)
+  (match Campaign.Journal.resume ~path ~sweep with
+  | Error message -> Alcotest.failf "resume refused: %s" message
+  | Ok (journal, previous) ->
+    Alcotest.(check int) "resume sees the previous settled set" 3
+      (List.length previous.Campaign.Journal.settled);
+    let resumed = Campaign.Sweep.run ~cache ~journal ~jobs:2 grid in
+    Campaign.Journal.close journal;
+    Alcotest.(check int) "resume re-ran only the failed job" 1
+      resumed.Campaign.Sweep.jobs_executed;
+    Alcotest.(check int) "resume served the rest from cache" 3
+      resumed.Campaign.Sweep.cache_hits;
+    Alcotest.(check string)
+      "resumed campaign is byte-identical to an uninterrupted run"
+      (Campaign.Json.to_string (Campaign.Sweep.results_json reference))
+      (Campaign.Json.to_string (Campaign.Sweep.results_json resumed));
+    (* After the resume the journal shows every job settled. *)
+    match Campaign.Journal.load ~path with
+    | Error message -> Alcotest.failf "journal unreadable after resume: %s" message
+    | Ok snapshot ->
+      Alcotest.(check int) "every job now settled" 4
+        (List.length snapshot.Campaign.Journal.settled);
+      Alcotest.(check int) "no failures remain" 0
+        (List.length snapshot.Campaign.Journal.failed));
+  (* A journal never grafts onto a different sweep. *)
+  let other = tiny_grid ~seed_count:1 () in
+  Alcotest.(check bool) "resume refuses a foreign journal" true
+    (Result.is_error
+       (Campaign.Journal.resume ~path
+          ~sweep:(Campaign.Sweep.sweep_digest other)))
+
 (* -- summary statistics -- *)
 
 let test_summary () =
@@ -248,6 +496,26 @@ let suite =
         Alcotest.test_case "parallel = serial" `Slow test_parallel_matches_serial;
         Alcotest.test_case "sweep audited" `Slow test_sweep_is_audited;
         Alcotest.test_case "aggregation" `Slow test_aggregation;
+        Alcotest.test_case "chaos spec parsing" `Quick test_chaos_spec_parsing;
+        Alcotest.test_case "pool: SIGKILLed worker" `Quick
+          test_pool_worker_sigkilled;
+        Alcotest.test_case "pool: hung worker times out" `Quick
+          test_pool_hung_worker_times_out;
+        Alcotest.test_case "pool: truncated payload" `Quick
+          test_pool_truncated_payload_is_a_crash;
+        Alcotest.test_case "pool: retry then succeed" `Quick
+          test_pool_retry_then_succeed;
+        Alcotest.test_case "pool: retry budget exhausted" `Quick
+          test_pool_gives_up_after_retry_budget;
+        Alcotest.test_case "pool: serial retry" `Quick test_pool_serial_retry;
+        Alcotest.test_case "sweep quarantine" `Slow
+          test_sweep_quarantines_failures;
+        Alcotest.test_case "clean sweep report unchanged" `Slow
+          test_clean_sweep_report_is_unchanged;
+        Alcotest.test_case "interrupted sweep keeps work" `Slow
+          test_interrupted_sweep_keeps_finished_work;
+        Alcotest.test_case "journal resume roundtrip" `Slow
+          test_journal_resume_roundtrip;
         Alcotest.test_case "summary stats" `Quick test_summary;
         Alcotest.test_case "registry" `Quick test_registry_unique_and_complete;
       ] );
