@@ -393,6 +393,13 @@ let faults_conv =
   let print ppf spec = Format.pp_print_string ppf (Faults.Spec.to_string spec) in
   Arg.conv ~docv:"SPEC" (parse, print)
 
+let rto_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Tcp.Rto.estimator_of_string s)
+  in
+  let print ppf e = Format.pp_print_string ppf (Tcp.Rto.estimator_name e) in
+  Arg.conv ~docv:"ESTIMATOR" (parse, print)
+
 let cross_conv =
   let parse s =
     let invalid () =
@@ -474,6 +481,14 @@ let run_term =
     let doc = "Enable RFC 3042 limited transmit at the senders." in
     Arg.(value & flag & info [ "limited-transmit" ] ~doc)
   in
+  let rto =
+    let doc =
+      "RTO estimator at the senders: jacobson (classic mean+variance, \
+       default), fixed (no adaptation), rfc793 (mean-only, RTO = 2*srtt) or \
+       agile (mean+variance with faster gains)."
+    in
+    Arg.(value & opt rto_conv Tcp.Rto.Jacobson & info [ "rto" ] ~docv:"ESTIMATOR" ~doc)
+  in
   let tracefile =
     let doc = "Write an ns-2-style event trace of the whole run to FILE." in
     Arg.(value & opt (some string) None & info [ "tracefile" ] ~docv:"FILE" ~doc)
@@ -509,7 +524,7 @@ let run_term =
     Arg.(value & opt_all cross_conv [] & info [ "cross-traffic" ] ~docv:"BPS[:BYTES][:reverse]" ~doc)
   in
   let run scheduler variant flows duration red buffer loss rwnd ack_loss
-      delack limited_transmit tracefile trace audit faults cross seed csv =
+      delack limited_transmit rto tracefile trace audit faults cross seed csv =
     Sim.Engine.set_default_scheduler scheduler;
     let gateway =
       if red then
@@ -533,7 +548,13 @@ let run_term =
           let spec =
             Experiments.Scenario.make ~config
               ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
-              ~params:{ Tcp.Params.default with rwnd; limited_transmit }
+              ~params:
+                {
+                  Tcp.Params.default with
+                  rwnd;
+                  limited_transmit;
+                  rto_estimator = rto;
+                }
               ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
               ~monitor_queue:0.1 ?trace_out:trace_channel ~faults ~cross ()
           in
@@ -617,8 +638,8 @@ let run_term =
   in
   Term.(
     const run $ scheduler_arg $ variant $ flows $ duration $ red $ buffer
-    $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ tracefile $ trace
-    $ audit $ faults $ cross $ seed_arg $ csv_arg)
+    $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ rto $ tracefile
+    $ trace $ audit $ faults $ cross $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -698,6 +719,16 @@ let sweep_term =
     in
     Arg.(value & opt (list ~sep:',' float) [ 0.0 ] & info [ "cbr-share" ] ~docv:"SHARES" ~doc)
   in
+  let rtos =
+    let doc =
+      "Comma-separated RTO estimators to sweep (jacobson, fixed, rfc793, \
+       agile)."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' rto_conv) [ Tcp.Rto.Jacobson ]
+      & info [ "rto" ] ~docv:"E,E,..." ~doc)
+  in
   let seed_count =
     let doc = "Seeds per grid point (SEED, SEED+1, ...)." in
     Arg.(value & opt int 6 & info [ "seeds" ] ~docv:"N" ~doc)
@@ -759,8 +790,8 @@ let sweep_term =
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
   let run scheduler variants gateways losses ack_losses reorders flap_periods
-      cbr_shares seed_count duration flows rwnd jobs cache_dir no_cache json
-      timeout retries backoff resume seed =
+      cbr_shares rtos seed_count duration flows rwnd jobs cache_dir no_cache
+      json timeout retries backoff resume seed =
     Sim.Engine.set_default_scheduler scheduler;
     (* Fail fast on an unparseable chaos spec instead of aborting
        mid-sweep from inside the pool. *)
@@ -774,8 +805,8 @@ let sweep_term =
     | _ -> ());
     let grid =
       Campaign.Sweep.grid ~variants ~gateways ~uniform_losses:losses
-        ~ack_losses ~reorders ~flap_periods ~cbr_shares ~seed ~seed_count
-        ~duration ~flows ~rwnd ()
+        ~ack_losses ~reorders ~flap_periods ~cbr_shares ~estimators:rtos ~seed
+        ~seed_count ~duration ~flows ~rwnd ()
     in
     if resume && no_cache then begin
       Printf.eprintf
@@ -860,9 +891,9 @@ let sweep_term =
   in
   Term.(
     const run $ scheduler_arg $ variants $ gateways $ losses $ ack_losses
-    $ reorders $ flap_periods $ cbr_shares $ seed_count $ duration $ flows
-    $ rwnd $ jobs $ cache_dir $ no_cache $ json $ timeout $ retries $ backoff
-    $ resume $ seed_arg)
+    $ reorders $ flap_periods $ cbr_shares $ rtos $ seed_count $ duration
+    $ flows $ rwnd $ jobs $ cache_dir $ no_cache $ json $ timeout $ retries
+    $ backoff $ resume $ seed_arg)
 
 let sweep_cmd =
   Cmd.v

@@ -8,6 +8,7 @@ type t = {
   reorder : float;
   flap_period : float;
   cbr_share : float;
+  estimator : Tcp.Rto.estimator;
   seed : int64;
   duration : float;
   flows : int;
@@ -40,13 +41,18 @@ let point_label job =
       base ^ Printf.sprintf "/flap %gs" job.flap_period
     else base
   in
-  if job.cbr_share > 0.0 then
-    base ^ Printf.sprintf "/cbr %g%%" (100.0 *. job.cbr_share)
+  let base =
+    if job.cbr_share > 0.0 then
+      base ^ Printf.sprintf "/cbr %g%%" (100.0 *. job.cbr_share)
+    else base
+  in
+  if job.estimator <> Tcp.Rto.Jacobson then
+    base ^ Printf.sprintf "/rto %s" (Tcp.Rto.estimator_name job.estimator)
   else base
 
 (* Bump whenever the job layout or the semantics of a run change, so
    stale cache entries can never be mistaken for current ones. *)
-let schema = "rr-sim-campaign/3"
+let schema = "rr-sim-campaign/4"
 
 let to_json job =
   Json.Obj
@@ -58,6 +64,7 @@ let to_json job =
       ("reorder", Json.Num job.reorder);
       ("flap_period", Json.Num job.flap_period);
       ("cbr_share", Json.Num job.cbr_share);
+      ("rto", Json.Str (Tcp.Rto.estimator_name job.estimator));
       ("seed", Json.Str (Int64.to_string job.seed));
       ("duration", Json.Num job.duration);
       ("flows", Json.Num (float_of_int job.flows));
@@ -98,7 +105,13 @@ let run job =
       gateway;
     }
   in
-  let params = { Tcp.Params.default with rwnd = job.rwnd } in
+  let params =
+    {
+      Tcp.Params.default with
+      rwnd = job.rwnd;
+      rto_estimator = job.estimator;
+    }
+  in
   let faults =
     let spec = Faults.Spec.none in
     let spec =

@@ -23,6 +23,9 @@ type t = {
   cbr_share : float;
       (** CBR cross-traffic load as a fraction of the bottleneck
           capacity, 0 = off (occupies one extra topology slot) *)
+  estimator : Tcp.Rto.estimator;
+      (** the senders' RTO prediction algorithm
+          ({!Tcp.Rto.Jacobson} = classic default) *)
   seed : int64;
   duration : float;  (** seconds *)
   flows : int;  (** same-variant flows sharing the bottleneck *)

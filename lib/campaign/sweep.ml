@@ -6,6 +6,7 @@ type grid = {
   reorders : float list;
   flap_periods : float list;
   cbr_shares : float list;
+  estimators : Tcp.Rto.estimator list;
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -15,8 +16,9 @@ type grid = {
 let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     ?(gateways = [ Job.Droptail 8 ]) ?(uniform_losses = [ 0.02 ])
     ?(ack_losses = [ 0.0 ]) ?(reorders = [ 0.0 ]) ?(flap_periods = [ 0.0 ])
-    ?(cbr_shares = [ 0.0 ]) ?seeds ?(seed = 7L) ?(seed_count = 6)
-    ?(duration = 20.0) ?(flows = 2) ?(rwnd = 20) () =
+    ?(cbr_shares = [ 0.0 ]) ?(estimators = [ Tcp.Rto.Jacobson ]) ?seeds
+    ?(seed = 7L) ?(seed_count = 6) ?(duration = 20.0) ?(flows = 2)
+    ?(rwnd = 20) () =
   let seeds =
     match seeds with
     | Some seeds -> seeds
@@ -30,6 +32,7 @@ let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     reorders;
     flap_periods;
     cbr_shares;
+    estimators;
     seeds;
     duration;
     flows;
@@ -51,22 +54,26 @@ let jobs_of_grid grid =
                         (fun flap_period ->
                           List.concat_map
                             (fun cbr_share ->
-                              List.map
-                                (fun seed ->
-                                  {
-                                    Job.variant;
-                                    gateway;
-                                    uniform_loss;
-                                    ack_loss;
-                                    reorder;
-                                    flap_period;
-                                    cbr_share;
-                                    seed;
-                                    duration = grid.duration;
-                                    flows = grid.flows;
-                                    rwnd = grid.rwnd;
-                                  })
-                                grid.seeds)
+                              List.concat_map
+                                (fun estimator ->
+                                  List.map
+                                    (fun seed ->
+                                      {
+                                        Job.variant;
+                                        gateway;
+                                        uniform_loss;
+                                        ack_loss;
+                                        reorder;
+                                        flap_period;
+                                        cbr_share;
+                                        estimator;
+                                        seed;
+                                        duration = grid.duration;
+                                        flows = grid.flows;
+                                        rwnd = grid.rwnd;
+                                      })
+                                    grid.seeds)
+                                grid.estimators)
                             grid.cbr_shares)
                         grid.flap_periods)
                     grid.reorders)
@@ -250,6 +257,8 @@ let point_to_json point =
       ("reorder", Json.Num point.point_job.Job.reorder);
       ("flap_period", Json.Num point.point_job.Job.flap_period);
       ("cbr_share", Json.Num point.point_job.Job.cbr_share);
+      ( "rto",
+        Json.Str (Tcp.Rto.estimator_name point.point_job.Job.estimator) );
       ("seeds", Json.Num (float_of_int point.goodput.Stats.Summary.n));
       ("goodput_bps_mean", Json.Num point.goodput.Stats.Summary.mean);
       ("goodput_bps_ci95", Json.Num point.goodput.Stats.Summary.ci95);
@@ -290,7 +299,7 @@ let report_json outcome =
   Json.pretty
     (Json.Obj
        [
-         ("schema", Json.Str "rr-sim-sweep/2");
+         ("schema", Json.Str "rr-sim-sweep/3");
          ("jobs", Json.Num (float_of_int (total_jobs outcome)));
          ("cache_hits", Json.Num (float_of_int outcome.cache_hits));
          ("workers", Json.Num (float_of_int outcome.workers));
@@ -311,6 +320,11 @@ let report outcome =
   let with_reorder = any (fun j -> j.Job.reorder) in
   let with_flaps = any (fun j -> j.Job.flap_period) in
   let with_cbr = any (fun j -> j.Job.cbr_share) in
+  let with_rto =
+    List.exists
+      (fun p -> p.point_job.Job.estimator <> Tcp.Rto.Jacobson)
+      outcome.points
+  in
   let opt_cols triples =
     List.concat_map
       (fun (enabled, cell) -> if enabled then [ cell ] else [])
@@ -321,7 +335,7 @@ let report outcome =
     @ opt_cols
         [
           (with_reorder, "reorder");
-          (with_flaps, "flap"); (with_cbr, "cbr");
+          (with_flaps, "flap"); (with_cbr, "cbr"); (with_rto, "rto");
         ]
     @ [
         "seeds"; "goodput (Kbps)"; "jain"; "timeouts"; "retx"; "drops";
@@ -344,6 +358,7 @@ let report outcome =
                 Printf.sprintf "%g%%" (100.0 *. job.Job.reorder) );
               (with_flaps, Printf.sprintf "%gs" job.Job.flap_period);
               (with_cbr, Printf.sprintf "%g%%" (100.0 *. job.Job.cbr_share));
+              (with_rto, Tcp.Rto.estimator_name job.Job.estimator);
             ]
         @ [
             string_of_int point.goodput.Stats.Summary.n;

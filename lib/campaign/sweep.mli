@@ -16,6 +16,8 @@ type grid = {
   reorders : float list;  (** {!Job.t.reorder} values; [0.] = off *)
   flap_periods : float list;  (** {!Job.t.flap_period} values; [0.] = off *)
   cbr_shares : float list;  (** {!Job.t.cbr_share} values; [0.] = off *)
+  estimators : Tcp.Rto.estimator list;
+      (** {!Job.t.estimator} values; [Jacobson] alone = classic *)
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -34,6 +36,7 @@ val grid :
   ?reorders:float list ->
   ?flap_periods:float list ->
   ?cbr_shares:float list ->
+  ?estimators:Tcp.Rto.estimator list ->
   ?seeds:int64 list ->
   ?seed:int64 ->
   ?seed_count:int ->
@@ -122,5 +125,5 @@ val report : outcome -> string
 
 (** [report_json outcome] renders the whole campaign (quarantined jobs,
     points and per-job results) as a JSON document (schema
-    [rr-sim-sweep/2]), newline-terminated. *)
+    [rr-sim-sweep/3]), newline-terminated. *)
 val report_json : outcome -> string

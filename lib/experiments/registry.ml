@@ -156,6 +156,13 @@ let all =
          and propagation delays";
       run = (fun ~seed:_ -> Sensitivity.report (Sensitivity.run ()));
     };
+    {
+      name = "rtodiv";
+      synopsis =
+        "RTO-estimator divergence (Jain, cs/9809097): the estimator family \
+         under link flaps, with the divergence audit attached";
+      run = (fun ~seed:_ -> Rto_divergence.report (Rto_divergence.run ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -73,12 +73,14 @@ type spec = {
   trace_out : out_channel option;
   faults : Faults.Spec.t;
   cross : cross list;
+  watch_divergence : bool;
 }
 
 let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
     ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays
-    ?trace_out ?(faults = Faults.Spec.none) ?(cross = []) () =
+    ?trace_out ?(faults = Faults.Spec.none) ?(cross = [])
+    ?(watch_divergence = false) () =
   {
     config;
     flows;
@@ -94,6 +96,7 @@ let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     trace_out;
     faults;
     cross;
+    watch_divergence;
   }
 
 type flow_result = {
@@ -125,6 +128,7 @@ type t = {
   drop_log : drop list;
   queue_occupancy : Stats.Series.t option;
   auditor : Audit.Auditor.t;
+  divergence : Audit.Divergence.t option;
   injector : Faults.Injector.t option;
 }
 
@@ -264,6 +268,13 @@ let run spec =
         schedule)
   | _ -> ());
   let auditor = Audit.Auditor.create ~engine () in
+  (* Divergence watching is opt-in: it only attaches observation hooks,
+     but keeping it off by default means classic specs build exactly the
+     same hook lists as before this monitor existed. *)
+  let divergence =
+    if spec.watch_divergence then Some (Audit.Divergence.create ~engine ())
+    else None
+  in
   let tracer = Option.map (fun out -> Audit.Trace.create ~out ()) spec.trace_out in
   List.iter
     (fun (name, queue) ->
@@ -295,6 +306,12 @@ let run spec =
     Audit.Auditor.attach_sender auditor ?rr:rr_handle
       ~label:(Printf.sprintf "flow %d (%s)" flow_id flow_spec.label)
       agent;
+    Option.iter
+      (fun monitor ->
+        Audit.Divergence.attach_sender monitor
+          ~label:(Printf.sprintf "flow %d (%s)" flow_id flow_spec.label)
+          agent)
+      divergence;
     Option.iter (fun tr -> Audit.Trace.attach_sender tr agent) tracer;
     let result =
       {
@@ -379,6 +396,7 @@ let run spec =
     drop_log = List.rev !drop_log;
     queue_occupancy;
     auditor;
+    divergence;
     injector;
   }
 

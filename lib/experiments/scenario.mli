@@ -105,6 +105,10 @@ type spec = {
       (** CBR cross-traffic sources; they occupy topology flow slots
           [List.length flows ..] in order, so
           [config.flows = List.length flows + List.length cross] *)
+  watch_divergence : bool;
+      (** attach an {!Audit.Divergence} monitor to every TCP sender,
+          watching for RTO-estimator divergence and synchronized
+          timeout bursts (off by default; observation-only) *)
 }
 
 (** [make ~config ~flows ()] builds a spec with the defaults the paper's
@@ -125,6 +129,7 @@ val make :
   ?trace_out:out_channel ->
   ?faults:Faults.Spec.t ->
   ?cross:cross list ->
+  ?watch_divergence:bool ->
   unit ->
   spec
 
@@ -168,6 +173,10 @@ type t = {
       (** the run's invariant auditor — always attached to every sender
           and queue; violations are reported on stderr after the run and
           left here for callers to inspect *)
+  divergence : Audit.Divergence.t option;
+      (** the run's estimator-divergence monitor, when the spec asked
+          for [watch_divergence] — findings are observations for the
+          caller to read, never printed by the runner *)
   injector : Faults.Injector.t option;
       (** the run's fault injector and its counters, when [spec.faults]
           injected anything *)

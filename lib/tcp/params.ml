@@ -12,6 +12,7 @@ type t = {
   smooth_start : bool;
   limited_transmit : bool;
   tick : float;
+  rto_estimator : Rto.estimator;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     smooth_start = false;
     limited_transmit = false;
     tick = 0.0;
+    rto_estimator = Rto.Jacobson;
   }
 
 let validate t =
@@ -42,4 +44,5 @@ let validate t =
   if t.min_rto <= 0.0 || t.max_rto < t.min_rto then
     invalid_arg "Params: need 0 < min_rto <= max_rto";
   if t.initial_rto < t.min_rto then invalid_arg "Params: initial_rto < min_rto";
+  if t.initial_rto > t.max_rto then invalid_arg "Params: initial_rto > max_rto";
   if t.tick < 0.0 then invalid_arg "Params: negative tick"

@@ -32,6 +32,13 @@ type t = {
       (** timer granularity in seconds (ns-2's [tcpTick_]); 0 = exact
           clocks (default). Non-zero values emulate the classic coarse
           500 ms/100 ms TCP timers. *)
+  rto_estimator : Rto.estimator;
+      (** the retransmission-timeout prediction algorithm
+          ({!Rto.estimator}); {!Rto.Jacobson} — the Jacobson/Karels
+          smoother every classic TCP uses — by default. The
+          alternatives exist to study estimator divergence (Jain,
+          cs/9809097) and are selected per run via the campaign grid
+          or [rr-sim --rto]. *)
 }
 
 (** Paper defaults: MSS 1000 B, ACK 40 B, cwnd₀ 1, ssthresh₀ 64,

@@ -1,3 +1,24 @@
+type estimator = Jacobson | Fixed | Rfc793 | Agile
+
+let estimators = [ Jacobson; Fixed; Rfc793; Agile ]
+
+let estimator_name = function
+  | Jacobson -> "jacobson"
+  | Fixed -> "fixed"
+  | Rfc793 -> "rfc793"
+  | Agile -> "agile"
+
+let estimator_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "jacobson" | "jk" -> Ok Jacobson
+  | "fixed" -> Ok Fixed
+  | "rfc793" | "mean" -> Ok Rfc793
+  | "agile" -> Ok Agile
+  | other ->
+    Error
+      (Printf.sprintf "unknown RTO estimator %S (expected %s)" other
+         (String.concat ", " (List.map estimator_name estimators)))
+
 type estimate = { mutable srtt : float; mutable rttvar : float }
 
 type t = {
@@ -5,15 +26,36 @@ type t = {
   max_rto : float;
   initial_rto : float;
   tick : float;
+  algorithm : estimator;
   mutable estimate : estimate option;
   mutable backoff_factor : float;
 }
 
-let create ~min_rto ~max_rto ~initial_rto ?(tick = 0.0) () =
-  if min_rto <= 0.0 || max_rto < min_rto || initial_rto < min_rto then
-    invalid_arg "Rto.create: inconsistent bounds";
+let create ~min_rto ~max_rto ~initial_rto ?(tick = 0.0)
+    ?(estimator = Jacobson) () =
+  if
+    min_rto <= 0.0 || max_rto < min_rto || initial_rto < min_rto
+    || initial_rto > max_rto
+  then invalid_arg "Rto.create: inconsistent bounds";
   if tick < 0.0 then invalid_arg "Rto.create: negative tick";
-  { min_rto; max_rto; initial_rto; tick; estimate = None; backoff_factor = 1.0 }
+  {
+    min_rto;
+    max_rto;
+    initial_rto;
+    tick;
+    algorithm = estimator;
+    estimate = None;
+    backoff_factor = 1.0;
+  }
+
+let estimator t = t.algorithm
+
+(* Smoothing gains, as divisors: (mean gain, deviation gain). All the
+   mean-tracking estimators share the RTT bookkeeping and differ only in
+   how fast they move and how they turn the estimate into a timeout. *)
+let gains = function
+  | Jacobson | Fixed | Rfc793 -> (8.0, 4.0)
+  | Agile -> (4.0, 2.0)
 
 (* Coarse clock: measurements land on tick boundaries, never below one
    tick. *)
@@ -27,15 +69,24 @@ let sample t rtt =
   (match t.estimate with
   | None -> t.estimate <- Some { srtt = rtt; rttvar = rtt /. 2.0 }
   | Some e ->
+    let mean_gain, var_gain = gains t.algorithm in
     let error = rtt -. e.srtt in
-    e.srtt <- e.srtt +. (error /. 8.0);
-    e.rttvar <- e.rttvar +. ((abs_float error -. e.rttvar) /. 4.0));
+    e.srtt <- e.srtt +. (error /. mean_gain);
+    e.rttvar <- e.rttvar +. ((abs_float error -. e.rttvar) /. var_gain));
   t.backoff_factor <- 1.0
 
+(* The estimator's timeout prediction from the current estimate, before
+   any clamping or backoff — the layered family of Jain's divergence
+   study: no adaptation at all, a mean-only exponential average with the
+   RFC 793 safety factor, and mean-plus-deviation at two gain settings. *)
+let predict t e =
+  match t.algorithm with
+  | Fixed -> t.initial_rto
+  | Rfc793 -> 2.0 *. e.srtt
+  | Jacobson | Agile -> e.srtt +. (4.0 *. e.rttvar)
+
 let base_value t =
-  match t.estimate with
-  | None -> t.initial_rto
-  | Some e -> e.srtt +. (4.0 *. e.rttvar)
+  match t.estimate with None -> t.initial_rto | Some e -> predict t e
 
 let value t =
   (* Backoff doubles the effective (already clamped) timeout, so a
@@ -47,6 +98,19 @@ let value t =
     (* Clamp again after rounding up to the tick: [max_rto] is a hard
        ceiling, even when it does not fall on a tick boundary. *)
     Float.min t.max_rto (ceil (v /. t.tick) *. t.tick)
+
+let fine_timeout t =
+  match t.estimate with
+  | None -> t.initial_rto
+  | Some e ->
+    (* The raw prediction, honouring the coarse clock and the hard
+       ceiling but not [min_rto] or backoff: fine-grained retransmission
+       exists precisely to act before the conservative coarse minimum,
+       yet a clamped or ticked configuration must never see a finer
+       timeout than its clock can express. *)
+    let v = Float.min t.max_rto (predict t e) in
+    if t.tick <= 0.0 then v
+    else Float.min t.max_rto (Float.max t.tick (ceil (v /. t.tick) *. t.tick))
 
 let backoff t =
   t.backoff_factor <- Float.min (t.backoff_factor *. 2.0) 64.0

@@ -44,18 +44,29 @@ let backlog state base =
   if state.last_rtt <= 0.0 || state.base_rtt = infinity then 0.0
   else base.cwnd *. (state.last_rtt -. state.base_rtt) /. state.last_rtt
 
-let fine_timeout base =
-  match Rto.srtt base.rto with
-  | Some srtt ->
-    let rttvar = Option.value ~default:(srtt /. 2.0) (Rto.rttvar base.rto) in
-    srtt +. (4.0 *. rttvar)
-  | None -> base.params.Params.initial_rto
+(* The fine-grained timeout comes from the sender's own RTO estimator
+   ([Rto.fine_timeout]): no backoff and no [min_rto] floor — acting
+   before the conservative coarse minimum is the whole point — but the
+   coarse-clock quantization and the [max_rto] ceiling still apply, so a
+   ticked or clamped configuration can never hand Vegas a finer timeout
+   than the real RTO machinery could express. *)
+let fine_timeout base = Rto.fine_timeout base.rto
 
 (* Vegas reduces the window by a quarter on a fine-grained loss signal,
    but at most once per RTT of losses. *)
 let cut_window state base =
   let now = Sim.Engine.now base.engine in
-  let rtt = if state.last_rtt > 0.0 then state.last_rtt else 0.2 in
+  (* Before the first per-segment measurement, rate-limit cuts by the
+     estimator's smoothed RTT — or, with no sample at all yet, by the
+     configured initial RTO (a deliberately conservative RTT stand-in,
+     like the pre-sample timeout itself). *)
+  let rtt =
+    if state.last_rtt > 0.0 then state.last_rtt
+    else
+      match Rto.srtt base.rto with
+      | Some srtt -> srtt
+      | None -> base.params.Params.initial_rto
+  in
   if now -. state.last_cut > rtt then begin
     state.last_cut <- now;
     base.cwnd <- Float.max (base.cwnd *. 0.75) 2.0;

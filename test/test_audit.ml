@@ -108,6 +108,93 @@ let test_finalize_flags_stats_drift () =
   Alcotest.(check bool) "drift caught at finalize" true
     (List.mem "queue-stats" (rules auditor))
 
+(* -- divergence monitor (observational, Jain cs/9809097) -- *)
+
+let fine_params =
+  {
+    Tcp.Params.default with
+    min_rto = 0.2;
+    initial_rto = 0.5;
+    max_rto = 8.0;
+  }
+
+let test_divergence_trend_rule () =
+  (* One clean sample pins srtt at 0.2 s, then the wire goes silent:
+     repeated timeouts back the RTO off 0.6 -> 1.2 -> 2.4 -> 4.8 while
+     the measured RTT never moves. The observation window must catch the
+     ratio running away. *)
+  let h = Harness.make ~params:fine_params Tcp.Newreno.create in
+  let monitor = Audit.Divergence.create ~engine:h.Harness.engine () in
+  Audit.Divergence.attach_sender monitor ~label:"flow 0 (newreno)"
+    h.Harness.agent;
+  Harness.start h;
+  Harness.advance h ~by:0.2;
+  Harness.deliver_ack h 0;
+  Alcotest.(check bool) "quiet while healthy" true
+    (Audit.Divergence.quiet monitor);
+  Harness.advance h ~by:20.0;
+  Alcotest.(check bool) "divergence caught" true
+    (Audit.Divergence.divergence_count monitor >= 1);
+  let rules =
+    List.map (fun f -> f.Audit.Divergence.rule) (Audit.Divergence.findings monitor)
+  in
+  Alcotest.(check bool) "rule name" true (List.mem "rto-divergence" rules)
+
+let test_divergence_sync_rule () =
+  (* Two flows started together on a dead wire expire their initial RTO
+     at the same instant: a synchronized-timeout burst, no RTT estimate
+     required. *)
+  let engine = Sim.Engine.create () in
+  let monitor = Audit.Divergence.create ~engine () in
+  let spawn flow =
+    let agent =
+      Tcp.Newreno.create ~engine ~params:Tcp.Params.default ~flow
+        ~emit:(fun (_ : Net.Packet.t) -> ())
+        ()
+    in
+    Audit.Divergence.attach_sender monitor
+      ~label:(Printf.sprintf "flow %d" flow)
+      agent;
+    Tcp.Agent.supply_data agent ~segments:10;
+    Tcp.Agent.start agent
+  in
+  spawn 0;
+  spawn 1;
+  Sim.Engine.run_until engine ~time:4.0;
+  Alcotest.(check bool) "sync burst caught" true
+    (Audit.Divergence.sync_burst_count monitor >= 1);
+  Alcotest.(check int) "no divergence without an RTT estimate" 0
+    (Audit.Divergence.divergence_count monitor)
+
+let test_scenario_divergence_plumbing () =
+  let run watch_divergence =
+    let config = Net.Dumbbell.paper_config ~flows:1 in
+    Experiments.Scenario.run
+      (Experiments.Scenario.make ~config
+         ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
+         ~params:{ Tcp.Params.default with rwnd = 20 }
+         ~seed:7L ~duration:2.0 ~watch_divergence ())
+  in
+  (match (run false).Experiments.Scenario.divergence with
+  | None -> ()
+  | Some _ -> Alcotest.fail "monitor attached without watch_divergence");
+  match (run true).Experiments.Scenario.divergence with
+  | Some monitor ->
+    Alcotest.(check bool) "clean short run stays quiet" true
+      (Audit.Divergence.quiet monitor)
+  | None -> Alcotest.fail "watch_divergence did not attach a monitor"
+
+let test_divergence_under_flaps () =
+  (* The acceptance path of the rtodiv experiment: the default Jacobson
+     estimator on fine timers, run through the PR-4 link-flap schedule,
+     must produce at least one measured finding. *)
+  let outcome =
+    Experiments.Rto_divergence.run ~estimators:[ Tcp.Rto.Jacobson ]
+      ~seeds:[ 7L; 29L ] ()
+  in
+  Alcotest.(check bool) "flap schedule yields findings" true
+    (Experiments.Rto_divergence.findings outcome > 0.0)
+
 (* -- soundness sweeps over the healthy stack -- *)
 
 let sweep_variants =
@@ -256,6 +343,14 @@ let suite =
         Alcotest.test_case "detects corrupt cwnd" `Quick test_detects_corrupt_cwnd;
         Alcotest.test_case "finalize flags stats drift" `Quick
           test_finalize_flags_stats_drift;
+        Alcotest.test_case "divergence: trend rule" `Quick
+          test_divergence_trend_rule;
+        Alcotest.test_case "divergence: sync rule" `Quick
+          test_divergence_sync_rule;
+        Alcotest.test_case "divergence: scenario plumbing" `Quick
+          test_scenario_divergence_plumbing;
+        Alcotest.test_case "divergence: findings under flaps" `Quick
+          test_divergence_under_flaps;
         Alcotest.test_case "burst sweep clean" `Slow test_sweep_bursts;
         Alcotest.test_case "random-loss sweep clean" `Slow test_sweep_random_loss;
         QCheck_alcotest.to_alcotest prop_sweep_arbitrary_drops;

@@ -42,6 +42,7 @@ let test_digest_stability () =
       reorder = 0.0;
       flap_period = 0.0;
       cbr_share = 0.0;
+      estimator = Tcp.Rto.Jacobson;
       seed = 7L;
       duration = 20.0;
       flows = 2;
@@ -57,7 +58,11 @@ let test_digest_stability () =
   Alcotest.(check bool)
     "the gateway is part of the key" true
     (Campaign.Job.digest job
-    <> Campaign.Job.digest { job with gateway = Campaign.Job.Red 8 })
+    <> Campaign.Job.digest { job with gateway = Campaign.Job.Red 8 });
+  Alcotest.(check bool)
+    "the RTO estimator is part of the key" true
+    (Campaign.Job.digest job
+    <> Campaign.Job.digest { job with estimator = Tcp.Rto.Rfc793 })
 
 (* -- the fork pool -- *)
 
@@ -337,7 +342,7 @@ let test_sweep_quarantines_failures () =
   | Error message -> Alcotest.failf "report_json unparseable: %s" message
   | Ok parsed ->
     Alcotest.(check (option string))
-      "schema is bumped" (Some "rr-sim-sweep/2")
+      "schema is bumped" (Some "rr-sim-sweep/3")
       (Option.bind (Campaign.Json.member "schema" parsed) Campaign.Json.to_str);
     (match
        Option.bind (Campaign.Json.member "quarantined" parsed) Campaign.Json.to_list

@@ -183,7 +183,34 @@ let test_karn_rule () =
   Alcotest.(check bool) "segment timed" true (b.timed <> None);
   (* Retransmit the timed segment: the timing must be cancelled. *)
   send_segment b ~seq:0 ~retx:true;
-  Alcotest.(check bool) "timing cancelled" true (b.timed = None)
+  Alcotest.(check bool) "timing cancelled" true (b.timed = None);
+  (* The crux of Karn's rule: the ACK of that retransmitted segment must
+     NOT become an RTT sample — it is ambiguous which transmission it
+     acknowledges, and timing it would poison every estimator the RTO
+     can run. *)
+  Harness.advance h ~by:0.5;
+  Harness.deliver_ack h 0;
+  Alcotest.(check bool) "ambiguous ACK yields no sample" true
+    (Tcp.Rto.srtt b.rto = None)
+
+let test_karn_rule_unrelated_retransmit () =
+  (* Retransmitting a segment other than the timed one must leave the
+     timing armed: Karn's rule only disqualifies the ambiguous
+     measurement, not the whole window. *)
+  let h = make () in
+  Harness.open_window h ~target:4;
+  ignore (Harness.sent h);
+  let b = Harness.base h in
+  (match b.timed with
+  | Some (seq, _) -> Alcotest.(check int) "segment 0 is the timed one" 0 seq
+  | None -> Alcotest.fail "expected a timed segment");
+  send_segment b ~seq:2 ~retx:true;
+  Alcotest.(check bool) "timing survives" true (b.timed <> None);
+  Harness.advance h ~by:0.25;
+  Harness.deliver_ack h 0;
+  match Tcp.Rto.srtt b.rto with
+  | Some srtt -> Alcotest.(check (float 1e-9)) "clean sample taken" 0.25 srtt
+  | None -> Alcotest.fail "expected an RTT sample"
 
 let test_multicast_hooks () =
   (* Several observers on one sender: all of them see every event. The
@@ -224,6 +251,8 @@ let suite =
           test_limited_transmit_off_by_default;
         Alcotest.test_case "smooth start" `Quick test_smooth_start;
         Alcotest.test_case "karn rule" `Quick test_karn_rule;
+        Alcotest.test_case "karn rule: unrelated retransmit" `Quick
+          test_karn_rule_unrelated_retransmit;
         Alcotest.test_case "multicast hooks" `Quick test_multicast_hooks;
       ] );
   ]

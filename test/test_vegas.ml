@@ -120,6 +120,48 @@ let test_cautious_slow_start_every_other_rtt () =
     true
     (b.cwnd < cwnd0 *. 4.0)
 
+let test_fine_timeout_follows_estimator () =
+  (* The fine-grained timer is routed through the sender's RTO
+     estimator, not a hard-coded Jacobson formula. Under the fixed
+     estimator the prediction never adapts from [initial_rto] = 3 s, so
+     the 0.8 s aging that triggers a fine retransmission under Jacobson
+     (see the first test) must leave the segment untouched here. *)
+  let params =
+    { Harness.params with Tcp.Params.rto_estimator = Tcp.Rto.Fixed }
+  in
+  let h =
+    Harness.make ~params (fun ~engine ~params ~flow ~emit () ->
+        Tcp.Vegas.create_with ~engine ~params ~flow ~emit
+          ~mechanisms:Tcp.Vegas.full ())
+  in
+  warm_up h ~rtt:0.2;
+  Harness.advance h ~by:0.8;
+  Harness.dupack h;
+  Alcotest.(check (list int)) "fixed estimator: nothing resent" []
+    (List.filter_map
+       (fun s -> if s.Harness.retx then Some s.Harness.seq else None)
+       (Harness.sent h))
+
+let test_cut_window_before_first_measurement () =
+  (* A loss signal can arrive before Vegas has any per-segment RTT
+     measurement (and before the estimator has a sample). The quarter
+     cut must still happen, rate-limited by the conservative
+     [initial_rto] stand-in rather than a zero RTT. *)
+  let h =
+    make ~mechanisms:{ Tcp.Vegas.full with fine_retransmit = false } ()
+  in
+  Harness.open_window h ~target:8;
+  ignore (Harness.sent h);
+  let b = Harness.base h in
+  Alcotest.(check bool) "no estimator sample yet" true
+    (Tcp.Rto.srtt b.rto = None);
+  Harness.dupacks h 3;
+  Alcotest.(check (float 1e-9)) "quarter cut from the fallback clock" 6.0
+    b.cwnd;
+  (* Further dupacks in the same burst must not cut again. *)
+  Harness.dupacks h 2;
+  Alcotest.(check (float 1e-9)) "still one cut" 6.0 b.cwnd
+
 let test_vegas_name_and_registry () =
   let h = make () in
   Alcotest.(check string) "agent name" "vegas" h.Harness.agent.Tcp.Agent.name;
@@ -143,6 +185,10 @@ let suite =
           test_rtt_based_avoidance_grows_when_clear;
         Alcotest.test_case "cautious slow start" `Quick
           test_cautious_slow_start_every_other_rtt;
+        Alcotest.test_case "fine timeout follows estimator" `Quick
+          test_fine_timeout_follows_estimator;
+        Alcotest.test_case "cut before first measurement" `Quick
+          test_cut_window_before_first_measurement;
         Alcotest.test_case "name and registry" `Quick test_vegas_name_and_registry;
       ] );
   ]
