@@ -165,10 +165,24 @@ let all_benchmarks : (string * (unit -> unit)) list =
         ignore
           (Experiments.Scenario.run
              (Experiments.Scenario.make
-                ~config:(Net.Dumbbell.paper_config ~flows:1)
+                ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
                 ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
                 ~params:{ Tcp.Params.default with rwnd = 20 }
                 ~seed:1L ~duration:20.0 ~uniform_loss:0.01 ())) );
+    ( "topology/parking-lot-3hop",
+      fun () ->
+        ignore
+          (Experiments.Parking_lot.run ~variants:[ Core.Variant.Rr ]
+             ~hop_counts:[ 3 ] ~duration:10.0 ()) );
+    ( "many-flow/2k-flows-5s",
+      fun () -> ignore (Experiments.Many_flow.run ~flows:2_000 ~duration:5.0 ())
+    );
+    (* The scale acceptance point: 50k flows for 60 simulated seconds
+       must stay in single-digit wall-clock seconds and O(flows)
+       memory. *)
+    ( "many-flow/50k-flows-60s",
+      fun () ->
+        ignore (Experiments.Many_flow.run ~flows:50_000 ~duration:60.0 ()) );
     ("sched/push-pop", sched_push_pop `Calendar);
     ("sched/push-pop-heap", sched_push_pop `Heap);
     ("sched/cancel", sched_cancel `Calendar);

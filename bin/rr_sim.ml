@@ -340,7 +340,7 @@ let audit_sweep seed =
                 { (Net.Dumbbell.paper_config ~flows:2) with gateway }
               in
               let spec =
-                Experiments.Scenario.make ~config
+                Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
                   ~flows:
                     [
                       Experiments.Scenario.flow variant;
@@ -440,10 +440,62 @@ let cross_conv =
   in
   Arg.conv ~docv:"BPS[:BYTES][:reverse]" (parse, print)
 
+type run_topology =
+  | Run_dumbbell
+  | Run_parking_lot of int  (* hops *)
+  | Run_fat_tree of int  (* pods *)
+  | Run_many_flow
+
+let topology_conv =
+  let parse s =
+    let invalid () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid topology %S (expected dumbbell, parking-lot[:HOPS], \
+              fat-tree[:PODS] or many-flow)"
+             s))
+    in
+    match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+    | [ "dumbbell" ] -> Ok Run_dumbbell
+    | [ "parking-lot" ] -> Ok (Run_parking_lot 2)
+    | [ "parking-lot"; hops ] -> (
+      match int_of_string_opt hops with
+      | Some h when h >= 1 -> Ok (Run_parking_lot h)
+      | _ -> invalid ())
+    | [ "fat-tree" ] -> Ok (Run_fat_tree 2)
+    | [ "fat-tree"; pods ] -> (
+      match int_of_string_opt pods with
+      | Some p when p >= 2 -> Ok (Run_fat_tree p)
+      | _ -> invalid ())
+    | [ "many-flow" ] -> Ok Run_many_flow
+    | _ -> invalid ()
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with
+      | Run_dumbbell -> "dumbbell"
+      | Run_parking_lot hops -> Printf.sprintf "parking-lot:%d" hops
+      | Run_fat_tree pods -> Printf.sprintf "fat-tree:%d" pods
+      | Run_many_flow -> "many-flow")
+  in
+  Arg.conv ~docv:"TOPOLOGY" (parse, print)
+
 let run_term =
   let variant =
     let doc = "TCP variant (tahoe, reno, newreno, sack, rr)." in
     Arg.(value & opt variant_conv Core.Variant.Rr & info [ "variant" ] ~doc)
+  in
+  let topology =
+    let doc =
+      "Network topology: dumbbell (the paper's Figure 4, default), \
+       parking-lot[:HOPS] (--flows long flows across HOPS chained \
+       bottlenecks plus one cross flow per hop), fat-tree[:PODS] (--flows \
+       hosts per pod, one flow per host, striped across pods), or many-flow \
+       (the flat-array flock scale path; honours --flows, --duration, \
+       --rwnd, --buffer and --seed only)."
+    in
+    Arg.(value & opt topology_conv Run_dumbbell & info [ "topology" ] ~docv:"TOPOLOGY" ~doc)
   in
   let flows =
     let doc = "Number of concurrent flows of that variant." in
@@ -523,19 +575,66 @@ let run_term =
     in
     Arg.(value & opt_all cross_conv [] & info [ "cross-traffic" ] ~docv:"BPS[:BYTES][:reverse]" ~doc)
   in
-  let run scheduler variant flows duration red buffer loss rwnd ack_loss
-      delack limited_transmit rto tracefile trace audit faults cross seed csv =
+  let run scheduler variant topology flows duration red buffer loss rwnd
+      ack_loss delack limited_transmit rto tracefile trace audit faults cross
+      seed csv =
     Sim.Engine.set_default_scheduler scheduler;
+    if topology = Run_many_flow then begin
+      (* The flock scale path: flat arrays and streaming statistics, no
+         per-flow agents — most scenario knobs do not apply. *)
+      print_string
+        (Experiments.Many_flow.report
+           (Experiments.Many_flow.run ~flows ~duration ~seed ~buffer
+              ~params:{ Tcp.Params.default with rwnd }
+              ()))
+    end
+    else begin
     let gateway =
       if red then
         Net.Dumbbell.Red { capacity = buffer; params = Net.Red.paper_params }
       else Net.Dumbbell.Droptail { capacity = buffer }
     in
-    let config =
-      {
-        (Net.Dumbbell.paper_config ~flows:(flows + List.length cross)) with
-        gateway;
-      }
+    (if topology <> Run_dumbbell && cross <> [] then begin
+       Printf.eprintf "rr-sim: --cross-traffic requires --topology dumbbell\n";
+       exit 2
+     end);
+    let tcp_flows, scenario_topology =
+      match topology with
+      | Run_many_flow -> assert false
+      | Run_dumbbell ->
+        ( flows,
+          Experiments.Scenario.dumbbell
+            {
+              (Net.Dumbbell.paper_config ~flows:(flows + List.length cross)) with
+              gateway;
+            } )
+      | Run_parking_lot hops ->
+        let total = flows + hops in
+        let config =
+          { (Net.Dumbbell.paper_config ~flows:total) with gateway }
+        in
+        let spec, endpoints =
+          Net.Topology.parking_lot ~hops ~long_flows:flows ~cross_per_hop:1
+            ~config ()
+        in
+        ( total,
+          Experiments.Scenario.graph ~bottleneck:"bottleneck0"
+            ~loss_link:"bottleneck0"
+            ~ack_loss_link:(Printf.sprintf "rbottleneck%d" (hops - 1))
+            ~flap_links:[ "bottleneck0"; "rbottleneck0" ]
+            ~spec ~endpoints () )
+      | Run_fat_tree pods ->
+        let total = pods * flows in
+        let config =
+          { (Net.Dumbbell.paper_config ~flows:total) with gateway }
+        in
+        let spec, endpoints =
+          Net.Topology.fat_tree ~pods ~hosts_per_pod:flows ~config ()
+        in
+        ( total,
+          Experiments.Scenario.graph ~bottleneck:"up0" ~loss_link:"up0"
+            ~ack_loss_link:"down0" ~flap_links:[ "up0"; "down0" ] ~spec
+            ~endpoints () )
     in
     let trace_channel = Option.map open_out trace in
     (* Close (and thereby flush) the JSONL trace on every exit path,
@@ -546,8 +645,8 @@ let run_term =
         ~finally:(fun () -> Option.iter close_out_noerr trace_channel)
         (fun () ->
           let spec =
-            Experiments.Scenario.make ~config
-              ~flows:(List.init flows (fun _ -> Experiments.Scenario.flow variant))
+            Experiments.Scenario.make ~topology:scenario_topology
+              ~flows:(List.init tcp_flows (fun _ -> Experiments.Scenario.flow variant))
               ~params:
                 {
                   Tcp.Params.default with
@@ -566,7 +665,7 @@ let run_term =
       [ "flow"; "goodput (Kbps)"; "drops"; "timeouts"; "retransmits" ]
     in
     let rows =
-      List.init flows (fun flow ->
+      List.init tcp_flows (fun flow ->
           let result = t.Experiments.Scenario.results.(flow) in
           let counters =
             result.Experiments.Scenario.agent.Tcp.Agent.base
@@ -584,7 +683,8 @@ let run_term =
             string_of_int counters.Tcp.Counters.retransmits;
           ])
     in
-    Printf.printf "%d %s flow(s), %s gateway (buffer %d), %.0f s\n\n%s" flows
+    Printf.printf "%d %s flow(s), %s gateway (buffer %d), %.0f s\n\n%s"
+      tcp_flows
       (Core.Variant.name variant)
       (if red then "RED" else "drop-tail")
       buffer duration
@@ -635,11 +735,12 @@ let run_term =
       print_string (Audit.Auditor.report t.Experiments.Scenario.auditor);
       if not (Audit.Auditor.ok t.Experiments.Scenario.auditor) then exit 1
     end
+    end
   in
   Term.(
-    const run $ scheduler_arg $ variant $ flows $ duration $ red $ buffer
-    $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ rto $ tracefile
-    $ trace $ audit $ faults $ cross $ seed_arg $ csv_arg)
+    const run $ scheduler_arg $ variant $ topology $ flows $ duration $ red
+    $ buffer $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ rto
+    $ tracefile $ trace $ audit $ faults $ cross $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -672,6 +773,26 @@ let gateway_conv =
   let print ppf g = Format.pp_print_string ppf (Campaign.Job.gateway_name g) in
   Arg.conv ~docv:"GATEWAY" (parse, print)
 
+let job_topology_conv =
+  let parse s =
+    let invalid () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid topology %S (expected dumbbell or parking-lot[:HOPS])" s))
+    in
+    match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+    | [ "dumbbell" ] -> Ok Campaign.Job.Dumbbell
+    | [ "parking-lot" ] -> Ok (Campaign.Job.Parking_lot 2)
+    | [ "parking-lot"; hops ] -> (
+      match int_of_string_opt hops with
+      | Some h when h >= 1 -> Ok (Campaign.Job.Parking_lot h)
+      | _ -> invalid ())
+    | _ -> invalid ()
+  in
+  let print ppf t = Format.pp_print_string ppf (Campaign.Job.topology_name t) in
+  Arg.conv ~docv:"TOPOLOGY" (parse, print)
+
 let sweep_term =
   let variants =
     let doc = "Comma-separated TCP variants to sweep." in
@@ -689,6 +810,17 @@ let sweep_term =
       value
       & opt (list ~sep:',' gateway_conv) [ Campaign.Job.Droptail 8 ]
       & info [ "gateways" ] ~docv:"G,G,..." ~doc)
+  in
+  let topologies =
+    let doc =
+      "Comma-separated topologies to sweep, each dumbbell or \
+       parking-lot[:HOPS] (flows run end to end over HOPS chained \
+       bottlenecks)."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' job_topology_conv) [ Campaign.Job.Dumbbell ]
+      & info [ "topologies" ] ~docv:"T,T,..." ~doc)
   in
   let losses =
     let doc = "Comma-separated uniform data-loss rates injected at R1." in
@@ -789,9 +921,9 @@ let sweep_term =
     in
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
-  let run scheduler variants gateways losses ack_losses reorders flap_periods
-      cbr_shares rtos seed_count duration flows rwnd jobs cache_dir no_cache
-      json timeout retries backoff resume seed =
+  let run scheduler variants gateways topologies losses ack_losses reorders
+      flap_periods cbr_shares rtos seed_count duration flows rwnd jobs
+      cache_dir no_cache json timeout retries backoff resume seed =
     Sim.Engine.set_default_scheduler scheduler;
     (* Fail fast on an unparseable chaos spec instead of aborting
        mid-sweep from inside the pool. *)
@@ -804,9 +936,9 @@ let sweep_term =
         exit 2)
     | _ -> ());
     let grid =
-      Campaign.Sweep.grid ~variants ~gateways ~uniform_losses:losses
-        ~ack_losses ~reorders ~flap_periods ~cbr_shares ~estimators:rtos ~seed
-        ~seed_count ~duration ~flows ~rwnd ()
+      Campaign.Sweep.grid ~variants ~gateways ~topologies
+        ~uniform_losses:losses ~ack_losses ~reorders ~flap_periods ~cbr_shares
+        ~estimators:rtos ~seed ~seed_count ~duration ~flows ~rwnd ()
     in
     if resume && no_cache then begin
       Printf.eprintf
@@ -890,10 +1022,10 @@ let sweep_term =
       else if Campaign.Sweep.total_violations outcome > 0 then exit 1
   in
   Term.(
-    const run $ scheduler_arg $ variants $ gateways $ losses $ ack_losses
-    $ reorders $ flap_periods $ cbr_shares $ rtos $ seed_count $ duration
-    $ flows $ rwnd $ jobs $ cache_dir $ no_cache $ json $ timeout $ retries
-    $ backoff $ resume $ seed_arg)
+    const run $ scheduler_arg $ variants $ gateways $ topologies $ losses
+    $ ack_losses $ reorders $ flap_periods $ cbr_shares $ rtos $ seed_count
+    $ duration $ flows $ rwnd $ jobs $ cache_dir $ no_cache $ json $ timeout
+    $ retries $ backoff $ resume $ seed_arg)
 
 let sweep_cmd =
   Cmd.v

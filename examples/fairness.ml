@@ -19,7 +19,7 @@ let () =
   let variant_of flow = if flow < 5 then Core.Variant.Reno else Core.Variant.Rr in
   let duration = 60.0 in
   let spec =
-    Experiments.Scenario.make ~config
+    Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
       ~flows:
         (List.init flows (fun flow ->
              {

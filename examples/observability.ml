@@ -19,7 +19,7 @@ let () =
   in
   let t =
     Experiments.Scenario.run
-      (Experiments.Scenario.make ~config
+      (Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
          ~flows:
            [
              Experiments.Scenario.flow Core.Variant.Rr;

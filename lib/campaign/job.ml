@@ -1,8 +1,11 @@
 type gateway = Droptail of int | Red of int
 
+type topology = Dumbbell | Parking_lot of int
+
 type t = {
   variant : Core.Variant.t;
   gateway : gateway;
+  topology : topology;
   uniform_loss : float;
   ack_loss : float;
   reorder : float;
@@ -21,6 +24,10 @@ let gateway_name = function
   | Droptail capacity -> Printf.sprintf "droptail:%d" capacity
   | Red capacity -> Printf.sprintf "red:%d" capacity
 
+let topology_name = function
+  | Dumbbell -> "dumbbell"
+  | Parking_lot hops -> Printf.sprintf "parking-lot:%d" hops
+
 let point_label job =
   let base =
     Printf.sprintf "%s/%s/loss %g%%/ack %g%%"
@@ -31,6 +38,10 @@ let point_label job =
   in
   (* Fault/workload axes appear only when active, so labels (and the
      reports built from them) look unchanged for classic grids. *)
+  let base =
+    if job.topology <> Dumbbell then base ^ "/" ^ topology_name job.topology
+    else base
+  in
   let base =
     if job.reorder > 0.0 then
       base ^ Printf.sprintf "/reorder %g%%" (100.0 *. job.reorder)
@@ -52,13 +63,14 @@ let point_label job =
 
 (* Bump whenever the job layout or the semantics of a run change, so
    stale cache entries can never be mistaken for current ones. *)
-let schema = "rr-sim-campaign/4"
+let schema = "rr-sim-campaign/5"
 
 let to_json job =
   Json.Obj
     [
       ("variant", Json.Str (Core.Variant.name job.variant));
       ("gateway", Json.Str (gateway_name job.gateway));
+      ("topology", Json.Str (topology_name job.topology));
       ("uniform_loss", Json.Num job.uniform_loss);
       ("ack_loss", Json.Num job.ack_loss);
       ("reorder", Json.Num job.reorder);
@@ -105,6 +117,25 @@ let run job =
       gateway;
     }
   in
+  (* On a parking lot every job flow (and the CBR competitor, when the
+     share axis is active) runs end to end across all [hops]
+     bottlenecks; the runner's loss/fault knobs attach to the first
+     bottleneck pair, as they do to the dumbbell trunks. *)
+  let topology =
+    match job.topology with
+    | Dumbbell -> Experiments.Scenario.dumbbell config
+    | Parking_lot hops ->
+      let spec, endpoints =
+        Net.Topology.parking_lot ~hops
+          ~long_flows:(job.flows + cross_slots)
+          ~cross_per_hop:0 ~config ()
+      in
+      Experiments.Scenario.graph ~bottleneck:"bottleneck0"
+        ~loss_link:"bottleneck0"
+        ~ack_loss_link:(Printf.sprintf "rbottleneck%d" (hops - 1))
+        ~flap_links:[ "bottleneck0"; "rbottleneck0" ]
+        ~spec ~endpoints ()
+  in
   let params =
     {
       Tcp.Params.default with
@@ -148,7 +179,7 @@ let run job =
     else []
   in
   let spec =
-    Experiments.Scenario.make ~config
+    Experiments.Scenario.make ~topology
       ~flows:(List.init job.flows (fun _ -> Experiments.Scenario.flow job.variant))
       ~params ~seed:job.seed ~duration:job.duration
       ~uniform_loss:job.uniform_loss ~ack_loss:job.ack_loss ~faults ~cross ()

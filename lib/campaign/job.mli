@@ -9,9 +9,15 @@
 
 type gateway = Droptail of int | Red of int  (** payload = buffer, packets *)
 
+(** The network the job's flows cross: the paper's dumbbell, or a
+    parking lot of k chained bottlenecks ({!Net.Topology.parking_lot})
+    with every flow running end to end. *)
+type topology = Dumbbell | Parking_lot of int  (** payload = hops *)
+
 type t = {
   variant : Core.Variant.t;
   gateway : gateway;
+  topology : topology;
   uniform_loss : float;  (** data-drop rate at R1 *)
   ack_loss : float;  (** ACK-drop rate on the reverse path *)
   reorder : float;
@@ -37,6 +43,10 @@ type t = {
 val flap_down_for : float
 
 val gateway_name : gateway -> string
+
+(** [topology_name t] is the sweep-axis spelling: ["dumbbell"] or
+    ["parking-lot:<hops>"]. *)
+val topology_name : topology -> string
 
 (** [point_label job] names the grid point the job belongs to —
     everything but the seed — e.g. ["rr/droptail:8/loss 2%/ack 0%"].

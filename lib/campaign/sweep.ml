@@ -1,6 +1,7 @@
 type grid = {
   variants : Core.Variant.t list;
   gateways : Job.gateway list;
+  topologies : Job.topology list;
   uniform_losses : float list;
   ack_losses : float list;
   reorders : float list;
@@ -14,7 +15,8 @@ type grid = {
 }
 
 let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
-    ?(gateways = [ Job.Droptail 8 ]) ?(uniform_losses = [ 0.02 ])
+    ?(gateways = [ Job.Droptail 8 ]) ?(topologies = [ Job.Dumbbell ])
+    ?(uniform_losses = [ 0.02 ])
     ?(ack_losses = [ 0.0 ]) ?(reorders = [ 0.0 ]) ?(flap_periods = [ 0.0 ])
     ?(cbr_shares = [ 0.0 ]) ?(estimators = [ Tcp.Rto.Jacobson ]) ?seeds
     ?(seed = 7L) ?(seed_count = 6) ?(duration = 20.0) ?(flows = 2)
@@ -27,6 +29,7 @@ let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
   {
     variants;
     gateways;
+    topologies;
     uniform_losses;
     ack_losses;
     reorders;
@@ -44,6 +47,8 @@ let jobs_of_grid grid =
     (fun variant ->
       List.concat_map
         (fun gateway ->
+         List.concat_map
+          (fun topology ->
           List.concat_map
             (fun uniform_loss ->
               List.concat_map
@@ -61,6 +66,7 @@ let jobs_of_grid grid =
                                       {
                                         Job.variant;
                                         gateway;
+                                        topology;
                                         uniform_loss;
                                         ack_loss;
                                         reorder;
@@ -79,6 +85,7 @@ let jobs_of_grid grid =
                     grid.reorders)
                 grid.ack_losses)
             grid.uniform_losses)
+          grid.topologies)
         grid.gateways)
     grid.variants
 
@@ -252,6 +259,7 @@ let point_to_json point =
       ("point", Json.Str (Job.point_label point.point_job));
       ("variant", Json.Str (Core.Variant.name point.point_job.Job.variant));
       ("gateway", Json.Str (Job.gateway_name point.point_job.Job.gateway));
+      ("topology", Json.Str (Job.topology_name point.point_job.Job.topology));
       ("uniform_loss", Json.Num point.point_job.Job.uniform_loss);
       ("ack_loss", Json.Num point.point_job.Job.ack_loss);
       ("reorder", Json.Num point.point_job.Job.reorder);
@@ -325,13 +333,20 @@ let report outcome =
       (fun p -> p.point_job.Job.estimator <> Tcp.Rto.Jacobson)
       outcome.points
   in
+  let with_topology =
+    List.exists
+      (fun p -> p.point_job.Job.topology <> Job.Dumbbell)
+      outcome.points
+  in
   let opt_cols triples =
     List.concat_map
       (fun (enabled, cell) -> if enabled then [ cell ] else [])
       triples
   in
   let header =
-    [ "variant"; "gateway"; "loss"; "ack loss" ]
+    [ "variant"; "gateway" ]
+    @ opt_cols [ (with_topology, "topology") ]
+    @ [ "loss"; "ack loss" ]
     @ opt_cols
         [
           (with_reorder, "reorder");
@@ -346,12 +361,12 @@ let report outcome =
     List.map
       (fun point ->
         let job = point.point_job in
-        [
-          Core.Variant.name job.Job.variant;
-          Job.gateway_name job.Job.gateway;
-          Printf.sprintf "%g%%" (100.0 *. job.Job.uniform_loss);
-          Printf.sprintf "%g%%" (100.0 *. job.Job.ack_loss);
-        ]
+        [ Core.Variant.name job.Job.variant; Job.gateway_name job.Job.gateway ]
+        @ opt_cols [ (with_topology, Job.topology_name job.Job.topology) ]
+        @ [
+            Printf.sprintf "%g%%" (100.0 *. job.Job.uniform_loss);
+            Printf.sprintf "%g%%" (100.0 *. job.Job.ack_loss);
+          ]
         @ opt_cols
             [
               ( with_reorder,

@@ -11,6 +11,8 @@
 type grid = {
   variants : Core.Variant.t list;
   gateways : Job.gateway list;
+  topologies : Job.topology list;
+      (** {!Job.t.topology} values; [Dumbbell] alone = classic *)
   uniform_losses : float list;
   ack_losses : float list;
   reorders : float list;  (** {!Job.t.reorder} values; [0.] = off *)
@@ -31,6 +33,7 @@ type grid = {
 val grid :
   ?variants:Core.Variant.t list ->
   ?gateways:Job.gateway list ->
+  ?topologies:Job.topology list ->
   ?uniform_losses:float list ->
   ?ack_losses:float list ->
   ?reorders:float list ->

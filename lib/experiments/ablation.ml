@@ -41,7 +41,7 @@ let run ?(drops = 6) ?(measure_window = 3.0) () =
         let t =
           Scenario.run
             (Scenario.make
-               ~config:(Net.Dumbbell.paper_config ~flows:1)
+               ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
                ~flows:
                  [ { Scenario.label; make; start = 0.0; source = Scenario.Infinite;
                     direction = Net.Dumbbell.Forward } ]

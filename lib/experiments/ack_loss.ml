@@ -18,7 +18,7 @@ let run_one ~seed ~ack_loss variant =
   let t =
     Scenario.run
       (Scenario.make
-         ~config:(Net.Dumbbell.paper_config ~flows:1)
+         ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
          ~flows:[ Scenario.flow variant ] ~params ~seed ~forced_drops:burst
          ~ack_loss ())
   in

@@ -30,7 +30,7 @@ let run_one ~seed ~share variant =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config ~flows:[ Scenario.flow variant ] ~seed ~duration
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:[ Scenario.flow variant ] ~seed ~duration
          ~cross ())
   in
   let result = t.Scenario.results.(0) in

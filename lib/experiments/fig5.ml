@@ -37,7 +37,7 @@ let run_variant ~drops ~seed variant =
   in
   Scenario.run
     (Scenario.make
-       ~config:(Net.Dumbbell.paper_config ~flows:1)
+       ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
        ~flows:[ Scenario.flow variant ] ~params ~seed ~forced_drops:rules ())
 
 let run ~drops ?(measure_window = 3.0) ?(variants = paper_variants)
@@ -116,7 +116,7 @@ let run_background ?(file_bytes = 100_000) ?(variants = paper_variants)
         let t =
           Scenario.run
             (Scenario.make
-               ~config:(Net.Dumbbell.paper_config ~flows:3)
+               ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:3))
                ~flows:flow_specs
                ~params:{ Tcp.Params.default with rwnd = 20 }
                ~seed ~duration:120.0 ())

@@ -37,7 +37,7 @@ let run_variant ~seed ~duration variant =
     List.init flows (fun flow ->
         { (Scenario.flow variant) with Scenario.start = start_time flow })
   in
-  Scenario.run (Scenario.make ~config ~flows:flow_specs ~params ~seed ~duration ())
+  Scenario.run (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:flow_specs ~params ~seed ~duration ())
 
 let run ?(variants = paper_variants) ?(seed = 11L) ?(duration = 6.0) () =
   let results =
@@ -58,7 +58,7 @@ let run ?(variants = paper_variants) ?(seed = 11L) ?(duration = 6.0) () =
         in
         let sum f = List.fold_left ( + ) 0 (List.init flows f) in
         let early, forced =
-          match Net.Dumbbell.red_stats t.Scenario.topology with
+          match Scenario.red_stats t with
           | Some stats -> (stats.Net.Red.early, stats.Net.Red.forced)
           | None -> (0, 0)
         in

@@ -28,7 +28,7 @@ let warmup = 5.0
 let run_one ?(delayed_ack = false) ~seed ~duration ~loss_rate variant =
   let t =
     Scenario.run
-      (Scenario.make ~config ~flows:[ Scenario.flow variant ] ~params ~seed
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:[ Scenario.flow variant ] ~params ~seed
          ~duration ~uniform_loss:loss_rate ~delayed_ack ())
   in
   let result = t.Scenario.results.(0) in

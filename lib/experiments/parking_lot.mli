@@ -1,0 +1,36 @@
+(** Parking-lot (multi-bottleneck) experiment (beyond the paper).
+
+    Chains k bottleneck links with {!Net.Topology.parking_lot} and runs
+    long flows end to end against per-hop cross traffic — the first
+    {!Scenario} instance on a general graph topology. Long flows pay
+    every hop's loss rate, so their goodput falls below the single-hop
+    flows' share as hops grow. *)
+
+type row = {
+  variant : Core.Variant.t;
+  hops : int;
+  long_goodput_bps : float;  (** mean over the long flows *)
+  cross_goodput_bps : float;  (** mean over all cross flows *)
+  ratio : float;  (** long over cross *)
+  long_drops : int;
+  cross_drops : int;
+}
+
+type outcome = { duration : float; rows : row list }
+
+(** [topology ~hops] is the {!Scenario.topology} value for a [hops]-
+    bottleneck parking lot carrying 2 long and 2-per-hop cross flows,
+    with the runner's knobs attached to the first bottleneck. *)
+val topology : hops:int -> Scenario.topology
+
+(** [run ()] measures each variant on each hop count. Defaults:
+    NewReno, SACK and RR on 1 and 3 hops, 30 s, seed 7. *)
+val run :
+  ?variants:Core.Variant.t list ->
+  ?hop_counts:int list ->
+  ?seed:int64 ->
+  ?duration:float ->
+  unit ->
+  outcome
+
+val report : outcome -> string

@@ -163,6 +163,22 @@ let all =
          under link flaps, with the divergence audit attached";
       run = (fun ~seed:_ -> Rto_divergence.report (Rto_divergence.run ()));
     };
+    {
+      name = "parkinglot";
+      synopsis =
+        "Parking-lot topology (beyond the paper): long flows across k chained \
+         bottlenecks vs per-hop cross traffic, on the general graph engine";
+      run = (fun ~seed -> Parking_lot.report (Parking_lot.run ~seed ()));
+    };
+    {
+      name = "manyflow";
+      synopsis =
+        "Many-flow scale path (beyond the paper): a flat-array TCP flock on \
+         an aggregate topology, summarised with streaming statistics";
+      run =
+        (fun ~seed ->
+          Many_flow.report (Many_flow.run ~flows:2_000 ~duration:5.0 ~seed ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -28,7 +28,7 @@ let run_one ~seed ~prob variant =
   let t =
     Scenario.run
       (Scenario.make
-         ~config:(Net.Dumbbell.paper_config ~flows:1)
+         ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
          ~flows:[ Scenario.flow variant ] ~seed ~duration ~faults ())
   in
   let result = t.Scenario.results.(0) in

@@ -33,7 +33,7 @@ let run_one ~seed ~faults ~duration estimator =
   let t =
     Scenario.run
       (Scenario.make
-         ~config:(Net.Dumbbell.paper_config ~flows:2)
+         ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:2))
          ~flows:Core.Variant.[ Scenario.flow Rr; Scenario.flow Rr ]
          ~params ~seed ~duration ~faults ~watch_divergence:true ())
   in

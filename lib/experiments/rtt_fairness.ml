@@ -39,7 +39,7 @@ let run_case ~seed ~duration ~variant side_delays =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config ~flows:flow_specs ~params ~seed ~duration
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:flow_specs ~params ~seed ~duration
          ?side_delays ())
   in
   goodputs ~duration t

@@ -58,8 +58,26 @@ let cbr ?(label = "cbr") ?(packet_bytes = 1000) ?(start = 0.0) ?until
     cross_direction = direction;
   }
 
+type graph = {
+  graph : Net.Topology.spec;
+  endpoints : Net.Topology.endpoint array;
+  bottleneck : string option;
+  loss_link : string option;
+  ack_loss_link : string option;
+  flap_links : string list;
+}
+
+type topology = Dumbbell of Net.Dumbbell.config | Graph of graph
+
+let dumbbell config = Dumbbell config
+
+let graph ?bottleneck ?loss_link ?ack_loss_link ?(flap_links = []) ~spec
+    ~endpoints () =
+  Graph
+    { graph = spec; endpoints; bottleneck; loss_link; ack_loss_link; flap_links }
+
 type spec = {
-  config : Net.Dumbbell.config;
+  topology : topology;
   flows : flow_spec list;
   params : Tcp.Params.t;
   seed : int64;
@@ -76,13 +94,13 @@ type spec = {
   watch_divergence : bool;
 }
 
-let make ~config ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
+let make ~topology ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
     ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays
     ?trace_out ?(faults = Faults.Spec.none) ?(cross = [])
     ?(watch_divergence = false) () =
   {
-    config;
+    topology;
     flows;
     params;
     seed;
@@ -120,9 +138,11 @@ type drop_payload = Data of { seq : int } | Ack
 
 type drop = { time : float; flow : int; payload : drop_payload }
 
+type net = Dumbbell_net of Net.Dumbbell.t | Graph_net of Net.Topology.t * graph
+
 type t = {
   engine : Sim.Engine.t;
-  topology : Net.Dumbbell.t;
+  net : net;
   results : flow_result array;
   cross_results : cross_result array;
   drop_log : drop list;
@@ -145,12 +165,31 @@ let rtt_estimate config ~mss ~ack_size =
   in
   one_way mss +. one_way ack_size
 
+let slots = function
+  | Dumbbell config -> config.Net.Dumbbell.flows
+  | Graph g -> Array.length g.endpoints
+
 let run spec =
-  if List.length spec.flows + List.length spec.cross
-     <> spec.config.Net.Dumbbell.flows
-  then
+  if List.length spec.flows + List.length spec.cross <> slots spec.topology then
     invalid_arg
       "Scenario.run: flow + cross-traffic specs do not match topology width";
+  (match spec.topology with
+  | Graph g ->
+    if spec.side_delays <> None then
+      invalid_arg "Scenario.run: side_delays requires a dumbbell topology";
+    if
+      (spec.uniform_loss > 0.0 || spec.forced_drops <> []
+      || not (Faults.Spec.is_none spec.faults))
+      && g.loss_link = None
+    then
+      invalid_arg
+        "Scenario.run: graph topology needs a loss_link for loss/fault \
+         injection";
+    if spec.ack_loss > 0.0 && g.ack_loss_link = None then
+      invalid_arg "Scenario.run: graph topology needs an ack_loss_link";
+    if spec.monitor_queue <> None && g.bottleneck = None then
+      invalid_arg "Scenario.run: graph topology needs a bottleneck to monitor"
+  | Dumbbell _ -> ());
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.create spec.seed in
   (* Fault streams are split off only when faults are enabled, so a
@@ -183,10 +222,11 @@ let run spec =
   (* The topology is needed inside the loss wrappers for per-flow drop
      accounting, but the wrappers are topology constructor arguments;
      route the callbacks through a cell. *)
-  let topology_cell = ref None in
+  let net_cell = ref None in
   let injected_drop packet =
-    (match !topology_cell with
-    | Some topology -> Net.Dumbbell.count_drop topology packet
+    (match !net_cell with
+    | Some (Dumbbell_net topology) -> Net.Dumbbell.count_drop topology packet
+    | Some (Graph_net (topology, _)) -> Net.Topology.count_drop topology packet
     | None -> ());
     log_drop packet
   in
@@ -237,35 +277,88 @@ let run spec =
         ~data_only:false ~on_drop:injected_drop next
     else next
   in
-  let directions =
-    Array.of_list
-      (List.map (fun f -> f.direction) spec.flows
-      @ List.map (fun c -> c.cross_direction) spec.cross)
+  let net =
+    match spec.topology with
+    | Dumbbell config ->
+      let directions =
+        Array.of_list
+          (List.map (fun f -> f.direction) spec.flows
+          @ List.map (fun c -> c.cross_direction) spec.cross)
+      in
+      Dumbbell_net
+        (Net.Dumbbell.create ~engine ~config ~rng ~wrap_bottleneck
+           ~wrap_reverse ~on_drop:log_drop ?side_delays:spec.side_delays
+           ~directions ())
+    | Graph g ->
+      (* Tap construction order mirrors the dumbbell path — data-path
+         wraps before ACK-path wraps — so the loss streams split off
+         [rng] in the same sequence either way. *)
+      let taps =
+        (match g.loss_link with
+        | Some link -> [ (link, wrap_bottleneck) ]
+        | None -> [])
+        @
+        match g.ack_loss_link with
+        | Some link -> [ (link, wrap_reverse) ]
+        | None -> []
+      in
+      Graph_net
+        ( Net.Topology.create ~engine ~spec:g.graph ~rng ~taps
+            ~on_drop:log_drop ~flows:g.endpoints (),
+          g )
   in
-  let topology =
-    Net.Dumbbell.create ~engine ~config:spec.config ~rng ~wrap_bottleneck
-      ~wrap_reverse ~on_drop:log_drop ?side_delays:spec.side_delays
-      ~directions ()
+  net_cell := Some net;
+  let inject_data ~flow packet =
+    match net with
+    | Dumbbell_net topology -> Net.Dumbbell.inject_data topology ~flow packet
+    | Graph_net (topology, _) -> Net.Topology.inject_data topology ~flow packet
   in
-  topology_cell := Some topology;
-  (* A flap models an outage of the physical trunk: both directions cut
-     together, under the same schedule. *)
+  let inject_ack ~flow packet =
+    match net with
+    | Dumbbell_net topology -> Net.Dumbbell.inject_ack topology ~flow packet
+    | Graph_net (topology, _) -> Net.Topology.inject_ack topology ~flow packet
+  in
+  let on_data ~flow handler =
+    match net with
+    | Dumbbell_net topology -> Net.Dumbbell.on_data topology ~flow handler
+    | Graph_net (topology, _) -> Net.Topology.on_data topology ~flow handler
+  in
+  let on_ack ~flow handler =
+    match net with
+    | Dumbbell_net topology -> Net.Dumbbell.on_ack topology ~flow handler
+    | Graph_net (topology, _) -> Net.Topology.on_ack topology ~flow handler
+  in
+  (* A flap models an outage of the physical trunk: on the dumbbell both
+     directions cut together, under the same schedule; on a graph the
+     spec names the links that fail as one. *)
   (match (fault_streams, injector) with
   | Some (flap_rng, _, _), Some inj -> (
     match
       Faults.Spec.flap_schedule spec.faults ~rng:flap_rng ~until:spec.duration
     with
     | None -> ()
-    | Some schedule ->
+    | Some schedule -> (
       let policy = spec.faults.Faults.Spec.flap_policy in
-      Faults.Injector.flap_link inj ~name:"bottleneck" ~policy
-        ~on_drop:injected_drop
-        (Net.Dumbbell.bottleneck_link topology)
-        schedule;
-      Faults.Injector.flap_link inj ~name:"reverse" ~policy
-        ~on_drop:injected_drop
-        (Net.Dumbbell.reverse_trunk_link topology)
-        schedule)
+      match net with
+      | Dumbbell_net topology ->
+        Faults.Injector.flap_link inj ~name:"bottleneck" ~policy
+          ~on_drop:injected_drop
+          (Net.Dumbbell.bottleneck_link topology)
+          schedule;
+        Faults.Injector.flap_link inj ~name:"reverse" ~policy
+          ~on_drop:injected_drop
+          (Net.Dumbbell.reverse_trunk_link topology)
+          schedule
+      | Graph_net (topology, g) ->
+        if g.flap_links = [] then
+          invalid_arg "Scenario.run: graph topology needs flap_links to flap";
+        List.iter
+          (fun name ->
+            Faults.Injector.flap_link inj ~name ~policy
+              ~on_drop:injected_drop
+              (Net.Topology.link topology name)
+              schedule)
+          g.flap_links))
   | _ -> ());
   let auditor = Audit.Auditor.create ~engine () in
   (* Divergence watching is opt-in: it only attaches observation hooks,
@@ -276,13 +369,18 @@ let run spec =
     else None
   in
   let tracer = Option.map (fun out -> Audit.Trace.create ~out ()) spec.trace_out in
+  let net_queues =
+    match net with
+    | Dumbbell_net topology -> Net.Dumbbell.queues topology
+    | Graph_net (topology, _) -> Net.Topology.queues topology
+  in
   List.iter
     (fun (name, queue) ->
       Audit.Auditor.attach_queue auditor ~name queue;
       Option.iter
         (fun tr -> Audit.Trace.attach_queue tr ~engine ~name queue)
         tracer)
-    (Net.Dumbbell.queues topology);
+    net_queues;
   Option.iter
     (fun tr ->
       Option.iter (fun inj -> Audit.Trace.attach_injector tr inj) injector)
@@ -290,18 +388,18 @@ let run spec =
   let make_flow flow_id flow_spec =
     let ({ agent; rr_handle } : built) =
       flow_spec.make ~engine ~params:spec.params ~flow:flow_id
-        ~emit:(fun packet -> Net.Dumbbell.inject_data topology ~flow:flow_id packet)
+        ~emit:(fun packet -> inject_data ~flow:flow_id packet)
         ()
     in
     let receiver =
       Tcp.Receiver.create ~engine ~flow:flow_id
-        ~emit:(fun packet -> Net.Dumbbell.inject_ack topology ~flow:flow_id packet)
+        ~emit:(fun packet -> inject_ack ~flow:flow_id packet)
         ~sack:agent.Tcp.Agent.wants_sack
         ~ack_size:spec.params.Tcp.Params.ack_size
         ~delayed_ack:spec.delayed_ack ()
     in
-    Net.Dumbbell.on_data topology ~flow:flow_id (Tcp.Receiver.deliver receiver);
-    Net.Dumbbell.on_ack topology ~flow:flow_id agent.Tcp.Agent.deliver_ack;
+    on_data ~flow:flow_id (Tcp.Receiver.deliver receiver);
+    on_ack ~flow:flow_id agent.Tcp.Agent.deliver_ack;
     let trace = Stats.Flow_trace.attach agent in
     Audit.Auditor.attach_sender auditor ?rr:rr_handle
       ~label:(Printf.sprintf "flow %d (%s)" flow_id flow_spec.label)
@@ -360,12 +458,11 @@ let run spec =
                ~rate_bps:cross.rate_bps ~packet_bytes:cross.packet_bytes
                ~at:cross.cross_start
                ~until:(Option.value cross.cross_until ~default:spec.duration)
-               ~emit:(fun packet ->
-                 Net.Dumbbell.inject_data topology ~flow:cross_flow packet)
+               ~emit:(fun packet -> inject_data ~flow:cross_flow packet)
                ()
            in
            let result = { cross; cross_flow; source; received = 0 } in
-           Net.Dumbbell.on_data topology ~flow:cross_flow (fun _ ->
+           on_data ~flow:cross_flow (fun _ ->
                result.received <- result.received + 1);
            result)
          spec.cross)
@@ -373,7 +470,12 @@ let run spec =
   let queue_occupancy =
     Option.map
       (fun interval ->
-        let queue = Net.Dumbbell.bottleneck_queue topology in
+        let queue =
+          match net with
+          | Dumbbell_net topology -> Net.Dumbbell.bottleneck_queue topology
+          | Graph_net (topology, g) ->
+            Net.Topology.queue topology (Option.get g.bottleneck)
+        in
         Stats.Queue_monitor.sample ~engine
           ~probe:queue.Net.Queue_disc.length ~interval ~until:spec.duration)
       spec.monitor_queue
@@ -390,7 +492,7 @@ let run spec =
     prerr_string (Audit.Auditor.report auditor);
   {
     engine;
-    topology;
+    net;
     results;
     cross_results;
     drop_log = List.rev !drop_log;
@@ -400,7 +502,18 @@ let run spec =
     injector;
   }
 
-let drops t ~flow = Net.Dumbbell.drops_of_flow t.topology flow
+let drops t ~flow =
+  match t.net with
+  | Dumbbell_net topology -> Net.Dumbbell.drops_of_flow topology flow
+  | Graph_net (topology, _) -> Net.Topology.drops_of_flow topology flow
+
+let red_stats t =
+  match t.net with
+  | Dumbbell_net topology -> Net.Dumbbell.red_stats topology
+  | Graph_net (topology, g) -> (
+    match g.bottleneck with
+    | Some link -> Net.Topology.red_stats topology link
+    | None -> None)
 
 let tracefile t =
   (* Merge per-flow send/ack traces and the drop log into time-ordered

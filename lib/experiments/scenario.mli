@@ -1,10 +1,13 @@
-(** Generic dumbbell-scenario runner.
+(** Generic scenario runner.
 
     Every experiment in the paper's evaluation is an instance of: build
-    the Figure 4 dumbbell, attach one TCP sender/receiver pair per flow,
-    drive them with FTP sources, optionally inject losses at R1, run for
-    a while, and read traces back. This module is that instance
-    machinery; the per-figure modules only choose parameters. *)
+    a topology, attach one TCP sender/receiver pair per flow, drive
+    them with FTP sources, optionally inject losses at the bottleneck,
+    run for a while, and read traces back. This module is that instance
+    machinery; the per-figure modules only choose parameters. The
+    topology is a first-class field of the spec: the paper's Figure 4
+    dumbbell is one constructor ({!dumbbell}), and any
+    {!Net.Topology.spec} graph is the other ({!graph}). *)
 
 (** What drives a flow's sender: the paper's persistent FTP, a single
     finite file, or a Pareto on/off "web mice" train
@@ -75,8 +78,49 @@ val cbr :
   unit ->
   cross
 
+(** A general-graph scenario topology: the {!Net.Topology.spec} plus
+    the link names the runner's knobs act on. *)
+type graph = {
+  graph : Net.Topology.spec;
+  endpoints : Net.Topology.endpoint array;
+      (** flow attachments, one per spec flow/cross slot, in order *)
+  bottleneck : string option;
+      (** the link [monitor_queue] samples and {!red_stats} reads *)
+  loss_link : string option;
+      (** where [uniform_loss], [forced_drops] and forward fault
+          wrappers tap *)
+  ack_loss_link : string option;  (** where [ack_loss] taps *)
+  flap_links : string list;
+      (** links cut together by the fault flap schedule *)
+}
+
+(** Which network a spec builds. [Dumbbell] is the paper's Figure 4
+    (built through {!Net.Dumbbell}, so the legacy/graph backend toggle
+    applies); [Graph] realizes any {!Net.Topology.spec} directly. On a
+    [Graph] topology, [flow_spec.direction] is ignored (the endpoints
+    already orient each flow) and [side_delays] must be [None]. *)
+type topology = Dumbbell of Net.Dumbbell.config | Graph of graph
+
+(** [dumbbell config] is the paper's topology as a spec field. *)
+val dumbbell : Net.Dumbbell.config -> topology
+
+(** [graph ~spec ~endpoints ()] wraps a general graph. Omitted link
+    names disable the corresponding runner knob; asking for the knob
+    anyway ([uniform_loss] without [loss_link], [monitor_queue] without
+    [bottleneck], flap faults without [flap_links], ...) makes {!run}
+    raise [Invalid_argument] rather than silently not injecting. *)
+val graph :
+  ?bottleneck:string ->
+  ?loss_link:string ->
+  ?ack_loss_link:string ->
+  ?flap_links:string list ->
+  spec:Net.Topology.spec ->
+  endpoints:Net.Topology.endpoint array ->
+  unit ->
+  topology
+
 type spec = {
-  config : Net.Dumbbell.config;
+  topology : topology;
   flows : flow_spec list;  (** one per flow id, in order *)
   params : Tcp.Params.t;
   seed : int64;
@@ -111,11 +155,11 @@ type spec = {
           timeout bursts (off by default; observation-only) *)
 }
 
-(** [make ~config ~flows ()] builds a spec with the defaults the paper's
-    experiments share: default TCP parameters, seed 7, 30 s horizon, no
-    injected losses, immediate ACKs. *)
+(** [make ~topology ~flows ()] builds a spec with the defaults the
+    paper's experiments share: default TCP parameters, seed 7, 30 s
+    horizon, no injected losses, immediate ACKs. *)
 val make :
-  config:Net.Dumbbell.config ->
+  topology:topology ->
   flows:flow_spec list ->
   ?params:Tcp.Params.t ->
   ?seed:int64 ->
@@ -160,9 +204,13 @@ type drop_payload = Data of { seq : int } | Ack
 
 type drop = { time : float; flow : int; payload : drop_payload }
 
+(** The realized network of a run: the dumbbell handle, or the graph
+    paired with its {!graph} description. *)
+type net = Dumbbell_net of Net.Dumbbell.t | Graph_net of Net.Topology.t * graph
+
 type t = {
   engine : Sim.Engine.t;
-  topology : Net.Dumbbell.t;
+  net : net;
   results : flow_result array;
   cross_results : cross_result array;  (** one per [spec.cross] entry *)
   drop_log : drop list;
@@ -192,6 +240,11 @@ val run : spec -> t
 
 (** [drops t ~flow] is that flow's total drop count. *)
 val drops : t -> flow:int -> int
+
+(** [red_stats t] classifies RED drops at the bottleneck: the dumbbell
+    gateway, or a graph's designated [bottleneck] link. [None] when the
+    bottleneck queue is not RED (or a graph named none). *)
+val red_stats : t -> Net.Red.drop_stats option
 
 (** [first_drop_time t ~flow] is when the flow first lost a packet. *)
 val first_drop_time : t -> flow:int -> float option

@@ -23,7 +23,7 @@ let measure ~drops ~buffer ~bottleneck_delay variant =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config ~flows:[ Scenario.flow variant ] ~params
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:[ Scenario.flow variant ] ~params
          ~forced_drops:rules ())
   in
   let t0 =

@@ -22,7 +22,7 @@ let run_one ~seed ~smooth variant =
   let t =
     Scenario.run
       (Scenario.make
-         ~config:(Net.Dumbbell.paper_config ~flows:1)
+         ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
          ~flows:[ Scenario.flow variant ]
          ~params:{ params with smooth_start = smooth }
          ~seed ~duration ())

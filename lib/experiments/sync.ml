@@ -53,7 +53,7 @@ let run_gateway ~seed ~duration ~variant gateway_label gateway =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config ~flows:flow_specs ~params ~seed ~duration
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:flow_specs ~params ~seed ~duration
          ~monitor_queue:0.05 ())
   in
   let mss = params.Tcp.Params.mss in

@@ -60,7 +60,7 @@ let run_instance ~params ~seed ~deadline ~background ~target ~phase =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config ~flows:flow_specs ~params ~seed ~duration:deadline ())
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:flow_specs ~params ~seed ~duration:deadline ())
   in
   let result = t.Scenario.results.(target_flow) in
   let transfer_delay =

@@ -35,7 +35,7 @@ let run_one_way ~seed ~duration ~variant =
   let t =
     Scenario.run
       (Scenario.make
-         ~config:(config ~flows:forward_flows)
+         ~topology:(Scenario.dumbbell (config ~flows:forward_flows))
          ~flows:
            (List.init forward_flows (fun flow ->
                 {
@@ -61,7 +61,7 @@ let run_two_way ~seed ~duration ~variant =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config:(config ~flows) ~flows:flow_specs ~params ~seed
+      (Scenario.make ~topology:(Scenario.dumbbell (config ~flows)) ~flows:flow_specs ~params ~seed
          ~duration ())
   in
   let forward = List.init forward_flows Fun.id in

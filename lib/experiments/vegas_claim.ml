@@ -55,7 +55,7 @@ let run ?(drops = 3) ?(seed = 7L) () =
         let t =
           Scenario.run
             (Scenario.make
-               ~config:(Net.Dumbbell.paper_config ~flows:1)
+               ~topology:(Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
                ~flows:[ make_flow label mechanisms ]
                ~params ~seed ~forced_drops:rules ())
         in

@@ -18,7 +18,7 @@ let run_one ~seed ~mice_flows variant =
   in
   let t =
     Scenario.run
-      (Scenario.make ~config
+      (Scenario.make ~topology:(Scenario.dumbbell config)
          ~flows:(Scenario.flow variant :: List.init mice_flows (fun _ -> mouse))
          ~seed ~duration ())
   in

@@ -1,10 +1,10 @@
-type gateway =
+type gateway = Dumbbell_config.gateway =
   | Droptail of { capacity : int }
   | Red of { capacity : int; params : Red.params }
 
-type direction = Forward | Backward
+type direction = Dumbbell_config.direction = Forward | Backward
 
-type config = {
+type config = Dumbbell_config.t = {
   flows : int;
   side_bandwidth_bps : float;
   side_delay : float;
@@ -15,42 +15,43 @@ type config = {
   reverse_capacity : int;
 }
 
-let paper_config ~flows =
-  {
-    flows;
-    side_bandwidth_bps = Sim.Units.mbps 10.0;
-    side_delay = Sim.Units.ms 1.0;
-    bottleneck_bandwidth_bps = Sim.Units.mbps 0.8;
-    bottleneck_delay = Sim.Units.ms 96.0;
-    gateway = Droptail { capacity = 8 };
-    access_capacity = 1000;
-    reverse_capacity = 1000;
-  }
+let paper_config = Dumbbell_config.paper
 
-type t = {
-  config : config;
-  directions : direction array;
+type backend = Graph | Legacy_closures
+
+let backend_ref = ref Graph
+
+let set_default_backend backend = backend_ref := backend
+
+let default_backend () = !backend_ref
+
+(* -- legacy backend -------------------------------------------------
+
+   The original hand-wired closure web, kept verbatim so the
+   test_topology_diff suite can prove the graph realization
+   byte-identical against it. New capabilities (taps on arbitrary
+   links, non-dumbbell graphs) exist only on the {!Topology} path. *)
+
+type legacy = {
+  l_config : config;
+  l_directions : direction array;
   forward_access : Link.t array;  (* S_i -> R1 *)
   reverse_access : Link.t array;  (* K_i -> R2 *)
   data_handlers : (Packet.t -> unit) ref array;
   ack_handlers : (Packet.t -> unit) ref array;
   bottleneck : Link.t;
   reverse_bottleneck : Link.t;
-  red_stats : Red.drop_stats option;
-  drops : int array;  (* per-flow drop ledger *)
-  queues : (string * Queue_disc.t) list;  (* every disc, gateway first *)
+  l_red_stats : Red.drop_stats option;
+  l_drops : int array;  (* per-flow drop ledger *)
+  l_queues : (string * Queue_disc.t) list;  (* every disc, gateway first *)
 }
 
-let count_drop t packet =
+let legacy_count_drop t packet =
   let flow = packet.Packet.flow in
-  if flow >= 0 && flow < Array.length t.drops then
-    t.drops.(flow) <- t.drops.(flow) + 1
+  if flow >= 0 && flow < Array.length t.l_drops then
+    t.l_drops.(flow) <- t.l_drops.(flow) + 1
 
-let drops_of_flow t flow = t.drops.(flow)
-
-let total_drops t = Array.fold_left ( + ) 0 t.drops
-
-let create ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
+let create_legacy ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
     ?(wrap_reverse = fun next -> next) ?(on_drop = fun _ -> ()) ?side_delays
     ?directions () =
   if config.flows < 1 then invalid_arg "Dumbbell.create: flows < 1";
@@ -176,39 +177,116 @@ let create ~engine ~config ~rng ?(wrap_bottleneck = fun next -> next)
     @ named "exit_rev" exit_reverse_trunk
   in
   {
-    config;
-    directions;
+    l_config = config;
+    l_directions = directions;
     forward_access;
     reverse_access;
     data_handlers;
     ack_handlers;
     bottleneck;
     reverse_bottleneck;
-    red_stats;
-    drops;
-    queues;
+    l_red_stats = red_stats;
+    l_drops = drops;
+    l_queues = queues;
   }
 
+(* -- graph backend -------------------------------------------------- *)
+
+type graph = {
+  topo : Topology.t;
+  g_queues : (string * Queue_disc.t) list;  (* legacy naming order *)
+}
+
+type t = G of graph | L of legacy
+
+let create ~engine ~config ~rng ?wrap_bottleneck ?wrap_reverse ?(taps = [])
+    ?on_drop ?side_delays ?directions () =
+  match !backend_ref with
+  | Legacy_closures ->
+    if taps <> [] then
+      invalid_arg "Dumbbell.create: taps require the Graph backend";
+    L
+      (create_legacy ~engine ~config ~rng ?wrap_bottleneck ?wrap_reverse
+         ?on_drop ?side_delays ?directions ())
+  | Graph ->
+    let spec, endpoints = Topology.dumbbell ~config ?side_delays ?directions () in
+    (* Deprecated shims first, in the legacy invocation order (bottleneck
+       wrap before reverse wrap), so RNG draws inside wrap construction
+       stay in the historical sequence; explicit taps follow. *)
+    let shims =
+      (match wrap_bottleneck with Some w -> [ ("gateway", w) ] | None -> [])
+      @ match wrap_reverse with Some w -> [ ("reverse_gateway", w) ] | None -> []
+    in
+    let topo =
+      Topology.create ~engine ~spec ~rng ~taps:(shims @ taps) ?on_drop
+        ~flows:endpoints ()
+    in
+    let per prefix =
+      List.init config.flows (fun i -> Printf.sprintf "%s%d" prefix i)
+    in
+    let names =
+      ("gateway" :: "reverse_gateway" :: per "access_fwd")
+      @ per "access_rev" @ per "exit_fwd" @ per "exit_rev"
+    in
+    let g_queues = List.map (fun name -> (name, Topology.queue topo name)) names in
+    G { topo; g_queues }
+
+let topology = function G g -> Some g.topo | L _ -> None
+
+let count_drop t packet =
+  match t with
+  | G g -> Topology.count_drop g.topo packet
+  | L l -> legacy_count_drop l packet
+
+let drops_of_flow t flow =
+  match t with
+  | G g -> Topology.drops_of_flow g.topo flow
+  | L l -> l.l_drops.(flow)
+
+let total_drops = function
+  | G g -> Topology.total_drops g.topo
+  | L l -> Array.fold_left ( + ) 0 l.l_drops
+
 let inject_data t ~flow packet =
-  match t.directions.(flow) with
-  | Forward -> Link.send t.forward_access.(flow) packet
-  | Backward -> Link.send t.reverse_access.(flow) packet
+  match t with
+  | G g -> Topology.inject_data g.topo ~flow packet
+  | L l -> (
+    match l.l_directions.(flow) with
+    | Forward -> Link.send l.forward_access.(flow) packet
+    | Backward -> Link.send l.reverse_access.(flow) packet)
 
 let inject_ack t ~flow packet =
-  match t.directions.(flow) with
-  | Forward -> Link.send t.reverse_access.(flow) packet
-  | Backward -> Link.send t.forward_access.(flow) packet
+  match t with
+  | G g -> Topology.inject_ack g.topo ~flow packet
+  | L l -> (
+    match l.l_directions.(flow) with
+    | Forward -> Link.send l.reverse_access.(flow) packet
+    | Backward -> Link.send l.forward_access.(flow) packet)
 
-let on_data t ~flow handler = t.data_handlers.(flow) := handler
+let on_data t ~flow handler =
+  match t with
+  | G g -> Topology.on_data g.topo ~flow handler
+  | L l -> l.data_handlers.(flow) := handler
 
-let on_ack t ~flow handler = t.ack_handlers.(flow) := handler
+let on_ack t ~flow handler =
+  match t with
+  | G g -> Topology.on_ack g.topo ~flow handler
+  | L l -> l.ack_handlers.(flow) := handler
 
-let bottleneck_queue t = Link.queue t.bottleneck
+let bottleneck_queue = function
+  | G g -> Topology.queue g.topo "gateway"
+  | L l -> Link.queue l.bottleneck
 
-let bottleneck_link t = t.bottleneck
+let bottleneck_link = function
+  | G g -> Topology.link g.topo "gateway"
+  | L l -> l.bottleneck
 
-let reverse_trunk_link t = t.reverse_bottleneck
+let reverse_trunk_link = function
+  | G g -> Topology.link g.topo "reverse_gateway"
+  | L l -> l.reverse_bottleneck
 
-let queues t = t.queues
+let queues = function G g -> g.g_queues | L l -> l.l_queues
 
-let red_stats t = t.red_stats
+let red_stats = function
+  | G g -> Topology.red_stats g.topo "gateway"
+  | L l -> l.l_red_stats

@@ -6,7 +6,7 @@
     discipline under test; all other queues are generously provisioned
     drop-tails. *)
 
-type gateway =
+type gateway = Dumbbell_config.gateway =
   | Droptail of { capacity : int }
   | Red of { capacity : int; params : Red.params }
 
@@ -15,9 +15,9 @@ type gateway =
     their ACKs returning on the forward trunk — the two-way traffic of
     the paper's reference [22], whose data packets queue behind (and
     compress) the forward flows' ACKs. *)
-type direction = Forward | Backward
+type direction = Dumbbell_config.direction = Forward | Backward
 
-type config = {
+type config = Dumbbell_config.t = {
   flows : int;
   side_bandwidth_bps : float;
   side_delay : float;
@@ -34,33 +34,63 @@ type config = {
     8-packet drop-tail gateway. *)
 val paper_config : flows:int -> config
 
+(** Which realization backs {!create}. [Graph] (the default) builds the
+    dumbbell as a {!Topology} graph; [Legacy_closures] keeps the
+    original hand-wired closure web. Both produce byte-identical runs
+    (proven by the [test_topology_diff] suite); the legacy backend
+    exists only as the reference for that proof and will be removed
+    once it has served a release. *)
+type backend = Graph | Legacy_closures
+
+(** [set_default_backend b] selects the backend used by subsequent
+    {!create} calls, in the mold of
+    {!Sim.Engine.set_default_scheduler}. *)
+val set_default_backend : backend -> unit
+
+val default_backend : unit -> backend
+
 type t
 
-(** [create ~engine ~config ~rng ?wrap_bottleneck ?on_drop ()] builds
-    the topology. [wrap_bottleneck] interposes on packets entering the
-    forward bottleneck at R1 — the paper's loss-injection point; compose
-    it from {!Loss} wrappers. [wrap_reverse] likewise interposes on the
-    ACK path entering the reverse bottleneck at R2, for the §2.3
-    ACK-loss experiments. [rng] seeds the RED gateway when one is
-    configured. [on_drop] observes every queue drop in the topology (in
-    addition to the per-flow ledger). [side_delays] overrides
-    [config.side_delay] per flow (applied to all four of that flow's
-    access links), giving flows heterogeneous RTTs; its length must be
-    [config.flows]. [directions] assigns each flow a {!direction}
-    (default all [Forward]); a [Backward] flow's [inject_data] rides
-    the reverse trunk and its [inject_ack] the forward trunk, so
-    two-way experiments share queues exactly as in the paper's [22]. *)
+(** [create ~engine ~config ~rng ?taps ?on_drop ()] builds the
+    topology. [taps] interposes {!Topology.wrap} functions on the named
+    links — the bottleneck entry at R1 is link ["gateway"] (the paper's
+    loss-injection point; compose wraps from {!Loss}) and the ACK-path
+    entry at R2 is ["reverse_gateway"] (the §2.3 ACK-loss experiments);
+    any other link name from {!Topology.dumbbell} works too. [rng]
+    seeds the RED gateway when one is configured. [on_drop] observes
+    every queue drop in the topology (in addition to the per-flow
+    ledger). [side_delays] overrides [config.side_delay] per flow
+    (applied to all four of that flow's access links), giving flows
+    heterogeneous RTTs; its length must be [config.flows]. [directions]
+    assigns each flow a {!direction} (default all [Forward]); a
+    [Backward] flow's [inject_data] rides the reverse trunk and its
+    [inject_ack] the forward trunk, so two-way experiments share queues
+    exactly as in the paper's [22].
+
+    [wrap_bottleneck] and [wrap_reverse] are deprecated shims for
+    [taps] on ["gateway"] / ["reverse_gateway"], kept for one release;
+    they are applied before any explicit [taps], preserving the
+    historical wrap-construction order. Naming a link both ways raises.
+
+    @raise Invalid_argument on array-length mismatches, [flows < 1], or
+    (on the [Legacy_closures] backend) a non-empty [taps]. *)
 val create :
   engine:Sim.Engine.t ->
   config:config ->
   rng:Sim.Rng.t ->
   ?wrap_bottleneck:((Packet.t -> unit) -> Packet.t -> unit) ->
   ?wrap_reverse:((Packet.t -> unit) -> Packet.t -> unit) ->
+  ?taps:(string * Topology.wrap) list ->
   ?on_drop:(Packet.t -> unit) ->
   ?side_delays:float array ->
   ?directions:direction array ->
   unit ->
   t
+
+(** [topology t] is the underlying graph when [t] was built by the
+    [Graph] backend — the attachment point for capabilities the legacy
+    surface never had (taps or faults on arbitrary links). *)
+val topology : t -> Topology.t option
 
 (** [inject_data t ~flow packet] is sender [flow] putting a packet on
     its access link. *)

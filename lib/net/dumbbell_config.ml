@@ -1,0 +1,28 @@
+type gateway =
+  | Droptail of { capacity : int }
+  | Red of { capacity : int; params : Red.params }
+
+type direction = Forward | Backward
+
+type t = {
+  flows : int;
+  side_bandwidth_bps : float;
+  side_delay : float;
+  bottleneck_bandwidth_bps : float;
+  bottleneck_delay : float;
+  gateway : gateway;
+  access_capacity : int;
+  reverse_capacity : int;
+}
+
+let paper ~flows =
+  {
+    flows;
+    side_bandwidth_bps = Sim.Units.mbps 10.0;
+    side_delay = Sim.Units.ms 1.0;
+    bottleneck_bandwidth_bps = Sim.Units.mbps 0.8;
+    bottleneck_delay = Sim.Units.ms 96.0;
+    gateway = Droptail { capacity = 8 };
+    access_capacity = 1000;
+    reverse_capacity = 1000;
+  }

@@ -1,0 +1,41 @@
+(** Streaming mean/variance (Welford's online algorithm).
+
+    The many-flow runs summarise tens of thousands of per-flow
+    measurements; collecting them into lists for {!Summary.of_list}
+    would cost O(samples) memory per metric. A [Welford.t] holds the
+    running count, mean and squared-deviation sum in O(1) space, is
+    numerically stable for long streams, and matches [Summary.of_list]
+    on the same sample (up to float rounding of the two algorithms). *)
+
+type t
+
+(** [create ()] is an empty accumulator. *)
+val create : unit -> t
+
+(** [add t x] folds in one observation. NaN observations are counted
+    and poison the moments, as they would a list summary. *)
+val add : t -> float -> unit
+
+(** [count t] is the number of observations folded in. *)
+val count : t -> int
+
+(** [mean t] is the running mean; [nan] when empty. *)
+val mean : t -> float
+
+(** [stddev t] is the sample (n-1) standard deviation; [0.] when
+    [count t < 2]. *)
+val stddev : t -> float
+
+(** [min t] / [max t]; [nan] when empty. *)
+val min : t -> float
+
+val max : t -> float
+
+(** [summary t] collapses the accumulator into the record the campaign
+    reporters print, with the same Student-t confidence half-width as
+    {!Summary.of_list}. *)
+val summary : t -> Summary.t
+
+(** [merge a b] is an accumulator equivalent to having folded both
+    streams into one (Chan's parallel update). *)
+val merge : t -> t -> t

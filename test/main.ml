@@ -8,4 +8,5 @@ let () =
    @ Test_rr.suite @ Test_vegas.suite @ Test_stats.suite @ Test_model.suite
    @ Test_workload.suite @ Test_faults.suite @ Test_variant_registry.suite
    @ Test_integration.suite @ Test_two_way.suite @ Test_experiments.suite
-   @ Test_audit.suite @ Test_campaign.suite @ Test_scheduler_diff.suite)
+   @ Test_audit.suite @ Test_campaign.suite @ Test_scheduler_diff.suite
+   @ Test_topology.suite @ Test_flock.suite @ Test_topology_diff.suite)

@@ -170,7 +170,7 @@ let test_scenario_divergence_plumbing () =
   let run watch_divergence =
     let config = Net.Dumbbell.paper_config ~flows:1 in
     Experiments.Scenario.run
-      (Experiments.Scenario.make ~config
+      (Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
          ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
          ~params:{ Tcp.Params.default with rwnd = 20 }
          ~seed:7L ~duration:2.0 ~watch_divergence ())
@@ -209,7 +209,7 @@ let run_scenario ~variant ~red ~seed ~forced_drops ~uniform_loss ~ack_loss =
     { (Net.Dumbbell.paper_config ~flows:2) with gateway = gateway_of red }
   in
   Experiments.Scenario.run
-    (Experiments.Scenario.make ~config
+    (Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
        ~flows:[ Experiments.Scenario.flow variant; Experiments.Scenario.flow variant ]
        ~params:{ Tcp.Params.default with rwnd = 20; initial_ssthresh = 16.0 }
        ~seed ~duration:10.0 ~forced_drops ~uniform_loss ~ack_loss ())
@@ -295,7 +295,7 @@ let test_trace_shape () =
   let config = { (Net.Dumbbell.paper_config ~flows:2) with gateway = gateway_of false } in
   let t =
     Experiments.Scenario.run
-      (Experiments.Scenario.make ~config
+      (Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
          ~flows:
            [
              Experiments.Scenario.flow Core.Variant.Rr;

@@ -37,6 +37,7 @@ let test_digest_stability () =
     {
       Campaign.Job.variant = Core.Variant.Rr;
       gateway = Campaign.Job.Droptail 8;
+      topology = Campaign.Job.Dumbbell;
       uniform_loss = 0.02;
       ack_loss = 0.0;
       reorder = 0.0;

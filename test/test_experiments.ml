@@ -108,7 +108,7 @@ let test_scenario_rtt_estimate () =
 let test_scenario_flow_count_checked () =
   let spec =
     Experiments.Scenario.make
-      ~config:(Net.Dumbbell.paper_config ~flows:2)
+      ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:2))
       ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
       ~duration:1.0 ()
   in
@@ -183,7 +183,7 @@ let test_fig7_delack_model_constant () =
 let run_tiny_scenario () =
   Experiments.Scenario.run
     (Experiments.Scenario.make
-       ~config:(Net.Dumbbell.paper_config ~flows:1)
+       ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
        ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
        ~params:{ Tcp.Params.default with rwnd = 20 }
        ~duration:3.0 ~monitor_queue:0.1

@@ -280,7 +280,7 @@ let run_faulted ?(variant = Core.Variant.Rr) ?(seed = 7L) ?(duration = 5.0)
   let faults = spec_of spec_string in
   let config = Net.Dumbbell.paper_config ~flows:2 in
   Experiments.Scenario.run
-    (Experiments.Scenario.make ~config
+    (Experiments.Scenario.make ~topology:(Experiments.Scenario.dumbbell config)
        ~flows:
          [
            Experiments.Scenario.flow variant;

@@ -1,0 +1,148 @@
+(* Tcp.Flock: the flat-array many-flow sender/receiver path. Clean-path
+   delivery, loss recovery through a dropping tap, the receiver's
+   reorder bitmap, and the O(flows) aggregates Many_flow reports. *)
+
+let params = { Tcp.Params.default with Tcp.Params.rwnd = 20 }
+
+(* a <-> b, generous queues: a clean network *)
+let clean_spec ?(capacity = 1_000) () =
+  let link from_node to_node =
+    {
+      Net.Topology.from_node;
+      to_node;
+      bandwidth_bps = 10e6;
+      delay = 0.005;
+      queue = Net.Topology.Droptail { capacity };
+    }
+  in
+  {
+    Net.Topology.nodes =
+      [
+        { Net.Topology.node = "a"; routes = []; default_route = Some "ab" };
+        { Net.Topology.node = "b"; routes = []; default_route = Some "ba" };
+      ];
+    links = [ ("ab", link "a" "b"); ("ba", link "b" "a") ];
+  }
+
+let flock_on ?taps ~flows ~duration spec =
+  let engine = Sim.Engine.create () in
+  let topo =
+    Net.Topology.create ~engine ~spec
+      ~rng:(Sim.Rng.create 1L) ?taps
+      ~flows:(Array.make flows { Net.Topology.src = "a"; dst = "b" })
+      ()
+  in
+  let flock = ref None in
+  let the_flock () = Option.get !flock in
+  let t =
+    Tcp.Flock.create ~engine ~params ~flows
+      ~inject_data:(fun ~flow p -> Net.Topology.inject_data topo ~flow p)
+      ~inject_ack:(fun ~flow p -> Net.Topology.inject_ack topo ~flow p)
+      ()
+  in
+  flock := Some t;
+  Net.Topology.set_data_dispatch topo (fun p ->
+      Tcp.Flock.deliver_data (the_flock ()) p);
+  Net.Topology.set_ack_dispatch topo (fun p ->
+      Tcp.Flock.deliver_ack (the_flock ()) p);
+  Tcp.Flock.start t ();
+  Sim.Engine.run_until engine ~time:duration;
+  t
+
+let test_create_rejects () =
+  Alcotest.check_raises "flows < 1"
+    (Invalid_argument "Flock.create: flows < 1") (fun () ->
+      ignore
+        (Tcp.Flock.create ~engine:(Sim.Engine.create ()) ~params ~flows:0
+           ~inject_data:(fun ~flow:_ _ -> ())
+           ~inject_ack:(fun ~flow:_ _ -> ())
+           ()))
+
+let test_clean_path () =
+  let t = flock_on ~flows:1 ~duration:5.0 (clean_spec ()) in
+  Alcotest.(check int) "flows" 1 (Tcp.Flock.flows t);
+  Alcotest.(check bool)
+    "substantial delivery" true
+    (Tcp.Flock.acked_segments t 0 > 1_000);
+  Alcotest.(check int) "no retransmits" 0 (Tcp.Flock.total_retransmits t);
+  Alcotest.(check int) "no timeouts" 0 (Tcp.Flock.total_timeouts t);
+  Alcotest.(check bool)
+    "goodput positive" true
+    (Tcp.Flock.goodput_bps t 0 ~duration:5.0 > 0.0)
+
+let test_recovers_from_loss () =
+  (* a tap that drops every 50th data packet on the forward link *)
+  let seen = ref 0 in
+  let tap forward packet =
+    incr seen;
+    if !seen mod 50 <> 0 then forward packet
+  in
+  let t =
+    flock_on ~taps:[ ("ab", tap) ] ~flows:1 ~duration:10.0 (clean_spec ())
+  in
+  Alcotest.(check bool)
+    "recovery happened" true
+    (Tcp.Flock.retransmits t 0 > 0);
+  Alcotest.(check bool)
+    "delivery continued past the losses" true
+    (Tcp.Flock.acked_segments t 0 > 300);
+  Alcotest.(check bool) "cwnd sane" true (Tcp.Flock.cwnd t 0 >= 1.0)
+
+let test_many_flows_share () =
+  let flows = 50 in
+  let t = flock_on ~flows ~duration:5.0 (clean_spec ~capacity:64 ()) in
+  Alcotest.(check int)
+    "aggregate equals per-flow sum"
+    (Tcp.Flock.total_acked_segments t)
+    (List.init flows (Tcp.Flock.acked_segments t)
+    |> List.fold_left ( + ) 0);
+  List.iter
+    (fun flow ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d made progress" flow)
+        true
+        (Tcp.Flock.acked_segments t flow > 0))
+    (List.init flows Fun.id)
+
+(* Drive the receiver directly: out-of-order arrival is held in the
+   bitmap and ACKed below the hole, then released by the late segment. *)
+let test_receiver_reorder_bitmap () =
+  let engine = Sim.Engine.create () in
+  let acks = ref [] in
+  let t =
+    Tcp.Flock.create ~engine ~params ~flows:1
+      ~inject_data:(fun ~flow:_ _ -> ())
+      ~inject_ack:(fun ~flow:_ p ->
+        match p.Net.Packet.kind with
+        | Net.Packet.Ack { ackno; _ } -> acks := ackno :: !acks
+        | _ -> ())
+      ()
+  in
+  let data seq =
+    Net.Packet.data ~uid:seq ~flow:0 ~seq ~size_bytes:1000 ~born:0.0
+  in
+  Tcp.Flock.deliver_data t (data 1);
+  Tcp.Flock.deliver_data t (data 2);
+  Tcp.Flock.deliver_data t (data 0);
+  match List.rev !acks with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "holes ACK below the gap" true (a < 0 && b < 0);
+      Alcotest.(check int) "late segment releases the window" 2 c
+  | other ->
+      Alcotest.failf "expected 3 ACKs, got %d" (List.length other)
+
+let suite =
+  [
+    ( "flock",
+      [
+        Alcotest.test_case "create rejects flows < 1" `Quick test_create_rejects;
+        Alcotest.test_case "clean path delivers without recovery" `Quick
+          test_clean_path;
+        Alcotest.test_case "recovers from tap-injected loss" `Quick
+          test_recovers_from_loss;
+        Alcotest.test_case "fifty flows all make progress" `Quick
+          test_many_flows_share;
+        Alcotest.test_case "receiver reorder bitmap" `Quick
+          test_receiver_reorder_bitmap;
+      ] );
+  ]

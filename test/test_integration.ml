@@ -12,7 +12,7 @@ let run_transfer ?(variant = Core.Variant.Newreno) ?(segments = 60)
     ?(delayed_ack = false) ?(duration = 120.0) ?(seed = 5L) () =
   let spec =
     Experiments.Scenario.make
-      ~config:(Net.Dumbbell.paper_config ~flows:1)
+      ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
       ~flows:
         [
           {
@@ -118,7 +118,7 @@ let test_throughput_near_link_rate () =
     (fun variant ->
       let spec =
         Experiments.Scenario.make
-          ~config:(Net.Dumbbell.paper_config ~flows:1)
+          ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
           ~flows:[ Experiments.Scenario.flow variant ]
           ~params:{ Tcp.Params.default with rwnd = 20 }
           ~seed:5L ()
@@ -139,11 +139,12 @@ let test_throughput_near_link_rate () =
 let test_two_flows_share () =
   let spec =
     Experiments.Scenario.make
-      ~config:
-        {
-          (Net.Dumbbell.paper_config ~flows:2) with
-          Net.Dumbbell.gateway = Net.Dumbbell.Droptail { capacity = 25 };
-        }
+      ~topology:
+        (Experiments.Scenario.dumbbell
+           {
+             (Net.Dumbbell.paper_config ~flows:2) with
+             Net.Dumbbell.gateway = Net.Dumbbell.Droptail { capacity = 25 };
+           })
       ~flows:
         [
           Experiments.Scenario.flow Core.Variant.Rr;
@@ -175,7 +176,7 @@ let test_rr_beats_newreno_on_burst () =
     in
     let spec =
       Experiments.Scenario.make
-        ~config:(Net.Dumbbell.paper_config ~flows:1)
+        ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
         ~flows:[ Experiments.Scenario.flow variant ]
         ~params:{ Tcp.Params.default with initial_ssthresh = 16.0; rwnd = 20 }
         ~seed:5L ~forced_drops:rules ()
@@ -204,7 +205,7 @@ let test_rr_no_timeout_on_burst () =
   in
   let spec =
     Experiments.Scenario.make
-      ~config:(Net.Dumbbell.paper_config ~flows:1)
+      ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
       ~flows:[ Experiments.Scenario.flow Core.Variant.Rr ]
       ~params:{ Tcp.Params.default with initial_ssthresh = 16.0; rwnd = 20 }
       ~seed:5L ~forced_drops:rules ()
@@ -223,12 +224,14 @@ let test_deterministic_replay () =
   let run seed =
     let spec =
       Experiments.Scenario.make
-        ~config:
-          {
-            (Net.Dumbbell.paper_config ~flows:3) with
-            Net.Dumbbell.gateway =
-              Net.Dumbbell.Red { capacity = 25; params = Net.Red.paper_params };
-          }
+        ~topology:
+          (Experiments.Scenario.dumbbell
+             {
+               (Net.Dumbbell.paper_config ~flows:3) with
+               Net.Dumbbell.gateway =
+                 Net.Dumbbell.Red
+                   { capacity = 25; params = Net.Red.paper_params };
+             })
         ~flows:(List.init 3 (fun _ -> Experiments.Scenario.flow Core.Variant.Rr))
         ~params:{ Tcp.Params.default with rwnd = 20 }
         ~seed ~duration:10.0 ()
@@ -262,7 +265,7 @@ let test_limited_transmit_tiny_windows () =
   let run limited_transmit =
     let spec =
       Experiments.Scenario.make
-        ~config:(Net.Dumbbell.paper_config ~flows:1)
+        ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
         ~flows:
           [
             {

@@ -33,7 +33,7 @@ let test_traced_scenario_identical () =
         let out = open_out path in
         let spec =
           Experiments.Scenario.make
-            ~config:(Net.Dumbbell.paper_config ~flows:2)
+            ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:2))
             ~flows:
               [
                 Experiments.Scenario.flow Core.Variant.Rr;

@@ -5,7 +5,7 @@ let test_backward_flow_delivers () =
   let t =
     Experiments.Scenario.run
       (Experiments.Scenario.make
-         ~config:(Net.Dumbbell.paper_config ~flows:1)
+         ~topology:(Experiments.Scenario.dumbbell (Net.Dumbbell.paper_config ~flows:1))
          ~flows:
            [
              {
@@ -42,11 +42,12 @@ let test_mixed_directions_share_trunks () =
   let t =
     Experiments.Scenario.run
       (Experiments.Scenario.make
-         ~config:
-           {
-             (Net.Dumbbell.paper_config ~flows:2) with
-             Net.Dumbbell.reverse_capacity = 8;
-           }
+         ~topology:
+           (Experiments.Scenario.dumbbell
+              {
+                (Net.Dumbbell.paper_config ~flows:2) with
+                Net.Dumbbell.reverse_capacity = 8;
+              })
          ~flows:
            [
              Experiments.Scenario.flow Core.Variant.Rr;
