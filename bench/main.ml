@@ -96,6 +96,22 @@ let link_saturated () =
   Sim.Engine.run engine;
   assert (!delivered = 20_000)
 
+(* The same 12-job sweep under each supervised backend, one worker
+   each, so the fork/domains comparison isolates per-attempt dispatch
+   cost (fork+Marshal vs shared-memory hand-off) from machine-dependent
+   parallel speedup. A backend that quietly quarantined its jobs would
+   "win" every timing, so a clean sweep is asserted. (The GC counters
+   are per-process: the fork entry's words exclude allocation done in
+   the children, the domain entry's include every worker.) *)
+let campaign_sweep backend =
+  let outcome =
+    Campaign.Sweep.run ~jobs:1 ~backend
+      (Campaign.Sweep.grid
+         ~variants:Core.Variant.[ Newreno; Rr ]
+         ~uniform_losses:[ 0.01; 0.05 ] ~seed_count:3 ~duration:5.0 ())
+  in
+  assert (outcome.Campaign.Sweep.quarantined = [] && outcome.skipped = 0)
+
 (* -- Bechamel timing: one test per artifact -- *)
 
 (* Kept as a plain (name, thunk) list so --only can restrict a run to
@@ -143,13 +159,14 @@ let all_benchmarks : (string * (unit -> unit)) list =
         ignore
           (Experiments.Rtt_fairness.run ~variants:[ Core.Variant.Rr ]
              ~duration:40.0 ()) );
-    ( "campaign/12-job-sweep",
-      fun () ->
-        ignore
-          (Campaign.Sweep.run ~jobs:1
-             (Campaign.Sweep.grid
-                ~variants:Core.Variant.[ Newreno; Rr ]
-                ~uniform_losses:[ 0.01; 0.05 ] ~seed_count:3 ~duration:5.0 ())) );
+    (* The same 12-job sweep under each supervised backend, one worker
+       each so the comparison isolates per-attempt dispatch cost
+       (fork+Marshal vs shared-memory hand-off) from machine-dependent
+       parallel speedup. Registration order matters: the OCaml runtime
+       refuses [Unix.fork] forever once any domain has been spawned in
+       the process, so the fork entry must run first. *)
+    ("campaign/12-job-fork", fun () -> campaign_sweep Campaign.Pool.Forked);
+    ("campaign/12-job-domains", fun () -> campaign_sweep Campaign.Pool.Domains);
     ( "micro/engine-100k-events",
       fun () ->
         let engine = Sim.Engine.create () in
@@ -203,43 +220,68 @@ let tests ~only =
          else None)
        all_benchmarks)
 
+(* One benchmark's per-run estimates: wall clock plus the GC
+   allocation counters, all OLS slopes over the same measurement run
+   (Bechamel samples Gc minor/major words alongside the clock, so the
+   counters cost no extra benchmark executions). *)
+type row = { ms : float; minor_words : float; major_words : float }
+
 let measure ~only () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances (tests ~only) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates instance =
+    let results = Analyze.all ols instance raw in
     Hashtbl.fold
       (fun name ols_result acc ->
         match Analyze.OLS.estimates ols_result with
-        | Some [ nanoseconds ] -> (name, nanoseconds) :: acc
+        | Some [ value ] -> (name, value) :: acc
         | Some _ | None -> acc)
       results []
   in
-  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  let times = estimates Instance.monotonic_clock in
+  let minor = estimates Instance.minor_allocated in
+  let major = estimates Instance.major_allocated in
+  let words table name =
+    Option.value ~default:0.0 (List.assoc_opt name table)
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) times
+  |> List.map (fun (name, nanoseconds) ->
+         ( name,
+           {
+             ms = nanoseconds /. 1e6;
+             minor_words = words minor name;
+             major_words = words major name;
+           } ))
 
 let benchmark ~only () =
-  banner "Bechamel timings (wall-clock per experiment run)";
+  banner "Bechamel timings (wall-clock and GC words per experiment run)";
   List.iter
-    (fun (name, nanoseconds) ->
-      Printf.printf "  %-44s %10.3f ms/run\n" name (nanoseconds /. 1e6))
+    (fun (name, row) ->
+      Printf.printf "  %-44s %10.3f ms/run %14.0f minor-w %10.0f major-w\n"
+        name row.ms row.minor_words row.major_words)
     (measure ~only ())
 
 (* Machine-readable timings for regression tracking; the checked-in
-   bench/baseline.json is a snapshot of this output. *)
+   bench/baseline.json is a snapshot of this output. Schema 2 widened
+   each entry from a bare ms number to {ms, minor_words, major_words}. *)
 let benchmark_json ~only () =
   let rows = measure ~only () in
-  print_string "{\"schema\":\"rr-sim-bench/1\",\"unit\":\"ms\",\"results\":{";
+  print_string "{\"schema\":\"rr-sim-bench/2\",\"unit\":\"ms\",\"results\":{";
   List.iteri
-    (fun i (name, nanoseconds) ->
-      Printf.printf "%s\n  \"%s\": %.3f"
+    (fun i (name, row) ->
+      Printf.printf
+        "%s\n  \"%s\": {\"ms\": %.3f, \"minor_words\": %.0f, \"major_words\": \
+         %.0f}"
         (if i = 0 then "" else ",")
-        name (nanoseconds /. 1e6))
+        name row.ms row.minor_words row.major_words)
     rows;
   print_string "\n}}\n"
 
@@ -275,7 +317,14 @@ let benchmark_check ~only ~baseline ~tolerance =
     | Some fields ->
       List.filter_map
         (fun (name, v) ->
-          Option.map (fun ms -> (name, ms)) (Campaign.Json.to_float v))
+          (* Schema 2 entries are {ms, minor_words, major_words}
+             objects; schema 1 baselines were bare numbers. *)
+          let ms =
+            match Option.bind (Campaign.Json.member "ms" v) Campaign.Json.to_float with
+            | Some ms -> Some ms
+            | None -> Campaign.Json.to_float v
+          in
+          Option.map (fun ms -> (name, ms)) ms)
         fields
     | None ->
       Printf.eprintf "%s has no results object\n" baseline;
@@ -293,8 +342,8 @@ let benchmark_check ~only ~baseline ~tolerance =
         | None ->
           incr failures;
           [ name; Printf.sprintf "%.3f" base_ms; "-"; "-"; "MISSING" ]
-        | Some nanoseconds ->
-          let cur_ms = nanoseconds /. 1e6 in
+        | Some row ->
+          let cur_ms = row.ms in
           let ratio = cur_ms /. base_ms in
           let ok = ratio <= tolerance in
           if not ok then incr failures;
@@ -315,9 +364,8 @@ let benchmark_check ~only ~baseline ~tolerance =
        ~header:[ "benchmark"; "baseline (ms)"; "current (ms)"; "ratio"; "" ]
        rows);
   List.iter
-    (fun (name, nanoseconds) ->
-      Printf.printf "new (not in baseline): %s  %.3f ms\n" name
-        (nanoseconds /. 1e6))
+    (fun (name, row) ->
+      Printf.printf "new (not in baseline): %s  %.3f ms\n" name row.ms)
     extra;
   Printf.printf "\n%d benchmark(s) against %s, tolerance %.1fx: %d failure(s)\n"
     (List.length recorded) baseline tolerance !failures;

@@ -552,9 +552,29 @@ let run_term =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let trace_format =
+    let format_conv = Arg.enum [ ("jsonl", `Jsonl); ("binary", `Binary) ] in
+    let doc =
+      "Encoding for --trace: $(b,jsonl) (one JSON object per line) or \
+       $(b,binary) (compact length-prefixed records; convert back with \
+       $(b,rr-sim trace export))."
+    in
+    Arg.(
+      value & opt format_conv `Jsonl & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+  in
   let audit =
     let doc = "Print the invariant-audit report; exit non-zero on violations." in
     Arg.(value & flag & info [ "audit" ] ~doc)
+  in
+  let audit_sample =
+    let doc =
+      "Audit 1-in-$(docv) events instead of every one. The auditor's shadow \
+       state stays exact, so sampled checks never report false positives; \
+       the two rules that need the full event stream (queue-fifo and the \
+       dequeued-but-never-enqueued arm of queue-conservation) are active \
+       only at the default of 1. 0 disables auditing entirely."
+    in
+    Arg.(value & opt int 1 & info [ "audit-sample" ] ~docv:"N" ~doc)
   in
   let faults =
     let doc =
@@ -576,9 +596,13 @@ let run_term =
     Arg.(value & opt_all cross_conv [] & info [ "cross-traffic" ] ~docv:"BPS[:BYTES][:reverse]" ~doc)
   in
   let run scheduler variant topology flows duration red buffer loss rwnd
-      ack_loss delack limited_transmit rto tracefile trace audit faults cross
-      seed csv =
+      ack_loss delack limited_transmit rto tracefile trace trace_format audit
+      audit_sample faults cross seed csv =
     Sim.Engine.set_default_scheduler scheduler;
+    (if audit_sample < 0 then begin
+       Printf.eprintf "rr-sim: --audit-sample must be >= 0\n";
+       exit 2
+     end);
     if topology = Run_many_flow then begin
       (* The flock scale path: flat arrays and streaming statistics, no
          per-flow agents — most scenario knobs do not apply. *)
@@ -655,7 +679,8 @@ let run_term =
                   rto_estimator = rto;
                 }
               ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
-              ~monitor_queue:0.1 ?trace_out:trace_channel ~faults ~cross ()
+              ~monitor_queue:0.1 ?trace_out:trace_channel ~trace_format
+              ~audit_sample ~faults ~cross ()
           in
           Experiments.Scenario.run spec)
     in
@@ -740,7 +765,8 @@ let run_term =
   Term.(
     const run $ scheduler_arg $ variant $ topology $ flows $ duration $ red
     $ buffer $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ rto
-    $ tracefile $ trace $ audit $ faults $ cross $ seed_arg $ csv_arg)
+    $ tracefile $ trace $ trace_format $ audit $ audit_sample $ faults $ cross
+    $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -881,6 +907,24 @@ let sweep_term =
     let doc = "Worker processes (0 = number of cores)." in
     Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
+  let pool =
+    let pool_conv =
+      Arg.enum
+        [
+          ("serial", Some Campaign.Pool.Serial);
+          ("fork", Some Campaign.Pool.Forked);
+          ("domains", Some Campaign.Pool.Domains);
+        ]
+    in
+    let doc =
+      "Worker pool backend: $(b,fork) (one process per job attempt; full \
+       isolation, SIGKILL-enforced deadlines), $(b,domains) (shared-memory \
+       OCaml domains; no fork/marshal overhead, deadlines abandon rather \
+       than kill the worker) or $(b,serial) (in-process loop). Default: \
+       fork when more than one worker, serial otherwise."
+    in
+    Arg.(value & opt pool_conv None & info [ "pool" ] ~docv:"BACKEND" ~doc)
+  in
   let cache_dir =
     let doc = "Result-cache directory (content-addressed JSON entries)." in
     Arg.(value & opt string "_campaign" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
@@ -922,7 +966,7 @@ let sweep_term =
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
   let run scheduler variants gateways topologies losses ack_losses reorders
-      flap_periods cbr_shares rtos seed_count duration flows rwnd jobs
+      flap_periods cbr_shares rtos seed_count duration flows rwnd jobs pool
       cache_dir no_cache json timeout retries backoff resume seed =
     Sim.Engine.set_default_scheduler scheduler;
     (* Fail fast on an unparseable chaos spec instead of aborting
@@ -1009,7 +1053,7 @@ let sweep_term =
         (fun () ->
           Campaign.Sweep.run ?cache ?journal ~policy
             ~stop:(fun () -> !interrupted_by <> None)
-            ~jobs ~on_progress grid)
+            ~jobs ?backend:pool ~on_progress grid)
     in
     if (not json) && outcome.Campaign.Sweep.interrupted then
       prerr_newline ();
@@ -1024,8 +1068,8 @@ let sweep_term =
   Term.(
     const run $ scheduler_arg $ variants $ gateways $ topologies $ losses
     $ ack_losses $ reorders $ flap_periods $ cbr_shares $ rtos $ seed_count
-    $ duration $ flows $ rwnd $ jobs $ cache_dir $ no_cache $ json $ timeout
-    $ retries $ backoff $ resume $ seed_arg)
+    $ duration $ flows $ rwnd $ jobs $ pool $ cache_dir $ no_cache $ json
+    $ timeout $ retries $ backoff $ resume $ seed_arg)
 
 let sweep_cmd =
   Cmd.v
@@ -1095,6 +1139,45 @@ let all_cmd =
           experiment, or a subset via --only).")
     all_term
 
+(* -- trace: offline tooling for recorded event traces -- *)
+
+let trace_export_term =
+  let input =
+    let doc = "Binary trace file to convert (as written by --trace-format binary)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let output =
+    let doc = "Write the JSONL to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let export input output =
+    let convert out_channel =
+      In_channel.with_open_bin input (fun in_channel ->
+          Audit.Trace.export ~input:in_channel ~output:out_channel)
+    in
+    match
+      match output with
+      | Some path -> Out_channel.with_open_bin path convert
+      | None -> convert stdout
+    with
+    | () -> `Ok ()
+    | exception Audit.Trace.Corrupt reason ->
+      `Error (false, Printf.sprintf "%s: %s" input reason)
+  in
+  Term.(ret (const export $ input $ output))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Offline tooling for recorded event traces.")
+    [
+      Cmd.v
+        (Cmd.info "export"
+           ~doc:
+             "Convert a binary event trace to JSONL, byte-identical to what \
+              --trace-format jsonl would have written during the run.")
+        trace_export_term;
+    ]
+
 let main_cmd =
   let doc =
     "reproduction of Robust TCP Congestion Recovery (Wang & Shin, ICDCS 2001)"
@@ -1130,6 +1213,7 @@ let main_cmd =
       audit_cmd;
       run_cmd;
       sweep_cmd;
+      trace_cmd;
       list_cmd;
       all_cmd;
     ]

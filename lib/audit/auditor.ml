@@ -33,6 +33,12 @@ type queue_state = {
 type t = {
   engine : Sim.Engine.t;
   max_recorded : int;
+  (* 1-in-[sample] events get the invariant batteries; cheap shadow
+     state (maxseq, cumulative point, occupancy counters) is updated on
+     every event regardless, so sampled checks always evaluate against
+     exact state. [countdown] ticks down per observed event. *)
+  sample : int;
+  mutable countdown : int;
   mutable recorded : violation list;  (* newest first, capped *)
   mutable total : int;
   mutable checks : int;
@@ -40,16 +46,21 @@ type t = {
   mutable finalized : bool;
 }
 
-let create ?(max_recorded = 100) ~engine () =
+let create ?(max_recorded = 100) ?(sample = 1) ~engine () =
+  if sample < 1 then invalid_arg "Auditor.create: sample < 1";
   {
     engine;
     max_recorded;
+    sample;
+    countdown = 1;
     recorded = [];
     total = 0;
     checks = 0;
     queues = [];
     finalized = false;
   }
+
+let sample t = t.sample
 
 let violation_count t = t.total
 
@@ -59,15 +70,33 @@ let ok t = t.total = 0
 
 let violations t = List.rev t.recorded
 
+(* Every event calls [due] exactly once; the check batteries run only
+   on the events where it fires. With the default [sample = 1] it fires
+   on every event. *)
+let[@inline] due t =
+  let left = t.countdown - 1 in
+  if left = 0 then begin
+    t.countdown <- t.sample;
+    true
+  end
+  else begin
+    t.countdown <- left;
+    false
+  end
+
 let report_violation t ~subject ~rule ~detail =
   t.total <- t.total + 1;
   if t.total <= t.max_recorded then
     t.recorded <-
       { time = Sim.Engine.now t.engine; subject; rule; detail } :: t.recorded
 
-let check t ~subject ~rule ~detail condition =
-  t.checks <- t.checks + 1;
-  if not condition then report_violation t ~subject ~rule ~detail:(detail ())
+(* Check idiom: [tally] counts the evaluation, and the caller renders
+   the detail string only on the (cold) failing path. Keeping the
+   detail out of a closure matters: a [~detail:(fun () -> ...)] at the
+   call site captures its environment and heap-allocates on every
+   event, which made full observer fan-out the dominant per-event cost
+   of audited runs. *)
+let[@inline] tally t = t.checks <- t.checks + 1
 
 (* -- TCP sender invariants -- *)
 
@@ -75,35 +104,44 @@ let check_sender_core t (s : sender_state) =
   let b = s.agent.Tcp.Agent.base in
   let open Tcp.Sender_common in
   let subject = s.label in
-  check t ~subject ~rule:"sender-ordering"
-    ~detail:(fun () ->
-      Printf.sprintf "una=%d t_seqno=%d maxseq=%d" b.una b.t_seqno b.maxseq)
-    (b.una >= -1 && b.t_seqno >= b.una + 1 && b.t_seqno <= b.maxseq + 1);
-  check t ~subject ~rule:"sender-outstanding"
-    ~detail:(fun () -> Printf.sprintf "outstanding=%d" (outstanding b))
-    (outstanding b >= 0);
-  check t ~subject ~rule:"sender-window"
-    ~detail:(fun () ->
-      Printf.sprintf "cwnd=%.3f ssthresh=%.3f" b.cwnd b.ssthresh)
-    (b.cwnd >= 1.0 && b.ssthresh >= 2.0);
-  check t ~subject ~rule:"sender-dupacks"
-    ~detail:(fun () -> Printf.sprintf "dupacks=%d" b.dupacks)
-    (b.dupacks >= 0);
+  tally t;
+  if not (b.una >= -1 && b.t_seqno >= b.una + 1 && b.t_seqno <= b.maxseq + 1)
+  then
+    report_violation t ~subject ~rule:"sender-ordering"
+      ~detail:
+        (Printf.sprintf "una=%d t_seqno=%d maxseq=%d" b.una b.t_seqno b.maxseq);
+  tally t;
+  if not (outstanding b >= 0) then
+    report_violation t ~subject ~rule:"sender-outstanding"
+      ~detail:(Printf.sprintf "outstanding=%d" (outstanding b));
+  tally t;
+  if not (b.cwnd >= 1.0 && b.ssthresh >= 2.0) then
+    report_violation t ~subject ~rule:"sender-window"
+      ~detail:(Printf.sprintf "cwnd=%.3f ssthresh=%.3f" b.cwnd b.ssthresh);
+  tally t;
+  if not (b.dupacks >= 0) then
+    report_violation t ~subject ~rule:"sender-dupacks"
+      ~detail:(Printf.sprintf "dupacks=%d" b.dupacks);
   (* Dupack-counter consistency, classic-threshold variants only: once
      the counter has run past the threshold without recovery starting,
      the only legitimate reason is the ns-2 "bugfix" suppression
      ([una <= recover_mark]). Vegas retransmits on its own fine-grained
      timer and may exceed the threshold legitimately. *)
-  if s.agent.Tcp.Agent.name <> "vegas" then
-    check t ~subject ~rule:"sender-dupacks"
-      ~detail:(fun () ->
-        Printf.sprintf
-          "dupacks=%d passed threshold outside recovery yet fast retransmit \
-           is not suppressed (una=%d recover_mark=%d)"
-          b.dupacks b.una b.recover_mark)
-      (b.phase = Recovery
-      || b.dupacks <= b.params.Tcp.Params.dupack_threshold
-      || not (may_fast_retransmit b))
+  if s.agent.Tcp.Agent.name <> "vegas" then begin
+    tally t;
+    if
+      not
+        (b.phase = Recovery
+        || b.dupacks <= b.params.Tcp.Params.dupack_threshold
+        || not (may_fast_retransmit b))
+    then
+      report_violation t ~subject ~rule:"sender-dupacks"
+        ~detail:
+          (Printf.sprintf
+             "dupacks=%d passed threshold outside recovery yet fast \
+              retransmit is not suppressed (una=%d recover_mark=%d)"
+             b.dupacks b.una b.recover_mark)
+  end
 
 (* -- RR recovery invariants -- *)
 
@@ -116,23 +154,27 @@ let check_rr t (s : sender_state) =
     | None -> ()
     | Some view ->
       let b = s.agent.Tcp.Agent.base in
-      check t ~subject ~rule:"rr-counters"
-        ~detail:(fun () ->
-          Printf.sprintf "actnum=%d ndup=%d further_losses=%d" view.actnum
-            view.ndup view.further_losses)
-        (view.actnum >= 0 && view.ndup >= 0 && view.further_losses >= 0);
-      check t ~subject ~rule:"rr-exit-point"
-        ~detail:(fun () ->
-          Printf.sprintf "exit_point=%d maxseq=%d" view.exit_point
-            b.Tcp.Sender_common.maxseq)
-        (view.exit_point <= b.Tcp.Sender_common.maxseq);
+      tally t;
+      if not (view.actnum >= 0 && view.ndup >= 0 && view.further_losses >= 0)
+      then
+        report_violation t ~subject ~rule:"rr-counters"
+          ~detail:
+            (Printf.sprintf "actnum=%d ndup=%d further_losses=%d" view.actnum
+               view.ndup view.further_losses);
+      tally t;
+      if not (view.exit_point <= b.Tcp.Sender_common.maxseq) then
+        report_violation t ~subject ~rule:"rr-exit-point"
+          ~detail:
+            (Printf.sprintf "exit_point=%d maxseq=%d" view.exit_point
+               b.Tcp.Sender_common.maxseq);
       (match s.episode_exit_point with
       | Some previous ->
-        check t ~subject ~rule:"rr-exit-point"
-          ~detail:(fun () ->
-            Printf.sprintf "exit point moved backwards: %d -> %d" previous
-              view.exit_point)
-          (view.exit_point >= previous)
+        tally t;
+        if not (view.exit_point >= previous) then
+          report_violation t ~subject ~rule:"rr-exit-point"
+            ~detail:
+              (Printf.sprintf "exit point moved backwards: %d -> %d" previous
+                 view.exit_point)
       | None -> ());
       s.episode_exit_point <- Some view.exit_point)
 
@@ -147,11 +189,12 @@ let rr_probe_boundary_check t (s : sender_state) ~ackno =
     | Some view
       when view.stage = Core.Rr.Probe && ackno < view.exit_point
            && ackno > s.last_cumulative ->
-      check t ~subject:s.label ~rule:"rr-ndup-reset"
-        ~detail:(fun () ->
-          Printf.sprintf "ndup=%d not reset at probe RTT boundary (ackno=%d)"
-            view.ndup ackno)
-        (view.ndup = 0)
+      tally t;
+      if not (view.ndup = 0) then
+        report_violation t ~subject:s.label ~rule:"rr-ndup-reset"
+          ~detail:
+            (Printf.sprintf "ndup=%d not reset at probe RTT boundary (ackno=%d)"
+               view.ndup ackno)
     | Some _ | None -> ())
 
 let attach_sender t ?rr ~label agent =
@@ -167,44 +210,55 @@ let attach_sender t ?rr ~label agent =
   in
   let base = agent.Tcp.Agent.base in
   Tcp.Sender_common.on_send base (fun ~time:_ ~seq ~retx ->
-      let b = base in
-      check t ~subject:s.label ~rule:"send-labeling"
-        ~detail:(fun () ->
-          Printf.sprintf
-            "seq=%d retx=%b shadow_maxseq=%d: a send below the transmission \
-             frontier must be labelled a retransmission (and vice versa)"
-            seq retx s.shadow_maxseq)
-        (retx = (seq <= s.shadow_maxseq));
-      check t ~subject:s.label ~rule:"send-labeling"
-        ~detail:(fun () ->
-          Printf.sprintf "sent seq=%d at or below una=%d" seq
-            b.Tcp.Sender_common.una)
-        (seq >= 0 && seq > b.Tcp.Sender_common.una);
-      if seq > s.shadow_maxseq then s.shadow_maxseq <- seq;
-      check_sender_core t s;
-      check_rr t s);
+      (if due t then begin
+         let b = base in
+         tally t;
+         if not (retx = (seq <= s.shadow_maxseq)) then
+           report_violation t ~subject:s.label ~rule:"send-labeling"
+             ~detail:
+               (Printf.sprintf
+                  "seq=%d retx=%b shadow_maxseq=%d: a send below the \
+                   transmission frontier must be labelled a retransmission \
+                   (and vice versa)"
+                  seq retx s.shadow_maxseq);
+         tally t;
+         if not (seq >= 0 && seq > b.Tcp.Sender_common.una) then
+           report_violation t ~subject:s.label ~rule:"send-labeling"
+             ~detail:
+               (Printf.sprintf "sent seq=%d at or below una=%d" seq
+                  b.Tcp.Sender_common.una);
+         if seq > s.shadow_maxseq then s.shadow_maxseq <- seq;
+         check_sender_core t s;
+         check_rr t s
+       end
+       else if seq > s.shadow_maxseq then s.shadow_maxseq <- seq));
   Tcp.Sender_common.on_ack base (fun ~time:_ ~ackno ->
-      check t ~subject:s.label ~rule:"ack-bounds"
-        ~detail:(fun () ->
-          Printf.sprintf "ackno=%d beyond highest transmission %d" ackno
-            s.shadow_maxseq)
-        (ackno <= s.shadow_maxseq + 1);
-      check t ~subject:s.label ~rule:"ack-bounds"
-        ~detail:(fun () ->
-          Printf.sprintf "cumulative ACK moved backwards: %d after %d" ackno
-            s.last_cumulative)
-        (ackno >= s.last_cumulative);
-      rr_probe_boundary_check t s ~ackno;
-      if ackno > s.last_cumulative then s.last_cumulative <- ackno;
-      check_sender_core t s;
-      check_rr t s);
+      (if due t then begin
+         tally t;
+         if not (ackno <= s.shadow_maxseq + 1) then
+           report_violation t ~subject:s.label ~rule:"ack-bounds"
+             ~detail:
+               (Printf.sprintf "ackno=%d beyond highest transmission %d" ackno
+                  s.shadow_maxseq);
+         tally t;
+         if not (ackno >= s.last_cumulative) then
+           report_violation t ~subject:s.label ~rule:"ack-bounds"
+             ~detail:
+               (Printf.sprintf "cumulative ACK moved backwards: %d after %d"
+                  ackno s.last_cumulative);
+         rr_probe_boundary_check t s ~ackno;
+         if ackno > s.last_cumulative then s.last_cumulative <- ackno;
+         check_sender_core t s;
+         check_rr t s
+       end
+       else if ackno > s.last_cumulative then s.last_cumulative <- ackno));
   Tcp.Sender_common.on_recovery_enter base (fun ~time:_ ->
       s.episode_exit_point <- None);
   Tcp.Sender_common.on_recovery_exit base (fun ~time:_ ->
       s.episode_exit_point <- None);
   Tcp.Sender_common.on_timeout base (fun ~time:_ ->
       s.episode_exit_point <- None;
-      check_sender_core t s)
+      if due t then check_sender_core t s)
 
 (* -- queue-discipline packet conservation -- *)
 
@@ -238,69 +292,92 @@ let attach_queue t ~name disc =
   t.queues <- q :: t.queues;
   let subject = Printf.sprintf "queue %s" name in
   let occupancy_consistent () =
-    check t ~subject ~rule:"queue-conservation"
-      ~detail:(fun () ->
-        Printf.sprintf "tracked occupancy %d but disc reports %d" q.inside
-          (q.disc.Net.Queue_disc.length ()))
-      (q.inside = q.disc.Net.Queue_disc.length ())
+    tally t;
+    if not (q.inside = q.disc.Net.Queue_disc.length ()) then
+      report_violation t ~subject ~rule:"queue-conservation"
+        ~detail:
+          (Printf.sprintf "tracked occupancy %d but disc reports %d" q.inside
+             (q.disc.Net.Queue_disc.length ()))
   in
+  (* The per-flow FIFO rules (every dequeued uid was enqueued, flows
+     leave in arrival order) need the full event stream: their uid
+     bookkeeping breaks on any skipped event. They are active only at
+     [sample = 1]; sampled audits keep the exact occupancy counters and
+     the sampled conservation check. *)
+  let full_stream = t.sample = 1 in
   Net.Queue_disc.subscribe disc (function
     | Net.Queue_disc.Enqueued packet ->
       q.enq <- q.enq + 1;
       q.inside <- q.inside + 1;
-      Queue.push packet.Net.Packet.uid (flow_fifo q packet.Net.Packet.flow);
-      occupancy_consistent ()
+      if full_stream then
+        Queue.push packet.Net.Packet.uid (flow_fifo q packet.Net.Packet.flow);
+      if due t then occupancy_consistent ()
     | Net.Queue_disc.Dropped _ ->
       q.drop <- q.drop + 1;
-      occupancy_consistent ()
+      if due t then occupancy_consistent ()
     | Net.Queue_disc.Dequeued packet ->
       q.deq <- q.deq + 1;
       q.inside <- q.inside - 1;
-      check t ~subject ~rule:"queue-conservation"
-        ~detail:(fun () ->
-          Printf.sprintf "dequeued uid %d with tracked occupancy %d"
-            packet.Net.Packet.uid (q.inside + 1))
-        (q.inside >= 0);
-      let fifo = flow_fifo q packet.Net.Packet.flow in
-      (match Queue.take_opt fifo with
-      | None ->
-        report_violation t ~subject ~rule:"queue-conservation"
-          ~detail:
-            (Printf.sprintf "dequeued uid %d (flow %d) never enqueued"
-               packet.Net.Packet.uid packet.Net.Packet.flow)
-      | Some expected ->
-        check t ~subject ~rule:"queue-fifo"
-          ~detail:(fun () ->
-            Printf.sprintf
-              "flow %d reordered: dequeued uid %d while uid %d was in front"
-              packet.Net.Packet.flow packet.Net.Packet.uid expected)
-          (expected = packet.Net.Packet.uid));
-      occupancy_consistent ())
+      let sampled = due t in
+      if sampled then begin
+        tally t;
+        if not (q.inside >= 0) then
+          report_violation t ~subject ~rule:"queue-conservation"
+            ~detail:
+              (Printf.sprintf "dequeued uid %d with tracked occupancy %d"
+                 packet.Net.Packet.uid (q.inside + 1))
+      end;
+      if full_stream then begin
+        let fifo = flow_fifo q packet.Net.Packet.flow in
+        match Queue.take_opt fifo with
+        | None ->
+          report_violation t ~subject ~rule:"queue-conservation"
+            ~detail:
+              (Printf.sprintf "dequeued uid %d (flow %d) never enqueued"
+                 packet.Net.Packet.uid packet.Net.Packet.flow)
+        | Some expected ->
+          tally t;
+          if not (expected = packet.Net.Packet.uid) then
+            report_violation t ~subject ~rule:"queue-fifo"
+              ~detail:
+                (Printf.sprintf
+                   "flow %d reordered: dequeued uid %d while uid %d was in \
+                    front"
+                   packet.Net.Packet.flow packet.Net.Packet.uid expected)
+      end;
+      if sampled then occupancy_consistent ())
 
 let finalize_queue t q =
   let subject = Printf.sprintf "queue %s" q.qname in
   let stats = q.disc.Net.Queue_disc.stats in
-  check t ~subject ~rule:"queue-conservation"
-    ~detail:(fun () ->
-      Printf.sprintf
-        "at end of run: %d enqueued, %d dequeued, %d still queued" q.enq q.deq
-        (q.disc.Net.Queue_disc.length ()))
-    (q.enq - q.deq = q.disc.Net.Queue_disc.length () && q.inside >= 0);
-  check t ~subject ~rule:"queue-stats"
-    ~detail:(fun () ->
-      Printf.sprintf
-        "stats drifted from observed events: enqueued %d<>%d, dropped \
-         %d<>%d, dequeued %d<>%d"
-        (stats.Net.Queue_disc.enqueued - q.start.Net.Queue_disc.enqueued)
-        q.enq
-        (stats.Net.Queue_disc.dropped - q.start.Net.Queue_disc.dropped)
-        q.drop
-        (stats.Net.Queue_disc.dequeued - q.start.Net.Queue_disc.dequeued)
-        q.deq)
-    (stats.Net.Queue_disc.enqueued - q.start.Net.Queue_disc.enqueued = q.enq
-    && stats.Net.Queue_disc.dropped - q.start.Net.Queue_disc.dropped = q.drop
-    && stats.Net.Queue_disc.dequeued - q.start.Net.Queue_disc.dequeued = q.deq
-    )
+  tally t;
+  if not (q.enq - q.deq = q.disc.Net.Queue_disc.length () && q.inside >= 0)
+  then
+    report_violation t ~subject ~rule:"queue-conservation"
+      ~detail:
+        (Printf.sprintf
+           "at end of run: %d enqueued, %d dequeued, %d still queued" q.enq
+           q.deq
+           (q.disc.Net.Queue_disc.length ()));
+  tally t;
+  if
+    not
+      (stats.Net.Queue_disc.enqueued - q.start.Net.Queue_disc.enqueued = q.enq
+      && stats.Net.Queue_disc.dropped - q.start.Net.Queue_disc.dropped = q.drop
+      && stats.Net.Queue_disc.dequeued - q.start.Net.Queue_disc.dequeued
+         = q.deq)
+  then
+    report_violation t ~subject ~rule:"queue-stats"
+      ~detail:
+        (Printf.sprintf
+           "stats drifted from observed events: enqueued %d<>%d, dropped \
+            %d<>%d, dequeued %d<>%d"
+           (stats.Net.Queue_disc.enqueued - q.start.Net.Queue_disc.enqueued)
+           q.enq
+           (stats.Net.Queue_disc.dropped - q.start.Net.Queue_disc.dropped)
+           q.drop
+           (stats.Net.Queue_disc.dequeued - q.start.Net.Queue_disc.dequeued)
+           q.deq)
 
 let finalize t =
   if not t.finalized then begin

@@ -28,7 +28,20 @@
 
     Checks run inside the event hooks, i.e. at well-defined points of
     each sender transaction; violations are recorded (with the engine
-    time), never raised, so a broken run still completes and reports. *)
+    time), never raised, so a broken run still completes and reports.
+
+    {b Sampling.} An auditor created with [~sample:n] evaluates the
+    check batteries on 1-in-[n] observed events instead of every one.
+    The cheap shadow state every rule compares against (shadow
+    [maxseq], the cumulative-ACK point, queue occupancy and event
+    counters) is still maintained exactly on {e every} event, so a
+    sampled check never produces a false positive — sampling only
+    trades detection probability of transient violations for audit
+    cost. Two rules need the full event stream and are active only at
+    [sample = 1]: {b queue-fifo} and the dequeued-but-never-enqueued
+    arm of {b queue-conservation}, whose per-uid bookkeeping breaks on
+    any skipped event. End-of-run {!finalize} checks use exact
+    counters and run at every sampling rate. *)
 
 type violation = {
   time : float;  (** engine time at detection *)
@@ -41,8 +54,16 @@ type t
 
 (** [create ~engine ()] builds an auditor stamping violations with
     [engine]'s clock. At most [max_recorded] violations (default 100)
-    are stored verbatim; further ones are only counted. *)
-val create : ?max_recorded:int -> engine:Sim.Engine.t -> unit -> t
+    are stored verbatim; further ones are only counted. [sample]
+    (default 1 = audit every event) enables 1-in-[n] sampling as
+    described above.
+
+    @raise Invalid_argument if [sample < 1]. *)
+val create :
+  ?max_recorded:int -> ?sample:int -> engine:Sim.Engine.t -> unit -> t
+
+(** [sample t] is the sampling divisor [t] was created with. *)
+val sample : t -> int
 
 (** [attach_sender t ~label agent] subscribes the sender checks to
     [agent]'s hooks. Pass [?rr] to also check Robust-Recovery

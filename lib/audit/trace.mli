@@ -20,16 +20,31 @@
     marks ACKs that do not advance the flow's cumulative point. The
     channel is owned by the caller; the tracer only writes and
     {!flush}es. Lines are staged in an internal buffer and written out
-    in chunks, so callers must {!flush} before closing the channel. *)
+    in chunks, so callers must {!flush} before closing the channel.
+
+    {b Binary mode.} A tracer created with [~format:`Binary] records
+    the same events as a compact length-prefixed binary stream instead
+    of formatting JSON in the event hooks: a ["RRTB"] magic + version
+    header, then one LEB128-length-prefixed record per event — tag
+    byte, timestamp as the {!Sim.Timebits} int in 8 little-endian
+    bytes, then varint/zigzag fields; queue and link names are
+    interned and referenced by id after their first occurrence (the
+    full layout is documented in [trace.ml] and DESIGN.md). {!export}
+    converts such a stream back offline into exactly the JSONL the
+    default mode would have written live — byte for byte, including
+    the recomputed ACK [dup] flags. *)
 
 type t
 
-(** [create ?flush_at ~out ()] builds a tracer writing to [out]. The
-    internal buffer is drained to the channel whenever it reaches
-    [flush_at] bytes (default 64 KiB) and on {!flush}.
+(** [create ?flush_at ?format ~out ()] builds a tracer writing to
+    [out] — JSONL by default, the binary container with [`Binary]. The
+    internal staging buffer is drained to the channel whenever it
+    reaches [flush_at] bytes (default 64 KiB) and on {!flush}; its
+    initial capacity matches [flush_at], capped at 16 MiB.
 
     @raise Invalid_argument if [flush_at <= 0]. *)
-val create : ?flush_at:int -> out:out_channel -> unit -> t
+val create :
+  ?flush_at:int -> ?format:[ `Jsonl | `Binary ] -> out:out_channel -> unit -> t
 
 (** [attach_sender t agent] records send/ack/recovery/timeout events of
     [agent]. *)
@@ -72,3 +87,18 @@ val journal_event : t -> time:float -> ev:string -> (string * field) list -> uni
 (** [flush t] drains the staging buffer and flushes the underlying
     channel. *)
 val flush : t -> unit
+
+(** {1 Offline export} *)
+
+(** Raised by {!export} on a malformed binary trace; the payload
+    describes the first defect found. *)
+exception Corrupt of string
+
+(** [export ~input ~output] reads a binary trace (as written by a
+    [`Binary] tracer) from [input] and writes the equivalent JSONL to
+    [output], byte-identical to what a [`Jsonl] tracer observing the
+    same events would have produced. Flushes [output]'s tracer staging
+    but leaves closing both channels to the caller.
+
+    @raise Corrupt on bad magic, truncation or undecodable records. *)
+val export : input:in_channel -> output:out_channel -> unit

@@ -1,5 +1,21 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* -- execution backends -- *)
+
+type backend = Serial | Forked | Domains
+
+let backend_name = function
+  | Serial -> "serial"
+  | Forked -> "fork"
+  | Domains -> "domains"
+
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "serial" -> Ok Serial
+  | "fork" | "forked" -> Ok Forked
+  | "domain" | "domains" -> Ok Domains
+  | other -> Error (Printf.sprintf "unknown pool backend %S" other)
+
 (* -- failure taxonomy -- *)
 
 type failure =
@@ -372,12 +388,279 @@ let run_forked ~jobs ~policy ~stop ~on_done ~on_retry ~on_settled f items =
   Array.to_list
     (Array.map (function Some status -> status | None -> Not_run) statuses)
 
-let run ~jobs ?(policy = default_policy) ?(stop = fun () -> false)
+(* -- the domain-sharded pool --
+
+   A fixed team of [jobs] worker domains takes (index, attempt) tasks
+   from a shared ready queue and pushes results onto a shared result
+   queue, both guarded by one mutex; job specs live in a shared array
+   the workers read in place — no fork, no Marshal. The supervisor
+   (the calling domain) still owns all policy: it matures backed-off
+   retries into the ready queue, starts each attempt's deadline when a
+   worker stamps the task as picked up, and settles outcomes in input
+   order. A byte over a pipe accompanies every pushed result so the
+   supervisor can block in [select] with the same deadline horizon the
+   fork backend uses ([Condition] has no timed wait).
+
+   The semantic difference from fork: a domain cannot be SIGKILLed.
+   An attempt that outlives its deadline is {e abandoned} — reported
+   [Timed_out] exactly like fork — but its worker keeps running inside
+   [f]. The supervisor spawns a replacement domain so pool capacity
+   survives a genuinely hung job; if the abandoned attempt later
+   finishes after all, its result is discarded and one surplus worker
+   retires at its next queue visit. Chaos actions map accordingly:
+   [Hang] hangs the worker cooperatively (recoverable only via a
+   deadline, as with fork), while [Crash] and [Truncate] — process
+   death and a torn Marshal payload, neither of which exists in-domain
+   — degrade to an immediately failed attempt with a distinguishing
+   message. *)
+
+type 'b domain_result = {
+  r_index : int;
+  r_attempt : int;
+  r_value : ('b, string) result;
+}
+
+let rec notify_byte fd =
+  match Unix.write_substring fd "!" 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> notify_byte fd
+
+let run_domains ~jobs ~policy ~stop ~on_done ~on_retry ~on_settled f items =
+  let plan = resolve_chaos () in
+  let items = Array.of_list items in
+  let total = Array.length items in
+  let statuses : 'b outcome option array = Array.make total None in
+  let m = Mutex.create () in
+  let work_cond = Condition.create () in
+  let ready : (int * int) Queue.t = Queue.create () in
+  let results : 'b domain_result Queue.t = Queue.create () in
+  let started : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  let shutdown = ref false in
+  let retire = ref 0 in
+  let notify_rd, notify_wr = Unix.pipe ~cloexec:true () in
+  let worker () =
+    let rec loop () =
+      Mutex.lock m;
+      let rec await () =
+        if !shutdown then None
+        else if !retire > 0 then begin
+          decr retire;
+          None
+        end
+        else if Queue.is_empty ready then begin
+          Condition.wait work_cond m;
+          await ()
+        end
+        else begin
+          let task = Queue.pop ready in
+          (* The attempt's deadline starts now, not when it was queued
+             behind other work — same basis as fork, which forks (and
+             stamps) only when capacity frees up. *)
+          Hashtbl.replace started task (Unix.gettimeofday ());
+          Some task
+        end
+      in
+      let task = await () in
+      Mutex.unlock m;
+      match task with
+      | None -> ()
+      | Some (index, attempt) ->
+        let action =
+          match plan with None -> None | Some plan -> plan ~index ~attempt
+        in
+        let value =
+          match action with
+          | Some Crash -> Error "chaos crash (in-domain: no process to kill)"
+          | Some Truncate ->
+            Error "chaos truncate (in-domain: no payload to tear)"
+          | Some Hang ->
+            while true do
+              Unix.sleepf 3600.0
+            done;
+            assert false
+          | None -> (
+            try Ok (f items.(index)) with e -> Error (Printexc.to_string e))
+        in
+        Mutex.lock m;
+        Queue.push { r_index = index; r_attempt = attempt; r_value = value }
+          results;
+        Mutex.unlock m;
+        (try notify_byte notify_wr with Unix.Unix_error _ -> ());
+        loop ()
+    in
+    loop ()
+  in
+  let domains = ref [] in
+  let spawn_worker () = domains := Domain.spawn worker :: !domains in
+  for _ = 1 to min jobs (max total 1) do
+    spawn_worker ()
+  done;
+  let pending =
+    ref
+      (List.init total (fun i ->
+           { p_index = i; p_attempt = 1; not_before = neg_infinity }))
+  in
+  (* (index, attempt) attempts in flight on some worker, and those
+     abandoned at their deadline whose late results must be dropped. *)
+  let inflight : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let abandoned : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let settled = ref 0 in
+  let settle index outcome =
+    statuses.(index) <-
+      Some (match outcome with Ok v -> Settled v | Error f -> Failed f);
+    incr settled;
+    on_settled ~index outcome;
+    on_done !settled
+  in
+  let resolve_failure ~index ~attempt failure =
+    if attempt <= policy.retries then begin
+      on_retry ~index ~attempt failure;
+      pending :=
+        !pending
+        @ [
+            {
+              p_index = index;
+              p_attempt = attempt + 1;
+              not_before = Unix.gettimeofday () +. backoff_delay policy attempt;
+            };
+          ]
+    end
+    else if attempt = 1 then settle index (Error failure)
+    else settle index (Error (Gave_up attempt))
+  in
+  while (not (stop ())) && (!pending <> [] || Hashtbl.length inflight > 0) do
+    let now = Unix.gettimeofday () in
+    let mature, immature =
+      List.partition (fun p -> p.not_before <= now) !pending
+    in
+    pending := immature;
+    if mature <> [] then begin
+      Mutex.lock m;
+      List.iter
+        (fun p ->
+          Hashtbl.replace inflight (p.p_index, p.p_attempt) ();
+          Queue.push (p.p_index, p.p_attempt) ready;
+          Condition.signal work_cond)
+        mature;
+      Mutex.unlock m
+    end;
+    (* Sleep until a worker reports, the nearest running attempt's
+       deadline expires, or the nearest backed-off retry matures. *)
+    let horizon =
+      Mutex.lock m;
+      let h =
+        match policy.timeout with
+        | None -> infinity
+        | Some timeout ->
+          Hashtbl.fold
+            (fun key () acc ->
+              match Hashtbl.find_opt started key with
+              | Some t0 -> Float.min (t0 +. timeout) acc
+              | None -> acc)
+            inflight infinity
+      in
+      Mutex.unlock m;
+      List.fold_left (fun acc p -> Float.min p.not_before acc) h !pending
+    in
+    let timeout =
+      if horizon = infinity then -1.0
+      else Float.max 0.0 (horizon -. Unix.gettimeofday ())
+    in
+    (match select_read [ notify_rd ] timeout with
+    | [] -> ()
+    | _ :: _ -> (
+      let scratch = Bytes.create 256 in
+      match Unix.read notify_rd scratch 0 256 with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+    let fresh =
+      Mutex.lock m;
+      let batch = List.of_seq (Queue.to_seq results) in
+      Queue.clear results;
+      List.iter (fun r -> Hashtbl.remove started (r.r_index, r.r_attempt)) batch;
+      Mutex.unlock m;
+      batch
+    in
+    List.iter
+      (fun { r_index = index; r_attempt = attempt; r_value = value } ->
+        let key = (index, attempt) in
+        if Hashtbl.mem abandoned key then begin
+          (* The attempt was already reported Timed_out and replaced;
+             drop the late result and shrink the pool back. *)
+          Hashtbl.remove abandoned key;
+          Mutex.lock m;
+          incr retire;
+          Condition.signal work_cond;
+          Mutex.unlock m
+        end
+        else begin
+          Hashtbl.remove inflight key;
+          match value with
+          | Ok v -> settle index (Ok v)
+          | Error message -> resolve_failure ~index ~attempt (Crashed message)
+        end)
+      fresh;
+    (match policy.timeout with
+    | None -> ()
+    | Some timeout ->
+      let now = Unix.gettimeofday () in
+      let expired =
+        Mutex.lock m;
+        let e =
+          Hashtbl.fold
+            (fun key () acc ->
+              match Hashtbl.find_opt started key with
+              | Some t0 when t0 +. timeout <= now -> key :: acc
+              | _ -> acc)
+            inflight []
+        in
+        Mutex.unlock m;
+        e
+      in
+      List.iter
+        (fun ((index, attempt) as key) ->
+          Hashtbl.remove inflight key;
+          Hashtbl.replace abandoned key ();
+          (* The stuck worker cannot be reclaimed; keep the pool at
+             strength for the remaining jobs. *)
+          spawn_worker ();
+          resolve_failure ~index ~attempt (Timed_out timeout))
+        expired)
+  done;
+  let stopped = stop () in
+  Mutex.lock m;
+  shutdown := true;
+  Condition.broadcast work_cond;
+  Mutex.unlock m;
+  (* Workers exit at their next queue visit. Joining is safe only when
+     none is (possibly forever) inside [f]: skip it after a stop
+     request or with abandoned attempts outstanding — those domains
+     (and the notify pipe they may still poke) are left to process
+     exit. *)
+  if (not stopped) && Hashtbl.length abandoned = 0 then begin
+    List.iter Domain.join !domains;
+    (try Unix.close notify_rd with Unix.Unix_error _ -> ());
+    try Unix.close notify_wr with Unix.Unix_error _ -> ()
+  end;
+  Array.to_list
+    (Array.map (function Some status -> status | None -> Not_run) statuses)
+
+let run ~jobs ?backend ?(policy = default_policy) ?(stop = fun () -> false)
     ?(on_done = fun _ -> ()) ?(on_retry = fun ~index:_ ~attempt:_ _ -> ())
     ?(on_settled = fun ~index:_ _ -> ()) f items =
-  if jobs <= 1 then
-    run_serial ~policy ~stop ~on_done ~on_retry ~on_settled f items
-  else run_forked ~jobs ~policy ~stop ~on_done ~on_retry ~on_settled f items
+  let backend =
+    match backend with
+    | Some backend -> backend
+    | None -> if jobs <= 1 then Serial else Forked
+  in
+  match backend with
+  | Serial -> run_serial ~policy ~stop ~on_done ~on_retry ~on_settled f items
+  | Forked ->
+    run_forked ~jobs:(max 1 jobs) ~policy ~stop ~on_done ~on_retry ~on_settled
+      f items
+  | Domains ->
+    run_domains ~jobs:(max 1 jobs) ~policy ~stop ~on_done ~on_retry
+      ~on_settled f items
 
 let map ~jobs ?on_done f items =
   run ~jobs ?on_done f items

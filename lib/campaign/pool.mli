@@ -1,26 +1,66 @@
-(** Supervised [Unix.fork]-based worker pool.
+(** Supervised worker pool with pluggable execution backends.
 
-    Each task runs in its own forked child — full process isolation, so
-    the simulator's global state (engine clocks, RNGs, counters) never
-    leaks between concurrently-running jobs — and the result value is
-    marshalled back to the parent over a pipe.
+    The {!Forked} backend runs each task in its own forked child — full
+    process isolation, so the simulator's global state (engine clocks,
+    RNGs, counters) never leaks between concurrently-running jobs — and
+    marshals the result value back to the parent over a pipe. The
+    {!Domains} backend shards the same tasks across a fixed team of
+    [Domain.spawn] workers instead: job specs sit in a shared read-only
+    array, results come back through a lock-protected queue, and both
+    fork and Marshal drop out of the picture. {!Serial} is the plain
+    in-process loop.
 
-    The parent is a supervisor, not a bystander: every attempt carries
-    an optional wall-clock deadline (expired workers are SIGKILLed and
-    reaped), failed attempts are retried up to a bounded budget with
-    deterministic exponential backoff, and a batch {e always} settles —
-    a crashed, hung or torn worker becomes a {!Failed} slot in the
-    result list instead of aborting its siblings. [Unix.select] and
-    [Unix.waitpid] are retried on [EINTR], so signal delivery (expected
-    once the CLI installs SIGINT/SIGTERM handlers) cannot abort a
-    collect mid-flight.
+    The calling domain is a supervisor, not a bystander: every attempt
+    carries an optional wall-clock deadline, failed attempts are
+    retried up to a bounded budget with deterministic exponential
+    backoff, and a batch {e always} settles — a crashed, hung or torn
+    worker becomes a {!Failed} slot in the result list instead of
+    aborting its siblings. [Unix.select] and [Unix.waitpid] are retried
+    on [EINTR], so signal delivery (expected once the CLI installs
+    SIGINT/SIGTERM handlers) cannot abort a collect mid-flight.
 
-    Simulation jobs are deterministic, so a parallel run returns
-    exactly what the serial run would, only sooner. *)
+    Deadline enforcement differs by backend, because a domain cannot
+    be SIGKILLed the way a forked child can. Fork kills and reaps an
+    expired worker. Domains {e abandon} the expired attempt: it is
+    reported {!Timed_out} at the same moment fork would report it, a
+    replacement worker is spawned so a genuinely hung job does not
+    shrink the pool, and if the abandoned attempt finishes after all
+    its late result is discarded and one surplus worker retires. A
+    worker hung forever (e.g. chaos [Hang]) therefore still occupies a
+    domain until the process exits — the supervisor just stops waiting
+    for it.
+
+    Simulation jobs are deterministic and allocate all run state per
+    job (engines, RNG states), so every backend returns exactly what
+    the serial run would, only sooner.
+
+    One-way door: the OCaml runtime permanently refuses [Unix.fork]
+    once any domain has been spawned in the process — even after every
+    domain has been joined — so a process that has used the {!Domains}
+    backend can never run {!Forked} afterwards ({!run} then raises
+    [Failure]). Anything exercising both backends in one process must
+    order the fork-backed work first; the bench harness and the
+    backend test suite do. *)
 
 (** [default_jobs ()] is the host's recommended parallelism (core
     count as reported by the runtime). *)
 val default_jobs : unit -> int
+
+(** {1 Execution backends} *)
+
+type backend =
+  | Serial  (** in-process loop; no parallelism, no deadlines, no chaos *)
+  | Forked  (** one forked child per attempt, results marshalled back *)
+  | Domains
+      (** shared-memory [Domain.spawn] worker team; deadlines abandon
+          rather than kill (see above) *)
+
+(** [backend_name backend] is ["serial"], ["fork"] or ["domains"]. *)
+val backend_name : backend -> string
+
+(** [backend_of_string s] parses {!backend_name} spellings (plus
+    ["forked"]/["domain"]), case-insensitively. *)
+val backend_of_string : string -> (backend, string) result
 
 (** {1 Failure taxonomy} *)
 
@@ -82,8 +122,13 @@ type chaos_action =
 type chaos_plan = index:int -> attempt:int -> chaos_action option
 
 (** Process-wide chaos hook consulted by {!run}; [None] (the default)
-    falls back to parsing {!chaos_env}. Tests set it directly. Only
-    forked workers obey it — the serial path ignores chaos. *)
+    falls back to parsing {!chaos_env}. Tests set it directly. The
+    serial path ignores chaos. Forked workers reproduce each action
+    literally; domain workers map [Hang] to a cooperative hang (the
+    attempt never reports; only a deadline recovers it) and [Crash] /
+    [Truncate] — process death and a torn Marshal payload, neither of
+    which exists in-domain — to an immediately failed attempt with a
+    distinguishing message. *)
 val chaos : chaos_plan option ref
 
 (** Name of the environment variable ["RR_SIM_POOL_CHAOS"] holding a
@@ -98,25 +143,28 @@ val chaos_of_string : string -> (chaos_plan, string) result
 
 (** {1 Running} *)
 
-(** [run ~jobs ?policy ?stop ?on_done ?on_retry ?on_settled f items]
-    applies [f] to every item, running up to [jobs] children
+(** [run ~jobs ?backend ?policy ?stop ?on_done ?on_retry ?on_settled f
+    items] applies [f] to every item, running up to [jobs] workers
     concurrently under [policy], and returns one {!outcome} per item in
-    input order. [jobs <= 1] degrades to a plain in-process loop (no
-    forking, no deadlines, no chaos; retries still apply).
+    input order. [backend] defaults to {!Forked} when [jobs > 1] and
+    {!Serial} otherwise — the historical behaviour; passing it
+    explicitly pins the execution strategy regardless of [jobs].
 
     [stop] is polled between collect rounds; once it returns [true],
-    running workers are SIGKILLed and reaped, and every job not yet
+    running fork workers are SIGKILLed and reaped (domain workers are
+    told to exit at their next queue visit), and every job not yet
     settled is reported {!Not_run} — already-settled work is kept.
-    [on_done] is called in the parent as each item settles (with the
-    count settled so far), for progress display. [on_retry] fires on
-    each non-final failed attempt, before the backoff; [on_settled]
+    [on_done] is called in the supervisor as each item settles (with
+    the count settled so far), for progress display. [on_retry] fires
+    on each non-final failed attempt, before the backoff; [on_settled]
     fires on each terminal outcome — success or final failure — as it
     happens, so callers can persist results incrementally (eager cache
-    stores, run journals).
+    stores, run journals). All callbacks run in the calling domain.
 
     @raise Invalid_argument if {!chaos_env} holds an unparseable spec. *)
 val run :
   jobs:int ->
+  ?backend:backend ->
   ?policy:policy ->
   ?stop:(unit -> bool) ->
   ?on_done:(int -> unit) ->

@@ -156,7 +156,7 @@ let group_points results =
     !order
 
 let run ?cache ?journal ?(policy = Pool.default_policy)
-    ?(stop = fun () -> false) ?jobs
+    ?(stop = fun () -> false) ?jobs ?backend
     ?(on_progress = fun ~completed:_ ~total:_ -> ()) grid =
   let started = Unix.gettimeofday () in
   let workers = match jobs with Some n -> max 1 n | None -> Pool.default_jobs () in
@@ -199,7 +199,7 @@ let run ?cache ?journal ?(policy = Pool.default_policy)
       journal
   in
   let outcomes =
-    Pool.run ~jobs:workers ~policy ~stop
+    Pool.run ~jobs:workers ?backend ~policy ~stop
       ~on_done:(fun settled -> on_progress ~completed:(cache_hits + settled) ~total)
       ~on_retry ~on_settled Job.run misses
   in

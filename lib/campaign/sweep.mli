@@ -99,14 +99,19 @@ type outcome = {
     the legacy wait-forever behaviour). [stop] is polled between
     collect rounds; once true, in-flight workers are SIGKILLed and the
     remaining jobs are skipped. [jobs] sets the pool width (default
-    {!Pool.default_jobs}); [on_progress] is called after every settled
-    job with the completed count and the total. *)
+    {!Pool.default_jobs}) and [backend] the execution strategy
+    ({!Pool.run}'s default when omitted: fork above one worker);
+    backends are interchangeable — the deterministic jobs make the
+    report identical across serial, fork and domain pools.
+    [on_progress] is called after every settled job with the completed
+    count and the total. *)
 val run :
   ?cache:Cache.t ->
   ?journal:Journal.t ->
   ?policy:Pool.policy ->
   ?stop:(unit -> bool) ->
   ?jobs:int ->
+  ?backend:Pool.backend ->
   ?on_progress:(completed:int -> total:int -> unit) ->
   grid ->
   outcome

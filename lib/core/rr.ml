@@ -176,10 +176,10 @@ let make ~engine ~params ~flow ~emit ~ablation () =
     create ~engine ~params ~flow ~emit ~timeout_action:(timeout state) ()
   in
   let deliver_ack packet =
-    match packet.Net.Packet.kind with
-    | Net.Packet.Data _ -> invalid_arg "Rr: data packet delivered to sender"
-    | Net.Packet.Ack { ackno; _ } ->
-      if not base.completed then recv_ack ~ablation base state ~ackno
+    if Net.Packet.is_data packet then
+      invalid_arg "Rr: data packet delivered to sender"
+    else if not base.completed then
+      recv_ack ~ablation base state ~ackno:(Net.Packet.ackno_exn packet)
   in
   ( { Tcp.Agent.name = "rr"; flow; deliver_ack; base; wants_sack = false },
     state )

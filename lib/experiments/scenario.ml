@@ -89,16 +89,21 @@ type spec = {
   monitor_queue : float option;
   side_delays : float array option;
   trace_out : out_channel option;
+  trace_format : [ `Jsonl | `Binary ];
   faults : Faults.Spec.t;
   cross : cross list;
   watch_divergence : bool;
+  audit_sample : int;
 }
 
 let make ~topology ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
     ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays
-    ?trace_out ?(faults = Faults.Spec.none) ?(cross = [])
-    ?(watch_divergence = false) () =
+    ?trace_out ?(trace_format = `Jsonl) ?(faults = Faults.Spec.none)
+    ?(cross = [])
+    ?(watch_divergence = false) ?(audit_sample = 1) () =
+  if audit_sample < 0 then
+    invalid_arg "Scenario.make: audit_sample must be >= 0";
   {
     topology;
     flows;
@@ -112,9 +117,11 @@ let make ~topology ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     monitor_queue;
     side_delays;
     trace_out;
+    trace_format;
     faults;
     cross;
     watch_divergence;
+    audit_sample;
   }
 
 type flow_result = {
@@ -211,9 +218,9 @@ let run spec =
   let drop_log = ref [] in
   let log_drop packet =
     let payload =
-      match packet.Net.Packet.kind with
-      | Net.Packet.Data { seq } -> Data { seq }
-      | Net.Packet.Ack _ -> Ack
+      if Net.Packet.is_data packet then
+        Data { seq = Net.Packet.seq_exn packet }
+      else Ack
     in
     drop_log :=
       { time = Sim.Engine.now engine; flow = packet.Net.Packet.flow; payload }
@@ -360,7 +367,13 @@ let run spec =
               schedule)
           g.flap_links))
   | _ -> ());
-  let auditor = Audit.Auditor.create ~engine () in
+  (* [audit_sample = 0] turns auditing off entirely — the clean-run
+     reference for measuring audit overhead. The auditor object still
+     exists (trivially ok, zero checks); it just observes nothing. *)
+  let audit_on = spec.audit_sample > 0 in
+  let auditor =
+    Audit.Auditor.create ~engine ~sample:(max 1 spec.audit_sample) ()
+  in
   (* Divergence watching is opt-in: it only attaches observation hooks,
      but keeping it off by default means classic specs build exactly the
      same hook lists as before this monitor existed. *)
@@ -368,7 +381,11 @@ let run spec =
     if spec.watch_divergence then Some (Audit.Divergence.create ~engine ())
     else None
   in
-  let tracer = Option.map (fun out -> Audit.Trace.create ~out ()) spec.trace_out in
+  let tracer =
+    Option.map
+      (fun out -> Audit.Trace.create ~format:spec.trace_format ~out ())
+      spec.trace_out
+  in
   let net_queues =
     match net with
     | Dumbbell_net topology -> Net.Dumbbell.queues topology
@@ -376,7 +393,7 @@ let run spec =
   in
   List.iter
     (fun (name, queue) ->
-      Audit.Auditor.attach_queue auditor ~name queue;
+      if audit_on then Audit.Auditor.attach_queue auditor ~name queue;
       Option.iter
         (fun tr -> Audit.Trace.attach_queue tr ~engine ~name queue)
         tracer)
@@ -401,9 +418,10 @@ let run spec =
     on_data ~flow:flow_id (Tcp.Receiver.deliver receiver);
     on_ack ~flow:flow_id agent.Tcp.Agent.deliver_ack;
     let trace = Stats.Flow_trace.attach agent in
-    Audit.Auditor.attach_sender auditor ?rr:rr_handle
-      ~label:(Printf.sprintf "flow %d (%s)" flow_id flow_spec.label)
-      agent;
+    if audit_on then
+      Audit.Auditor.attach_sender auditor ?rr:rr_handle
+        ~label:(Printf.sprintf "flow %d (%s)" flow_id flow_spec.label)
+        agent;
     Option.iter
       (fun monitor ->
         Audit.Divergence.attach_sender monitor

@@ -136,9 +136,12 @@ type spec = {
   side_delays : float array option;
       (** per-flow access-link delay override (heterogeneous RTTs) *)
   trace_out : out_channel option;
-      (** when set, a structured JSONL event trace ({!Audit.Trace}) of
-          every sender, queue and injected fault is written there during
-          the run *)
+      (** when set, a structured event trace ({!Audit.Trace}) of every
+          sender, queue and injected fault is written there during the
+          run *)
+  trace_format : [ `Jsonl | `Binary ];
+      (** trace encoding: JSONL lines (default) or the compact binary
+          container that [rr-sim trace export] converts back *)
   faults : Faults.Spec.t;
       (** link flaps / reordering / jitter to inject
           ({!Faults.Spec.none} = clean network). Flaps cut both trunk
@@ -153,6 +156,12 @@ type spec = {
       (** attach an {!Audit.Divergence} monitor to every TCP sender,
           watching for RTO-estimator divergence and synchronized
           timeout bursts (off by default; observation-only) *)
+  audit_sample : int;
+      (** auditor sampling divisor: check batteries run on 1-in-this
+          events (default 1 = full audit; see {!Audit.Auditor}); [0]
+          detaches the auditor entirely — the clean-run reference when
+          measuring audit overhead (the {!t.auditor} of such a run is
+          trivially ok with zero checks) *)
 }
 
 (** [make ~topology ~flows ()] builds a spec with the defaults the
@@ -171,9 +180,11 @@ val make :
   ?monitor_queue:float ->
   ?side_delays:float array ->
   ?trace_out:out_channel ->
+  ?trace_format:[ `Jsonl | `Binary ] ->
   ?faults:Faults.Spec.t ->
   ?cross:cross list ->
   ?watch_divergence:bool ->
+  ?audit_sample:int ->
   unit ->
   spec
 

@@ -58,9 +58,16 @@ let run_instance ~params ~seed ~deadline ~background ~target ~phase =
             Scenario.start = 0.5 *. float_of_int flow;
           })
   in
+  (* Table 5 is the hottest experiment in the suite (8 phases x 4 cases
+     x 20 flows); its reported metrics come from flow traces and
+     counters, never from the auditor, so the auditor runs sampled here
+     — every invariant battery still fires on 1-in-8 events (no false
+     positives, see Audit.Auditor) at a fraction of the full-audit
+     cost. *)
   let t =
     Scenario.run
-      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:flow_specs ~params ~seed ~duration:deadline ())
+      (Scenario.make ~topology:(Scenario.dumbbell config) ~flows:flow_specs
+         ~params ~seed ~duration:deadline ~audit_sample:8 ())
   in
   let result = t.Scenario.results.(target_flow) in
   let transfer_delay =

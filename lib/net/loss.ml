@@ -17,14 +17,14 @@ let drop_list ~rules ?(on_drop = fun _ -> ()) next =
       Hashtbl.replace rules_tbl (flow, seq) occurrence)
     rules;
   fun packet ->
-    match packet.Packet.kind with
-    | Packet.Ack _ -> next packet
-    | Packet.Data { seq } ->
-      let key = (packet.Packet.flow, seq) in
+    if not (Packet.is_data packet) then next packet
+    else begin
+      let key = (packet.Packet.flow, Packet.seq_exn packet) in
       let count = 1 + Option.value ~default:0 (Hashtbl.find_opt seen key) in
       Hashtbl.replace seen key count;
-      (match Hashtbl.find_opt rules_tbl key with
+      match Hashtbl.find_opt rules_tbl key with
       | Some occurrence when occurrence = count ->
         Hashtbl.remove rules_tbl key;
         on_drop packet
-      | Some _ | None -> next packet)
+      | Some _ | None -> next packet
+    end

@@ -7,18 +7,32 @@
     acknowledges all segments [0..k] cumulatively; duplicate ACKs repeat
     the same [ackno]. SACK blocks are half-open segment ranges
     [(first, last_plus_one)] describing out-of-order data held by the
-    receiver, most recent first. *)
+    receiver, most recent first.
 
+    Packets are represented as a single all-immediate record: the
+    direction tag and sequence number share one packed [info] word and
+    the creation timestamp is stored in {!Sim.Timebits} encoding, so
+    building a packet costs one allocation and per-packet hot paths
+    ({!is_data}, {!seq_exn}, {!ackno_exn}) never allocate. {!kind}
+    materializes the pattern-matchable view for cold paths. *)
+
+(** Pattern-matchable view of a packet's payload, built on demand by
+    {!kind}. *)
 type kind =
   | Data of { seq : int }
   | Ack of { ackno : int; sack : (int * int) list }
 
-type t = {
+type t = private {
   uid : int;  (** unique per simulation, for tracing *)
   flow : int;  (** flow (connection) identifier *)
-  kind : kind;
+  info : int;
+      (** packed payload word: bit 0 is the data tag, bits 1..62 the
+          (seqno|ackno) + 1 — see {!is_data}, {!seq_exn},
+          {!ackno_exn} for decoded access *)
+  sack : (int * int) list;  (** SACK ranges; [[]] for data packets *)
   size_bytes : int;  (** on-the-wire size, drives transmission delay *)
-  born : float;  (** creation time, for end-to-end delay tracing *)
+  born_bits : int;
+      (** creation time in {!Sim.Timebits} encoding — {!born} decodes *)
 }
 
 (** [data ~uid ~flow ~seq ~size_bytes ~born] builds a data segment. *)
@@ -35,13 +49,30 @@ val ack :
   unit ->
   t
 
-(** [is_data t] reports whether [t] carries data. *)
+(** [is_data t] reports whether [t] carries data. Allocation-free. *)
 val is_data : t -> bool
 
 (** [seq_exn t] is the sequence number of a data packet.
+    Allocation-free.
 
     @raise Invalid_argument on an ACK. *)
 val seq_exn : t -> int
+
+(** [ackno_exn t] is the cumulative acknowledgement number of an ACK.
+    Allocation-free.
+
+    @raise Invalid_argument on a data packet. *)
+val ackno_exn : t -> int
+
+(** [sack t] is the SACK block list; [[]] for data packets. *)
+val sack : t -> (int * int) list
+
+(** [born t] is the creation timestamp. *)
+val born : t -> float
+
+(** [kind t] materializes the pattern-matchable payload view.
+    Allocates; prefer the flat accessors on per-packet paths. *)
+val kind : t -> kind
 
 (** [pp] formats a packet for debugging and traces. *)
 val pp : Format.formatter -> t -> unit

@@ -207,9 +207,7 @@ let destination t packet =
   if flow < 0 || flow >= Array.length t.flow_src then
     invalid_arg "Topology: packet with unknown flow id"
   else
-    match packet.Packet.kind with
-    | Packet.Data _ -> t.flow_dst.(flow)
-    | Packet.Ack _ -> t.flow_src.(flow)
+    if Packet.is_data packet then t.flow_dst.(flow) else t.flow_src.(flow)
   [@@inline]
 
 let forward t ~node ~dst packet =
@@ -222,9 +220,8 @@ let forward t ~node ~dst packet =
 let arrive t ~node packet =
   let dst = destination t packet in
   if dst = node then
-    match packet.Packet.kind with
-    | Packet.Data _ -> t.data_dispatch packet
-    | Packet.Ack _ -> t.ack_dispatch packet
+    if Packet.is_data packet then t.data_dispatch packet
+    else t.ack_dispatch packet
   else forward t ~node ~dst packet
 
 let create ~engine ~spec ~rng ?(taps = []) ?(on_drop = fun _ -> ())

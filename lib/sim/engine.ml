@@ -1,42 +1,544 @@
-type state = Pending | Consumed | Cancelled
+(* The event store is the unit of the simulation hot path, so its
+   representation is tuned hard. Events are not records: they are slots
+   in a struct-of-arrays arena owned by the engine, and every per-event
+   word is an immediate int.
 
-type event = {
-  mutable fire : unit -> unit;
-  mutable state : state;
-  (* The scheduled firing time, duplicated here so the run loop can pop
-     bare event records through the allocation-free [pop_if_before]
-     path and still advance the clock. *)
-  mutable time : float;
-  (* Events scheduled through the no-handle fast path never escape to a
-     caller, so their records can be recycled through the free list the
-     moment they fire. Handle-bearing events must not be recycled: the
-     caller may still hold the handle. *)
-  recyclable : bool;
-  mutable next_free : event;
-}
+   - The firing time is the IEEE-754 bit pattern of the float,
+     recentred into the native 63-bit int range ([bits_of_time]). For
+     non-negative times the mapping is exact and order-isomorphic, so
+     queues compare and store plain ints — no boxed float per event.
+   - A handle is an int packing (generation, slot). Slots are recycled
+     through a free list the moment an event fires or a cancelled
+     event drains; the generation check makes a stale handle's
+     [cancel] a no-op instead of a misfire. Unlike the PR-3 engine,
+     which could only recycle handle-less unit events, this recycles
+     everything — a steady-state run allocates nothing per event, and
+     an engine holding 100k pending events costs six flat arrays
+     rather than 100k heap records for the GC to trace and promote.
+   - Both schedulers are intrusive over the arena: calendar bucket
+     chains and the free list thread through the [qnext] array, the
+     heap is an int array of slots.
 
-type handle = event
+   The generic [Heap] and [Calqueue] modules remain the reference
+   implementations (and the oracles the scheduler tests diff against);
+   the specialized copies here exist because the generic ones pay an
+   entry record, a boxed float and an option cell per event. *)
 
-type scheduler = [ `Calendar | `Heap ]
+type handle = int
 
-type queue = Q_heap of event Heap.t | Q_cal of event Calqueue.t
+let no_slot = -1
 
-type t = {
-  mutable clock : float;
-  queue : queue;
-  mutable stopped : bool;
-  (* Live (non-cancelled, non-fired) events, so [pending] and the run
-     loop can avoid being fooled by lazily-deleted cancellations. *)
-  mutable live : int;
-  mutable free : event;
-}
+(* Handle layout: (gen land gen_mask) lsl slot_bits lor slot. *)
+let slot_bits = 31
+
+let slot_mask = (1 lsl slot_bits) - 1
+
+let gen_mask = (1 lsl 31) - 1
+
+(* Meta layout: gen lsl 2 lor state; states below. *)
+let state_mask = 3
+
+let pending_tag = 0
+
+let cancelled_tag = 2
 
 let nop () = ()
 
-(* Free-list terminator: a self-linked sentinel shared by all engines
-   (never enqueued, never mutated). *)
-let rec nil =
-  { fire = nop; state = Consumed; time = 0.0; recyclable = false; next_free = nil }
+let[@inline always] bits_of_time (t : float) = Timebits.of_time t
+let[@inline always] time_of_bits (bits : int) = Timebits.to_time bits
+
+type scheduler = [ `Calendar | `Heap ]
+
+type heap = { mutable hdata : int array; mutable hsize : int }
+
+type cal = {
+  mutable buckets : int array;
+  mutable tails : int array;
+  mutable cmask : int;
+  mutable width : float;
+  mutable inv_width : float;
+  mutable csize : int;
+  (* Search position: [last_time_bits] is a lower bound on the minimum
+     timestamp present and [cur_vbucket] its bucket year. *)
+  mutable cur_vbucket : int;
+  mutable last_time_bits : int;
+  (* Monotone upper bound on every timestamp ever enqueued; with
+     [last_time_bits] it bounds the occupied bucket-year span, which
+     caps how far the table is worth growing. *)
+  mutable max_time_bits : int;
+  (* Size at which the next grow attempt triggers; doubles as a
+     backoff when the span cap refuses further growth, so a fill with
+     few distinct timestamps does not re-attempt on every push. *)
+  mutable grow_at : int;
+}
+
+type queue = Q_heap of heap | Q_cal of cal
+
+type t = {
+  (* Parallel per-slot arrays; [cap] is their common length and slots
+     [0, high) have been handed out at least once. *)
+  mutable fire : (unit -> unit) array;
+  mutable meta : int array;
+  mutable time_bits : int array;
+  mutable qseq : int array;
+  mutable vbucket : int array;
+  (* Calendar chain link, and the free-list link while a slot is
+     parked: a slot is never simultaneously queued and free. *)
+  mutable qnext : int array;
+  mutable cap : int;
+  mutable high : int;
+  mutable free_head : int;
+  queue : queue;
+  mutable clock_bits : int;
+  mutable stopped : bool;
+  (* Live (non-cancelled, non-fired) events, so [pending] and callers
+     are not fooled by lazily-deleted cancellations still queued. *)
+  mutable live : int;
+  mutable next_seq : int;
+}
+
+(* Slot [a] fires before slot [b]: strictly earlier time, or same time
+   and earlier insertion — the stable-FIFO contract of the generic
+   queues. *)
+let[@inline always] before t a b =
+  let tb = t.time_bits in
+  let ta = Array.unsafe_get tb a and tbb = Array.unsafe_get tb b in
+  ta < tbb
+  || (ta = tbb && Array.unsafe_get t.qseq a < Array.unsafe_get t.qseq b)
+
+(* -- arena -- *)
+
+let initial_cap = 64
+
+let grow_arena t =
+  let cap = 2 * t.cap in
+  let fire = Array.make cap nop in
+  Array.blit t.fire 0 fire 0 t.cap;
+  let copy a =
+    let fresh = Array.make cap 0 in
+    Array.blit a 0 fresh 0 t.cap;
+    fresh
+  in
+  t.fire <- fire;
+  t.meta <- copy t.meta;
+  t.time_bits <- copy t.time_bits;
+  t.qseq <- copy t.qseq;
+  t.vbucket <- copy t.vbucket;
+  t.qnext <- copy t.qnext;
+  t.cap <- cap
+
+let[@inline] alloc_slot t =
+  let s = t.free_head in
+  if s >= 0 then begin
+    t.free_head <- Array.unsafe_get t.qnext s;
+    s
+  end
+  else begin
+    if t.high = t.cap then grow_arena t;
+    let s = t.high in
+    t.high <- s + 1;
+    s
+  end
+
+(* Bump the generation so stale handles to this slot die, drop the
+   closure reference, park on the free list. Setting the low state
+   bits before the increment both carries into the generation field
+   and leaves the fresh state at zero (= pending). *)
+let[@inline] free_slot t s =
+  Array.unsafe_set t.fire s nop;
+  Array.unsafe_set t.meta s ((Array.unsafe_get t.meta s lor state_mask) + 1);
+  Array.unsafe_set t.qnext s t.free_head;
+  t.free_head <- s
+
+(* -- specialized binary heap over slots -- *)
+
+let heap_create () = { hdata = Array.make 16 no_slot; hsize = 0 }
+
+let heap_grow h =
+  let fresh = Array.make (2 * Array.length h.hdata) no_slot in
+  Array.blit h.hdata 0 fresh 0 h.hsize;
+  h.hdata <- fresh
+
+let rec heap_sift_up t h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let d = h.hdata in
+    let ei = Array.unsafe_get d i and ep = Array.unsafe_get d parent in
+    if before t ei ep then begin
+      Array.unsafe_set d i ep;
+      Array.unsafe_set d parent ei;
+      heap_sift_up t h parent
+    end
+  end
+
+let rec heap_sift_down t h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let d = h.hdata in
+  let smallest = ref i in
+  if
+    left < h.hsize
+    && before t (Array.unsafe_get d left) (Array.unsafe_get d !smallest)
+  then smallest := left;
+  if
+    right < h.hsize
+    && before t (Array.unsafe_get d right) (Array.unsafe_get d !smallest)
+  then smallest := right;
+  if !smallest <> i then begin
+    let tmp = Array.unsafe_get d i in
+    Array.unsafe_set d i (Array.unsafe_get d !smallest);
+    Array.unsafe_set d !smallest tmp;
+    heap_sift_down t h !smallest
+  end
+
+let[@inline] heap_push t h s =
+  if h.hsize = Array.length h.hdata then heap_grow h;
+  h.hdata.(h.hsize) <- s;
+  h.hsize <- h.hsize + 1;
+  heap_sift_up t h (h.hsize - 1)
+
+(* Pop the minimum if it fires at or before [limit_bits]; [no_slot]
+   otherwise. *)
+let heap_pop_if_before t h ~limit_bits =
+  if h.hsize = 0 then no_slot
+  else begin
+    let s = Array.unsafe_get h.hdata 0 in
+    if Array.unsafe_get t.time_bits s > limit_bits then no_slot
+    else begin
+      h.hsize <- h.hsize - 1;
+      if h.hsize > 0 then begin
+        h.hdata.(0) <- h.hdata.(h.hsize);
+        heap_sift_down t h 0
+      end;
+      s
+    end
+  end
+
+(* -- specialized calendar queue (ns-2 style, see Calqueue for the
+   commented generic version) with chains through the arena -- *)
+
+let min_buckets = 8
+
+let cal_create () =
+  {
+    buckets = Array.make min_buckets no_slot;
+    tails = Array.make min_buckets no_slot;
+    cmask = min_buckets - 1;
+    width = 1.0;
+    inv_width = 1.0;
+    csize = 0;
+    cur_vbucket = 0;
+    last_time_bits = bits_of_time 0.0;
+    max_time_bits = bits_of_time 0.0;
+    grow_at = 2 * min_buckets;
+  }
+
+let[@inline always] vbucket_of c time = int_of_float (time *. c.inv_width)
+
+(* Insert into the sorted chain of the slot's bucket; the common case
+   is an O(1) tail append. *)
+let[@inline] cal_insert t c s =
+  let i = Array.unsafe_get t.vbucket s land c.cmask in
+  let tail = Array.unsafe_get c.tails i in
+  let qnext = t.qnext in
+  if tail = no_slot then begin
+    Array.unsafe_set qnext s no_slot;
+    Array.unsafe_set c.buckets i s;
+    Array.unsafe_set c.tails i s
+  end
+  else if before t tail s then begin
+    Array.unsafe_set qnext s no_slot;
+    Array.unsafe_set qnext tail s;
+    Array.unsafe_set c.tails i s
+  end
+  else begin
+    let head = Array.unsafe_get c.buckets i in
+    if before t s head then begin
+      Array.unsafe_set qnext s head;
+      Array.unsafe_set c.buckets i s
+    end
+    else begin
+      (* s is after head and before tail: lands strictly inside, tail
+         pointer untouched. (While-loop, not a local recursive
+         function: the non-flambda backend heap-allocates a closure
+         per call for the latter, and this is the hot path.) *)
+      let prev = ref head in
+      let n = ref (Array.unsafe_get qnext head) in
+      while !n <> no_slot && before t !n s do
+        prev := !n;
+        n := Array.unsafe_get qnext !n
+      done;
+      Array.unsafe_set qnext s !n;
+      Array.unsafe_set qnext !prev s
+    end
+  end
+
+(* Width adaptation: a global average gap, then the observed density
+   within ~64 global-gap units of the minimum (same heuristic as
+   Calqueue.estimate_width). Unlike the generic version this scans a
+   bounded PREFIX of the chain: pop order is fixed by (time, seq)
+   regardless of bucket layout, so width only affects speed and a
+   sample is plenty — full passes over a 100k-entry chain were the
+   dominant rebuild cost. The chain is bucket-ordered, so a prefix
+   mixes bucket residues rather than favouring early timestamps. *)
+let width_sample = 2048
+
+(* Iterate up to [width_sample] queued slots (bucket by bucket) calling
+   [f time]. The traversal order mixes bucket residues, so the sample
+   is not biased toward early timestamps. *)
+let cal_iter_sample t c f =
+  let budget = ref width_sample in
+  let b = ref 0 in
+  while !budget > 0 && !b <= c.cmask do
+    let s = ref c.buckets.(!b) in
+    while !budget > 0 && !s <> no_slot do
+      f (time_of_bits t.time_bits.(!s));
+      decr budget;
+      s := t.qnext.(!s)
+    done;
+    incr b
+  done
+
+(* Estimate a bucket width from a bounded sample, and report whether
+   the population is duplicate-heavy. Two regimes:
+
+   - Duplicate-heavy (>= 75% of sampled entries repeat an already-seen
+     timestamp): chains of same-time events are long, so the quantity
+     that matters is distinct timestamps per bucket, not events per
+     bucket — two distinct times sharing a bucket turn every push into
+     an O(chain) interior insert. Pick half the smallest adjacent
+     distinct gap so each timestamp gets its own bucket, and tell the
+     caller to cap table growth by the occupied span (more buckets
+     than the span just add cache-hostile empty space).
+   - Otherwise the classic ns-2 rule: 3x the mean gap over a local
+     density window, uncapped. This is the continuous-timestamp case
+     the calendar queue was designed for.
+
+   Returns [(width, duplicate_heavy)]. *)
+let cal_estimate t c =
+  let lo = ref infinity and hi = ref neg_infinity and n = ref 0 in
+  let distinct = ref 0 and min_gap = ref infinity in
+  let budget = ref width_sample and b = ref 0 in
+  (* Same-time events are adjacent in the iteration order (chains are
+     sorted by (time, seq) and one timestamp never spans two buckets),
+     so a single previous-entry register dedupes and yields adjacent
+     distinct gaps. Carried across buckets: negative cross-bucket or
+     cross-year jumps are skipped for the gap but still break runs. *)
+  let prev = ref neg_infinity in
+  while !budget > 0 && !b <= c.cmask do
+    let s = ref c.buckets.(!b) in
+    while !budget > 0 && !s <> no_slot do
+      let time = time_of_bits t.time_bits.(!s) in
+      if time < !lo then lo := time;
+      if time > !hi then hi := time;
+      if time <> !prev then begin
+        incr distinct;
+        let gap = time -. !prev in
+        if !prev > neg_infinity && gap > 0.0 && gap < !min_gap then
+          min_gap := gap
+      end;
+      prev := time;
+      incr n;
+      decr budget;
+      s := t.qnext.(!s)
+    done;
+    incr b
+  done;
+  if !n < 2 || !hi <= !lo then (c.width, false)
+  else if
+    4 * !distinct <= !n
+    && !distinct >= 2
+    && !min_gap > 0.0
+    && !min_gap < infinity
+  then (0.5 *. !min_gap, true)
+  else begin
+    let global_gap = (!hi -. !lo) /. float_of_int (!n - 1) in
+    let window = !lo +. (64.0 *. global_gap) in
+    let in_window = ref 0 and wide = ref !lo in
+    cal_iter_sample t c (fun time ->
+        if time <= window then begin
+          incr in_window;
+          if time > !wide then wide := time
+        end);
+    let span = !wide -. !lo in
+    if span > 0.0 && !in_window >= 2 then
+      (3.0 *. span /. float_of_int (!in_window - 1), false)
+    else (3.0 *. global_gap, false)
+  end
+
+(* Next power of two >= n (n >= 1). *)
+let pow2_at_least n =
+  let p = ref min_buckets in
+  while !p < n do
+    p := !p * 2
+  done;
+  !p
+
+(* Resize to [nbuckets], optionally re-estimating the width first.
+   Pop order never depends on bucket layout, so the width policy is
+   free to trade estimation fidelity for rebuild cost:
+
+   - If the fresh estimate lands within a small band of the current
+     width, keep the current width. Stored [vbucket] values then stay
+     valid, and when the table is growing, each old bucket splits into
+     disjoint new buckets, so the whole rebuild is a blind tail-append
+     pass — no float decode, no comparisons. This is the common case
+     once the width has converged, and it is what keeps large grows
+     from dominating the push path.
+   - Otherwise recompute every slot's virtual bucket and sorted-insert
+     (also the shrink-with-merge case, where two old chains can land
+     in one new bucket and must interleave). *)
+let cal_rebuild t c ~nbuckets ~keep_width =
+  let old_buckets = c.buckets in
+  let old_n = c.cmask + 1 in
+  c.buckets <- Array.make nbuckets no_slot;
+  c.tails <- Array.make nbuckets no_slot;
+  c.cmask <- nbuckets - 1;
+  c.cur_vbucket <- vbucket_of c (time_of_bits c.last_time_bits);
+  if keep_width && nbuckets >= old_n then begin
+    let buckets = c.buckets and tails = c.tails and qnext = t.qnext in
+    let vbucket = t.vbucket in
+    for b = 0 to old_n - 1 do
+      let cursor = ref old_buckets.(b) in
+      while !cursor <> no_slot do
+        let s = !cursor in
+        cursor := Array.unsafe_get qnext s;
+        let i = Array.unsafe_get vbucket s land c.cmask in
+        let tail = Array.unsafe_get tails i in
+        if tail = no_slot then Array.unsafe_set buckets i s
+        else Array.unsafe_set qnext tail s;
+        Array.unsafe_set tails i s;
+        Array.unsafe_set qnext s no_slot
+      done
+    done
+  end
+  else
+    for b = 0 to old_n - 1 do
+      let cursor = ref old_buckets.(b) in
+      while !cursor <> no_slot do
+        let s = !cursor in
+        cursor := t.qnext.(s);
+        if not keep_width then
+          t.vbucket.(s) <- vbucket_of c (time_of_bits t.time_bits.(s));
+        cal_insert t c s
+      done
+    done
+
+(* Grow (or, in the duplicate-heavy regime, right-size) the table.
+   The width is decided FIRST and the span cap derived from that same
+   width — deriving the cap from the old width and then re-estimating
+   inside the rebuild lets the span outgrow the capped table, which
+   forces distinct timestamps to share buckets and turns pushes into
+   O(chain) walks. When the cap refuses growth, back off to the next
+   doubling of [csize] so re-attempts stay amortized, not per-push. *)
+let cal_grow t c =
+  let w, dup_heavy = cal_estimate t c in
+  let keep = w >= 0.8 *. c.width && w <= 1.25 *. c.width in
+  let old_n = c.cmask + 1 in
+  let target =
+    if dup_heavy then begin
+      let span =
+        (time_of_bits c.max_time_bits -. time_of_bits c.last_time_bits) /. w
+      in
+      if span <= 1e6 then
+        min (4 * old_n) (pow2_at_least (2 * (int_of_float span + 1)))
+      else 4 * old_n
+    end
+    else 4 * old_n
+  in
+  if target > old_n || (dup_heavy && not keep) then begin
+    if not keep then begin
+      c.width <- w;
+      c.inv_width <- 1.0 /. w
+    end;
+    cal_rebuild t c ~nbuckets:(max min_buckets target) ~keep_width:keep;
+    c.grow_at <-
+      (if (not dup_heavy) && target = 4 * old_n then 2 * target
+       else 2 * c.csize)
+  end
+  else c.grow_at <- 2 * c.csize
+
+let[@inline] cal_push t c s =
+  let bits = Array.unsafe_get t.time_bits s in
+  let vb = vbucket_of c (time_of_bits bits) in
+  Array.unsafe_set t.vbucket s vb;
+  cal_insert t c s;
+  c.csize <- c.csize + 1;
+  if bits < c.last_time_bits then begin
+    c.last_time_bits <- bits;
+    c.cur_vbucket <- vb
+  end;
+  if bits > c.max_time_bits then c.max_time_bits <- bits;
+  if c.csize > c.grow_at then cal_grow t c
+
+(* Locate the minimum entry: sweep bucket years from the current
+   position; a bucket's head is in year [vb] exactly when its
+   precomputed [vbucket] equals [vb]. A fruitless full round means
+   everything is far in the future — find the earliest head directly
+   and jump the search position there. *)
+let[@inline] cal_find_min t c =
+  let nbuckets = c.cmask + 1 in
+  let buckets = c.buckets and vbucket = t.vbucket in
+  let found = ref no_slot in
+  let vb = ref c.cur_vbucket in
+  let step = ref 0 in
+  while !found = no_slot && !step < nbuckets do
+    let head = Array.unsafe_get buckets (!vb land c.cmask) in
+    if head <> no_slot && Array.unsafe_get vbucket head = !vb then
+      found := head
+    else begin
+      incr step;
+      incr vb
+    end
+  done;
+  let h = !found in
+  if h <> no_slot then begin
+    c.cur_vbucket <- !vb;
+    c.last_time_bits <- Array.unsafe_get t.time_bits h;
+    h
+  end
+  else begin
+    (* Fruitless full round: everything is far in the future. Find the
+       earliest head directly and jump the search position there. *)
+    let best = ref no_slot in
+    for i = 0 to c.cmask do
+      let h = Array.unsafe_get buckets i in
+      if h <> no_slot && (!best = no_slot || before t h !best) then best := h
+    done;
+    let h = !best in
+    assert (h <> no_slot);
+    c.cur_vbucket <- Array.unsafe_get vbucket h;
+    c.last_time_bits <- Array.unsafe_get t.time_bits h;
+    h
+  end
+
+let[@inline] cal_remove_min t c s =
+  let i = Array.unsafe_get t.vbucket s land c.cmask in
+  let next = Array.unsafe_get t.qnext s in
+  Array.unsafe_set c.buckets i next;
+  if next = no_slot then Array.unsafe_set c.tails i no_slot;
+  c.csize <- c.csize - 1;
+  let nbuckets = c.cmask + 1 in
+  if nbuckets > min_buckets && c.csize < nbuckets / 8 then begin
+    (* Keep the width: a draining queue thins out, but the spacing of
+       what remains was estimated from the same population. *)
+    let fresh = pow2_at_least (2 * c.csize) in
+    cal_rebuild t c ~nbuckets:fresh ~keep_width:true;
+    c.grow_at <- 2 * fresh
+  end
+
+let cal_pop_if_before t c ~limit_bits =
+  if c.csize = 0 then no_slot
+  else begin
+    let s = cal_find_min t c in
+    if Array.unsafe_get t.time_bits s > limit_bits then no_slot
+    else begin
+      cal_remove_min t c s;
+      s
+    end
+  end
+
+(* -- the engine proper -- *)
 
 let default = ref (`Calendar : scheduler)
 
@@ -47,96 +549,117 @@ let set_default_scheduler s = default := s
 let create ?scheduler () =
   let queue =
     match match scheduler with Some s -> s | None -> !default with
-    | `Heap -> Q_heap (Heap.create ())
-    | `Calendar -> Q_cal (Calqueue.create ())
+    | `Heap -> Q_heap (heap_create ())
+    | `Calendar -> Q_cal (cal_create ())
   in
-  { clock = 0.0; queue; stopped = false; live = 0; free = nil }
+  {
+    fire = Array.make initial_cap nop;
+    meta = Array.make initial_cap 0;
+    time_bits = Array.make initial_cap 0;
+    qseq = Array.make initial_cap 0;
+    vbucket = Array.make initial_cap 0;
+    qnext = Array.make initial_cap no_slot;
+    cap = initial_cap;
+    high = 0;
+    free_head = no_slot;
+    queue;
+    clock_bits = bits_of_time 0.0;
+    stopped = false;
+    live = 0;
+    next_seq = 0;
+  }
 
 let scheduler t = match t.queue with Q_heap _ -> `Heap | Q_cal _ -> `Calendar
 
-let now t = t.clock
+let now t = time_of_bits t.clock_bits
 
-let qpush t ~time event =
-  event.time <- time;
-  match t.queue with
-  | Q_heap q -> Heap.push q ~priority:time event
-  | Q_cal q -> Calqueue.push q ~priority:time event
+(* Claim a slot, arm it as pending (generation preserved) at the time
+   whose encoding is [bits], and enqueue it. Taking the already-encoded
+   time keeps the whole schedule path free of float values that would
+   otherwise be boxed at each internal call boundary. *)
+let[@inline] arm t bits fire =
+  let s = alloc_slot t in
+  Array.unsafe_set t.fire s fire;
+  Array.unsafe_set t.time_bits s bits;
+  Array.unsafe_set t.qseq s t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  (match t.queue with
+  | Q_heap q -> heap_push t q s
+  | Q_cal q -> cal_push t q s);
+  s
 
-let check_time t time =
-  if time < t.clock then
+(* Validate and encode a firing time. The [time >= 0.0] guard also
+   excludes NaN; the bit encoding is only meaningful for non-negative
+   times. *)
+let[@inline] checked_bits t time =
+  let bits = bits_of_time time in
+  if not (time >= 0.0) || bits < t.clock_bits then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
-         t.clock)
+         (now t));
+  bits
 
-let schedule_at t ~time fire =
-  check_time t time;
-  let event = { fire; state = Pending; time; recyclable = false; next_free = nil } in
-  qpush t ~time event;
-  t.live <- t.live + 1;
-  event
+let[@inline] pack_handle t s =
+  ((Array.unsafe_get t.meta s lsr 2) land gen_mask) lsl slot_bits lor s
+
+let schedule_at t ~time fire = pack_handle t (arm t (checked_bits t time) fire)
 
 let schedule_after t ~delay fire =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at t ~time:(t.clock +. delay) fire
+  let time = now t +. delay in
+  pack_handle t (arm t (checked_bits t time) fire)
 
 let schedule_unit_at t ~time fire =
-  check_time t time;
-  let event =
-    if t.free != nil then begin
-      let event = t.free in
-      t.free <- event.next_free;
-      event.next_free <- nil;
-      event.fire <- fire;
-      event.state <- Pending;
-      event
-    end
-    else { fire; state = Pending; time; recyclable = true; next_free = nil }
-  in
-  qpush t ~time event;
-  t.live <- t.live + 1
+  ignore (arm t (checked_bits t time) fire : int)
 
 let schedule_unit t ~delay fire =
   if delay < 0.0 then invalid_arg "Engine.schedule_unit: negative delay";
-  schedule_unit_at t ~time:(t.clock +. delay) fire
+  let time = now t +. delay in
+  ignore (arm t (checked_bits t time) fire : int)
 
 let cancel t handle =
-  match handle.state with
-  | Pending ->
-    handle.state <- Cancelled;
-    t.live <- t.live - 1
-  | Consumed | Cancelled -> ()
+  let s = handle land slot_mask in
+  if s < t.high then begin
+    let meta = Array.unsafe_get t.meta s in
+    if
+      meta land state_mask = pending_tag
+      && (meta lsr 2) land gen_mask = handle lsr slot_bits
+    then begin
+      (* Lazy delete: mark it dead and let the queue drain it; the
+         slot recycles (and the generation bumps) at that point. *)
+      Array.unsafe_set t.meta s
+        ((meta land lnot state_mask) lor cancelled_tag);
+      t.live <- t.live - 1
+    end
+  end
 
 let pending t = t.live
 
-let fire_one t event =
-  match event.state with
-  | Cancelled | Consumed -> ()
-  | Pending ->
-    event.state <- Consumed;
+(* Fire (or silently drain, if cancelled) a slot popped from the
+   queue. The slot is released before the callback runs so the
+   callback's own scheduling reuses it immediately. *)
+let[@inline] fire_slot t s =
+  if Array.unsafe_get t.meta s land state_mask = pending_tag then begin
     t.live <- t.live - 1;
-    t.clock <- event.time;
-    let fire = event.fire in
-    if event.recyclable then begin
-      (* Release before firing so the callback's own schedule_unit
-         calls can already reuse this record. *)
-      event.fire <- nop;
-      event.next_free <- t.free;
-      t.free <- event
-    end;
+    t.clock_bits <- Array.unsafe_get t.time_bits s;
+    let fire = Array.unsafe_get t.fire s in
+    free_slot t s;
     fire ()
+  end
+  else free_slot t s
 
 (* The drain loops are specialized per scheduler so the hot path is a
    direct allocation-free pop per event, with the queue-representation
    branch hoisted out of the loop. *)
-let run t =
-  t.stopped <- false;
+let drain t ~limit_bits =
   match t.queue with
   | Q_heap q ->
     let rec loop () =
       if not t.stopped then begin
-        let e = Heap.pop_if_before q ~limit:infinity ~default:nil in
-        if e != nil then begin
-          fire_one t e;
+        let s = heap_pop_if_before t q ~limit_bits in
+        if s <> no_slot then begin
+          fire_slot t s;
           loop ()
         end
       end
@@ -145,42 +668,26 @@ let run t =
   | Q_cal q ->
     let rec loop () =
       if not t.stopped then begin
-        let e = Calqueue.pop_if_before q ~limit:infinity ~default:nil in
-        if e != nil then begin
-          fire_one t e;
+        let s = cal_pop_if_before t q ~limit_bits in
+        if s <> no_slot then begin
+          fire_slot t s;
           loop ()
         end
       end
     in
     loop ()
 
+let run t =
+  t.stopped <- false;
+  drain t ~limit_bits:(bits_of_time infinity)
+
 let run_until t ~time =
   t.stopped <- false;
-  (match t.queue with
-  | Q_heap q ->
-    let rec loop () =
-      if not t.stopped then begin
-        let e = Heap.pop_if_before q ~limit:time ~default:nil in
-        if e != nil then begin
-          fire_one t e;
-          loop ()
-        end
-      end
-    in
-    loop ()
-  | Q_cal q ->
-    let rec loop () =
-      if not t.stopped then begin
-        let e = Calqueue.pop_if_before q ~limit:time ~default:nil in
-        if e != nil then begin
-          fire_one t e;
-          loop ()
-        end
-      end
-    in
-    loop ());
+  let limit_bits = bits_of_time time in
+  drain t ~limit_bits;
   (* A stop mid-run leaves the clock at the last fired event; advancing
      it to [time] anyway would fabricate an idle period that never ran. *)
-  if (not t.stopped) && time > t.clock then t.clock <- time
+  if (not t.stopped) && limit_bits > t.clock_bits then
+    t.clock_bits <- limit_bits
 
 let stop t = t.stopped <- true

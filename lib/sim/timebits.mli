@@ -1,0 +1,22 @@
+(** Order-preserving integer encoding of non-negative timestamps.
+
+    [of_time] maps every non-negative double (including [+infinity])
+    onto a native 63-bit int such that [t1 <= t2] iff
+    [of_time t1 <= of_time t2], and [to_time] inverts it exactly. This
+    lets hot paths store, compare and sort timestamps as immediate
+    ints — no boxing, no float compares — and lets binary record
+    formats serialize them as plain integers.
+
+    The encoding is the IEEE-754 bit pattern recentred by [2^62]:
+    non-negative doubles order the same as their bit patterns taken as
+    unsigned 64-bit ints, and subtracting [2^62] maps that unsigned
+    range [0, 2^63) exactly onto the signed native-int range without
+    touching relative order. Negative inputs and NaN are not
+    meaningful under this encoding; callers validate first. *)
+
+(** [of_time t] encodes a non-negative timestamp. *)
+val of_time : float -> int
+
+(** [to_time bits] decodes; exact inverse of {!of_time} on
+    non-negative inputs. *)
+val to_time : int -> float

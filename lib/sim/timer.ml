@@ -16,33 +16,39 @@
    from a previous life of the timer wakes up, sees a stale epoch and
    does nothing. *)
 
+(* Deadlines are stored in {!Timebits} encoding: the record mixes
+   pointers and numbers, so [float] fields would box on every store —
+   and [restart] runs once per ACK. Timebits ints compare like the
+   times they encode, so the lazy-restart test needs no decoding. *)
 type t = {
   engine : Engine.t;
   callback : unit -> unit;
   mutable armed : bool;
   (* Logical deadline; meaningful only while [armed]. *)
-  mutable expiry : float;
+  mutable expiry_bits : int;
   mutable epoch : int;
-  (* Firing time of the authoritative queue entry; [expiry] can only
-     run ahead of it (lazy restart), never behind. *)
-  mutable queued : float;
+  (* Firing time of the authoritative queue entry; [expiry_bits] can
+     only run ahead of it (lazy restart), never behind. *)
+  mutable queued_bits : int;
 }
 
 let create engine ~callback =
-  { engine; callback; armed = false; expiry = 0.0; epoch = 0; queued = 0.0 }
+  { engine; callback; armed = false; expiry_bits = 0; epoch = 0; queued_bits = 0 }
 
 let is_armed t = t.armed
 
-let expiry t = if t.armed then Some t.expiry else None
+let expiry t = if t.armed then Some (Timebits.to_time t.expiry_bits) else None
 
 let rec enqueue t =
   let epoch = t.epoch in
-  t.queued <- t.expiry;
-  Engine.schedule_unit_at t.engine ~time:t.expiry (fun () -> fired t epoch)
+  t.queued_bits <- t.expiry_bits;
+  Engine.schedule_unit_at t.engine
+    ~time:(Timebits.to_time t.expiry_bits)
+    (fun () -> fired t epoch)
 
 and fired t epoch =
   if epoch = t.epoch && t.armed then
-    if t.expiry <= Engine.now t.engine then begin
+    if Timebits.to_time t.expiry_bits <= Engine.now t.engine then begin
       t.armed <- false;
       t.epoch <- t.epoch + 1;
       t.callback ()
@@ -63,20 +69,20 @@ let cancel t =
 let start t ~after =
   if t.armed then invalid_arg "Timer.start: already armed";
   t.armed <- true;
-  t.expiry <- Engine.now t.engine +. after;
+  t.expiry_bits <- Timebits.of_time (Engine.now t.engine +. after);
   t.epoch <- t.epoch + 1;
   enqueue t
 
 let restart t ~after =
   if not t.armed then start t ~after
   else begin
-    let expiry = Engine.now t.engine +. after in
-    if expiry >= t.queued then
+    let expiry_bits = Timebits.of_time (Engine.now t.engine +. after) in
+    if expiry_bits >= t.queued_bits then
       (* Lazy path: the outstanding entry fires no later than the new
          deadline and will re-queue itself. *)
-      t.expiry <- expiry
+      t.expiry_bits <- expiry_bits
     else begin
-      t.expiry <- expiry;
+      t.expiry_bits <- expiry_bits;
       t.epoch <- t.epoch + 1;
       enqueue t
     end

@@ -4,6 +4,10 @@ type t = {
   acks : Series.t;
   una : Series.t;
   cwnd : Series.t;
+  (* Highest cumulative ACK recorded into [una]; tracked as an int so
+     the per-ack monotonicity test allocates nothing (Series.last
+     builds an option per call). *)
+  mutable last_una : int;
   mutable recovery_entries : float list;
   mutable recovery_exits : float list;
   mutable timeouts : float list;
@@ -17,6 +21,7 @@ let attach agent =
       acks = Series.create ();
       una = Series.create ();
       cwnd = Series.create ();
+      last_una = min_int;
       recovery_entries = [];
       recovery_exits = [];
       timeouts = [];
@@ -29,9 +34,10 @@ let attach agent =
   Tcp.Sender_common.on_ack base (fun ~time ~ackno ->
       Series.add t.acks ~time ~value:(float_of_int ackno);
       Series.add t.cwnd ~time ~value:base.Tcp.Sender_common.cwnd;
-      match Series.last t.una with
-      | Some (_, previous) when float_of_int ackno <= previous -> ()
-      | Some _ | None -> Series.add t.una ~time ~value:(float_of_int ackno));
+      if ackno > t.last_una then begin
+        t.last_una <- ackno;
+        Series.add t.una ~time ~value:(float_of_int ackno)
+      end);
   Tcp.Sender_common.on_recovery_enter base (fun ~time ->
       t.recovery_entries <- time :: t.recovery_entries);
   Tcp.Sender_common.on_recovery_exit base (fun ~time ->

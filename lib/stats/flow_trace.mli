@@ -13,6 +13,10 @@ type t = {
       (** (time, cwnd in segments), sampled at every ACK event — the
           window trajectory behind statements like the paper's "bursty
           packet losses occur after cwnd reaches 16" *)
+  mutable last_una : int;
+      (** highest cumulative ACK recorded into [una] ([min_int] before
+          the first) — lets the per-ack monotonicity check avoid
+          allocating *)
   mutable recovery_entries : float list;  (** newest first *)
   mutable recovery_exits : float list;
   mutable timeouts : float list;

@@ -147,9 +147,8 @@ let enter_fast_recovery t flow =
 
 let deliver_ack t packet =
   let flow = packet.Net.Packet.flow in
-  match packet.Net.Packet.kind with
-  | Net.Packet.Data _ -> ()
-  | Net.Packet.Ack { ackno; _ } ->
+  if not (Net.Packet.is_data packet) then begin
+    let ackno = Net.Packet.ackno_exn packet in
     let new_una = ackno + 1 in
     if new_una > t.una.(flow) then begin
       sample_rtt t flow ackno;
@@ -191,6 +190,7 @@ let deliver_ack t packet =
         if t.dupacks.(flow) = t.params.Params.dupack_threshold then
           enter_fast_recovery t flow
       end
+  end
 
 let send_ack t flow =
   let now = Sim.Engine.now t.engine in
@@ -202,9 +202,8 @@ let send_ack t flow =
 
 let deliver_data t packet =
   let flow = packet.Net.Packet.flow in
-  match packet.Net.Packet.kind with
-  | Net.Packet.Ack _ -> ()
-  | Net.Packet.Data { seq } ->
+  if Net.Packet.is_data packet then begin
+    let seq = Net.Packet.seq_exn packet in
     let expected = t.rcv_next.(flow) in
     if seq = expected then begin
       t.rcv_next.(flow) <- expected + 1;
@@ -220,6 +219,7 @@ let deliver_data t packet =
     (* below-window and far-future segments still trigger the
        (duplicate) cumulative ACK, as a real receiver would *)
     send_ack t flow
+  end
 
 let timeout t flow =
   t.n_timeouts.(flow) <- t.n_timeouts.(flow) + 1;

@@ -67,10 +67,9 @@ let create ~engine ~params ~flow ~emit () =
   let state = { recover = -1 } in
   let base = create ~engine ~params ~flow ~emit ~timeout_action:timeout_common () in
   let deliver_ack packet =
-    match packet.Net.Packet.kind with
-    | Net.Packet.Data _ ->
+    if Net.Packet.is_data packet then
       invalid_arg "Newreno: data packet delivered to sender"
-    | Net.Packet.Ack { ackno; _ } ->
-      if not base.completed then recv_ack base state ~ackno
+    else if not base.completed then
+      recv_ack base state ~ackno:(Net.Packet.ackno_exn packet)
   in
   { Agent.name = "newreno"; flow; deliver_ack; base; wants_sack = false }

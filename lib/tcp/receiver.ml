@@ -107,9 +107,10 @@ let ack_in_order t =
     end
 
 let deliver t packet =
-  match packet.Net.Packet.kind with
-  | Net.Packet.Ack _ -> invalid_arg "Receiver.deliver: ACK packet"
-  | Net.Packet.Data { seq } ->
+  if not (Net.Packet.is_data packet) then
+    invalid_arg "Receiver.deliver: ACK packet"
+  else begin
+    let seq = Net.Packet.seq_exn packet in
     if seq < t.next_expected || Seqset.mem t.out_of_order seq then begin
       (* Duplicate (e.g. go-back-N resend): still acknowledged, at
          once. *)
@@ -137,3 +138,4 @@ let deliver t packet =
       (* Out-of-sequence: immediate duplicate ACK (§2.2). *)
       send_ack t
     end
+  end

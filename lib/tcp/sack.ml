@@ -149,9 +149,11 @@ let create ~engine ~params ~flow ~emit () =
     create ~engine ~params ~flow ~emit ~timeout_action:(timeout state) ()
   in
   let deliver_ack packet =
-    match packet.Net.Packet.kind with
-    | Net.Packet.Data _ -> invalid_arg "Sack: data packet delivered to sender"
-    | Net.Packet.Ack { ackno; sack } ->
-      if not base.completed then recv_ack base state ~ackno ~sack
+    if Net.Packet.is_data packet then
+      invalid_arg "Sack: data packet delivered to sender"
+    else if not base.completed then
+      recv_ack base state
+        ~ackno:(Net.Packet.ackno_exn packet)
+        ~sack:(Net.Packet.sack packet)
   in
   { Agent.name = "sack"; flow; deliver_ack; base; wants_sack = true }

@@ -55,11 +55,27 @@ let on_recovery_exit t f =
 
 let on_timeout t f = t.hooks.timeout_hooks <- t.hooks.timeout_hooks @ [ f ]
 
+(* The send/ack hooks fire once per packet; the [List.iter] closure
+   would capture the arguments and allocate per event, so the one- and
+   two-observer cases (the ones scenarios actually build) are
+   dispatched directly. *)
 let fire_send t ~time ~seq ~retx =
-  List.iter (fun f -> f ~time ~seq ~retx) t.hooks.send_hooks
+  match t.hooks.send_hooks with
+  | [] -> ()
+  | [ f ] -> f ~time ~seq ~retx
+  | [ f; g ] ->
+    f ~time ~seq ~retx;
+    g ~time ~seq ~retx
+  | fs -> List.iter (fun f -> f ~time ~seq ~retx) fs
 
 let fire_ack t ~time ~ackno =
-  List.iter (fun f -> f ~time ~ackno) t.hooks.ack_hooks
+  match t.hooks.ack_hooks with
+  | [] -> ()
+  | [ f ] -> f ~time ~ackno
+  | [ f; g ] ->
+    f ~time ~ackno;
+    g ~time ~ackno
+  | fs -> List.iter (fun f -> f ~time ~ackno) fs
 
 let notify_recovery_enter t =
   let time = Sim.Engine.now t.engine in

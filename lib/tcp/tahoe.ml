@@ -37,9 +37,9 @@ let create ~engine ~params ~flow ~emit () =
     create ~engine ~params ~flow ~emit ~timeout_action:timeout_common ()
   in
   let deliver_ack packet =
-    match packet.Net.Packet.kind with
-    | Net.Packet.Data _ -> invalid_arg "Tahoe: data packet delivered to sender"
-    | Net.Packet.Ack { ackno; _ } ->
-      if not base.completed then recv_ack base ~ackno
+    if Net.Packet.is_data packet then
+      invalid_arg "Tahoe: data packet delivered to sender"
+    else if not base.completed then
+      recv_ack base ~ackno:(Net.Packet.ackno_exn packet)
   in
   { Agent.name = "tahoe"; flow; deliver_ack; base; wants_sack = false }

@@ -181,10 +181,9 @@ let create_with ~engine ~params ~flow ~emit ~mechanisms
     ?(thresholds = default_thresholds) () =
   let state = fresh_state ~mechanisms ~thresholds in
   let emit_recording packet =
-    (match packet.Net.Packet.kind with
-    | Net.Packet.Data { seq } ->
-      Hashtbl.replace state.send_times seq (Sim.Engine.now engine)
-    | Net.Packet.Ack _ -> ());
+    if Net.Packet.is_data packet then
+      Hashtbl.replace state.send_times (Net.Packet.seq_exn packet)
+        (Sim.Engine.now engine);
     emit packet
   in
   let base =
@@ -192,10 +191,10 @@ let create_with ~engine ~params ~flow ~emit ~mechanisms
       ~timeout_action:(timeout state) ()
   in
   let deliver_ack packet =
-    match packet.Net.Packet.kind with
-    | Net.Packet.Data _ -> invalid_arg "Vegas: data packet delivered to sender"
-    | Net.Packet.Ack { ackno; _ } ->
-      if not base.completed then recv_ack state base ~ackno
+    if Net.Packet.is_data packet then
+      invalid_arg "Vegas: data packet delivered to sender"
+    else if not base.completed then
+      recv_ack state base ~ackno:(Net.Packet.ackno_exn packet)
   in
   { Agent.name = "vegas"; flow; deliver_ack; base; wants_sack = false }
 

@@ -333,6 +333,188 @@ let test_trace_shape () =
       Alcotest.(check bool) ("has " ^ kind) true (Hashtbl.mem kinds kind))
     [ "send"; "ack"; "enqueue"; "dequeue"; "drop"; "recovery_enter" ]
 
+(* -- binary trace container: round-trip through the offline exporter -- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i =
+    i + n <= h && (String.sub haystack i n = needle || loop (i + 1))
+  in
+  loop 0
+
+let check_contains what needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "%s: %S not found in trace" what needle
+
+let with_scheduler scheduler f =
+  let saved = Sim.Engine.default_scheduler () in
+  Sim.Engine.set_default_scheduler scheduler;
+  Fun.protect ~finally:(fun () -> Sim.Engine.set_default_scheduler saved) f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A faulted, audited scenario that puts every record kind in the
+   stream: link flaps (link_down/link_up/fault_drop with the queued
+   backlog dropped), reordering, random data loss and two flows of
+   ordinary traffic. *)
+let run_traced ~format ~out () =
+  let config =
+    { (Net.Dumbbell.paper_config ~flows:2) with gateway = gateway_of false }
+  in
+  let faults =
+    match Faults.Spec.of_string "flap:2+0.3,drop,reorder:0.05" with
+    | Ok spec -> spec
+    | Error message -> Alcotest.failf "faults spec: %s" message
+  in
+  Experiments.Scenario.run
+    (Experiments.Scenario.make
+       ~topology:(Experiments.Scenario.dumbbell config)
+       ~flows:
+         [
+           Experiments.Scenario.flow Core.Variant.Rr;
+           Experiments.Scenario.flow Core.Variant.Sack;
+         ]
+       ~params:{ Tcp.Params.default with rwnd = 20 }
+       ~seed:7L ~duration:5.0 ~uniform_loss:0.02 ~faults ~trace_out:out
+       ~trace_format:format ())
+
+let test_binary_trace_roundtrip () =
+  List.iter
+    (fun scheduler ->
+      with_scheduler scheduler @@ fun () ->
+      let jsonl_path = Filename.temp_file "rr_trace" ".jsonl" in
+      let binary_path = Filename.temp_file "rr_trace" ".rrtb" in
+      let run ~format path =
+        let out = open_out_bin path in
+        let t = run_traced ~format ~out () in
+        close_out out;
+        Alcotest.(check bool) "faulted run is audited clean" true
+          (Audit.Auditor.ok t.Experiments.Scenario.auditor)
+      in
+      run ~format:`Jsonl jsonl_path;
+      run ~format:`Binary binary_path;
+      let exported_path = Filename.temp_file "rr_trace" ".export.jsonl" in
+      In_channel.with_open_bin binary_path (fun input ->
+          Out_channel.with_open_bin exported_path (fun output ->
+              Audit.Trace.export ~input ~output));
+      let live = read_file jsonl_path in
+      let exported = read_file exported_path in
+      let binary = read_file binary_path in
+      Alcotest.(check bool)
+        "exported JSONL is byte-identical to the live stream" true
+        (String.equal live exported);
+      Alcotest.(check bool) "binary stream is smaller than the JSONL" true
+        (String.length binary < String.length live);
+      List.iter
+        (fun needle -> check_contains "fault event present" needle live)
+        [
+          "\"ev\":\"link_down\"";
+          "\"ev\":\"link_up\"";
+          "\"ev\":\"fault_drop\"";
+          "\"ev\":\"reorder\"";
+          "\"dup\":true";
+        ];
+      List.iter Sys.remove [ jsonl_path; binary_path; exported_path ])
+    [ `Calendar; `Heap ]
+
+let test_binary_trace_corruption () =
+  let binary_path = Filename.temp_file "rr_trace" ".rrtb" in
+  let out = open_out_bin binary_path in
+  ignore (run_traced ~format:`Binary ~out () : Experiments.Scenario.t);
+  close_out out;
+  let data = read_file binary_path in
+  Sys.remove binary_path;
+  let export_string s =
+    let tmp = Filename.temp_file "rr_trace" ".bad" in
+    let oc = open_out_bin tmp in
+    output_string oc s;
+    close_out oc;
+    Fun.protect
+      ~finally:(fun () -> Sys.remove tmp)
+      (fun () ->
+        In_channel.with_open_bin tmp (fun input ->
+            Out_channel.with_open_bin "/dev/null" (fun output ->
+                Audit.Trace.export ~input ~output)))
+  in
+  let check_corrupt what s =
+    match export_string s with
+    | () -> Alcotest.failf "%s: export accepted a corrupt stream" what
+    | exception Audit.Trace.Corrupt _ -> ()
+  in
+  check_corrupt "bad magic" ("JUNK" ^ data);
+  check_corrupt "truncated record" (String.sub data 0 (String.length data - 1));
+  check_corrupt "empty file" "";
+  (* A healthy stream through the same harness still exports. *)
+  export_string data
+
+(* -- auditor sampling: cheaper checks, still zero false positives -- *)
+
+let test_audit_sampling () =
+  let run sample =
+    let config =
+      { (Net.Dumbbell.paper_config ~flows:2) with gateway = gateway_of false }
+    in
+    Experiments.Scenario.run
+      (Experiments.Scenario.make
+         ~topology:(Experiments.Scenario.dumbbell config)
+         ~flows:
+           [
+             Experiments.Scenario.flow Core.Variant.Rr;
+             Experiments.Scenario.flow Core.Variant.Rr;
+           ]
+         ~params:{ Tcp.Params.default with rwnd = 20 }
+         ~seed:7L ~duration:10.0 ~uniform_loss:0.03 ~audit_sample:sample ())
+  in
+  let full = (run 1).Experiments.Scenario.auditor in
+  let sampled = (run 8).Experiments.Scenario.auditor in
+  Alcotest.(check int) "sampling divisor is recorded" 8
+    (Audit.Auditor.sample sampled);
+  Alcotest.(check bool) "full stream is clean" true (Audit.Auditor.ok full);
+  Alcotest.(check bool) "sampled stream is clean (no false positives)" true
+    (Audit.Auditor.ok sampled);
+  Alcotest.(check bool) "sampling runs fewer checks" true
+    (Audit.Auditor.checks_run sampled < Audit.Auditor.checks_run full);
+  Alcotest.(check bool) "sampled checks still ran" true
+    (Audit.Auditor.checks_run sampled > 0)
+
+(* -- tracer staging-buffer sizing -- *)
+
+let test_trace_flush_sizing () =
+  (match Audit.Trace.create ~flush_at:0 ~out:stdout () with
+  | _ -> Alcotest.fail "flush_at 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  let emit tracer n =
+    for i = 1 to n do
+      Audit.Trace.journal_event tracer ~time:(float_of_int i) ~ev:"probe"
+        [ ("i", Audit.Trace.Int i) ]
+    done
+  in
+  (* A tiny threshold drains to the channel mid-stream, without an
+     explicit flush; the 64 KiB default keeps everything staged. *)
+  let tiny_path = Filename.temp_file "rr_flush" ".jsonl" in
+  let tiny_out = open_out tiny_path in
+  let tiny = Audit.Trace.create ~flush_at:64 ~out:tiny_out () in
+  emit tiny 20;
+  Alcotest.(check bool) "flush_at=64 drains before an explicit flush" true
+    (pos_out tiny_out > 0);
+  Audit.Trace.flush tiny;
+  close_out tiny_out;
+  let default_path = Filename.temp_file "rr_flush" ".jsonl" in
+  let default_out = open_out default_path in
+  let default_tracer = Audit.Trace.create ~out:default_out () in
+  emit default_tracer 20;
+  Alcotest.(check int) "default threshold stages everything" 0
+    (pos_out default_out);
+  Audit.Trace.flush default_tracer;
+  close_out default_out;
+  Alcotest.(check string) "both thresholds write the same bytes"
+    (read_file tiny_path) (read_file default_path);
+  List.iter Sys.remove [ tiny_path; default_path ]
+
 let suite =
   [
     ( "audit",
@@ -355,5 +537,12 @@ let suite =
         Alcotest.test_case "random-loss sweep clean" `Slow test_sweep_random_loss;
         QCheck_alcotest.to_alcotest prop_sweep_arbitrary_drops;
         Alcotest.test_case "trace shape" `Quick test_trace_shape;
+        Alcotest.test_case "binary trace round-trips byte-identically" `Quick
+          test_binary_trace_roundtrip;
+        Alcotest.test_case "binary trace export rejects corruption" `Quick
+          test_binary_trace_corruption;
+        Alcotest.test_case "auditor sampling" `Quick test_audit_sampling;
+        Alcotest.test_case "tracer flush_at sizing" `Quick
+          test_trace_flush_sizing;
       ] );
   ]

@@ -1,0 +1,316 @@
+(* Pool-backend equivalence and domain-pool semantics.
+
+   This suite lives in its own test executable on purpose: the OCaml
+   runtime permanently refuses [Unix.fork] once any domain has been
+   spawned in the process — even after every domain is joined — so all
+   fork-backed work must happen before the first [Domains]-backed run.
+   Keeping the whole ordering inside this one file, in its own
+   process, makes it impossible for a reshuffle of the main suite to
+   break it: the first test below exercises serial, then fork, then
+   domains, and everything after it is domain-only (plus the test that
+   pins down the fork poisoning itself). *)
+
+let tiny_grid ?(seed_count = 2) () =
+  Campaign.Sweep.grid
+    ~variants:Core.Variant.[ Newreno; Rr ]
+    ~uniform_losses:[ 0.01 ] ~seed:11L ~seed_count ~duration:3.0 ~flows:2 ()
+
+let temp_path suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rr-backends-%d-%d%s" (Unix.getpid ()) (Random.bits ())
+       suffix)
+
+let with_chaos plan f =
+  Campaign.Pool.chaos := Some plan;
+  Fun.protect ~finally:(fun () -> Campaign.Pool.chaos := None) f
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i =
+    i + n <= h && (String.sub haystack i n = needle || loop (i + 1))
+  in
+  loop 0
+
+let check_contains what needle haystack =
+  if not (contains ~needle haystack) then
+    Alcotest.failf "%s: %S not found in %S" what needle haystack
+
+(* Journal lines across backends differ only in their wall-clock
+   stamps and settle order; zero the stamp and sort to compare. *)
+let canonical_journal path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line =
+         if String.starts_with ~prefix:{|{"t":|} line then
+           match String.index_opt line ',' with
+           | Some comma ->
+             {|{"t":0|}
+             ^ String.sub line comma (String.length line - comma)
+           | None -> line
+         else line
+       in
+       lines := line :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.sort compare !lines
+
+(* -- the ordering-critical test: serial, fork, then domains -- *)
+
+let test_backends_byte_identical () =
+  let grid = tiny_grid () in
+  let sweep = Campaign.Sweep.sweep_digest grid in
+  let total = List.length (Campaign.Sweep.jobs_of_grid grid) in
+  let run backend =
+    let path = temp_path ".journal.jsonl" in
+    let journal = Campaign.Journal.start ~path ~sweep ~total in
+    let outcome = Campaign.Sweep.run ~journal ~jobs:2 ~backend grid in
+    Campaign.Journal.close journal;
+    let canon = canonical_journal path in
+    Sys.remove path;
+    Alcotest.(check int)
+      (Campaign.Pool.backend_name backend ^ ": all jobs settled")
+      total
+      (List.length outcome.Campaign.Sweep.results);
+    (outcome, canon)
+  in
+  let serial, serial_journal = run Campaign.Pool.Serial in
+  let forked, forked_journal = run Campaign.Pool.Forked in
+  let domains, domains_journal = run Campaign.Pool.Domains in
+  let text outcome =
+    (* Only the wall-clock "in N s" differs across backends. *)
+    Campaign.Sweep.report { outcome with Campaign.Sweep.elapsed_seconds = 0.0 }
+  in
+  let json outcome =
+    Campaign.Sweep.report_json
+      { outcome with Campaign.Sweep.elapsed_seconds = 0.0 }
+  in
+  Alcotest.(check string)
+    "fork report is byte-identical to serial" (text serial) (text forked);
+  Alcotest.(check string)
+    "domain report is byte-identical to serial" (text serial) (text domains);
+  Alcotest.(check string)
+    "fork JSON report is byte-identical to serial" (json serial) (json forked);
+  Alcotest.(check string)
+    "domain JSON report is byte-identical to serial" (json serial)
+    (json domains);
+  Alcotest.(check string)
+    "fork results payload is byte-identical to serial"
+    (Campaign.Json.to_string (Campaign.Sweep.results_json serial))
+    (Campaign.Json.to_string (Campaign.Sweep.results_json forked));
+  Alcotest.(check string)
+    "domain results payload is byte-identical to serial"
+    (Campaign.Json.to_string (Campaign.Sweep.results_json serial))
+    (Campaign.Json.to_string (Campaign.Sweep.results_json domains));
+  Alcotest.(check (list string))
+    "fork journal records the same terminal states" serial_journal
+    forked_journal;
+  Alcotest.(check (list string))
+    "domain journal records the same terminal states" serial_journal
+    domains_journal
+
+(* -- everything below runs with fork already poisoned -- *)
+
+let test_fork_unavailable_after_domains () =
+  (* The preceding test spawned domains, so this documents (and pins)
+     the runtime constraint the backends must be ordered around. *)
+  match
+    Campaign.Pool.run ~jobs:2 ~backend:Campaign.Pool.Forked
+      (fun x -> x + 1)
+      [ 1; 2 ]
+  with
+  | exception Failure message ->
+    check_contains "the runtime names the constraint" "fork" message
+  | _ -> Alcotest.fail "Unix.fork worked after Domain.spawn?"
+
+let test_domain_pool_order_and_failures () =
+  let inputs = List.init 17 Fun.id in
+  let outcomes =
+    Campaign.Pool.run ~jobs:4 ~backend:Campaign.Pool.Domains
+      (fun x -> if x = 5 then failwith "boom" else x * x)
+      inputs
+  in
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | Campaign.Pool.Settled value ->
+        Alcotest.(check int) "results stay in input order" (i * i) value
+      | Failed (Crashed reason) when i = 5 ->
+        check_contains "worker exception text survives" "boom" reason
+      | _ -> Alcotest.failf "unexpected outcome for input %d" i)
+    outcomes
+
+let test_domain_chaos_mapping () =
+  (* Crash and Truncate have no process to kill or payload to tear
+     in-domain; both map to an immediately failed attempt with a
+     distinguishing diagnostic. *)
+  with_chaos
+    (fun ~index ~attempt:_ ->
+      match index with
+      | 0 -> Some Campaign.Pool.Crash
+      | 1 -> Some Campaign.Pool.Truncate
+      | _ -> None)
+  @@ fun () ->
+  match
+    Campaign.Pool.run ~jobs:2 ~backend:Campaign.Pool.Domains
+      (fun x -> x + 1)
+      [ 10; 20; 30 ]
+  with
+  | [
+   Campaign.Pool.Failed (Crashed crash);
+   Failed (Crashed truncate);
+   Settled 31;
+  ] ->
+    check_contains "crash maps to a named in-domain failure" "chaos crash"
+      crash;
+    check_contains "truncate maps to a named in-domain failure"
+      "chaos truncate" truncate
+  | _ ->
+    Alcotest.fail "expected [Failed crash; Failed truncate; Settled 31]"
+
+let test_domain_hang_times_out_and_is_abandoned () =
+  (* A hung domain cannot be SIGKILLed; the deadline must abandon the
+     attempt — same Timed_out report as fork — while a replacement
+     worker keeps the rest of the batch moving. *)
+  with_chaos
+    (fun ~index ~attempt:_ -> if index = 0 then Some Campaign.Pool.Hang else None)
+  @@ fun () ->
+  let policy = { Campaign.Pool.default_policy with timeout = Some 0.4 } in
+  let started = Unix.gettimeofday () in
+  (match
+     Campaign.Pool.run ~jobs:2 ~backend:Campaign.Pool.Domains ~policy
+       (fun x -> x * 2)
+       [ 1; 2; 3 ]
+   with
+  | [ Campaign.Pool.Failed (Timed_out deadline); Settled 4; Settled 6 ] ->
+    Alcotest.(check (float 1e-9)) "reports the configured deadline" 0.4
+      deadline
+  | _ -> Alcotest.fail "expected [Failed (Timed_out _); Settled 4; Settled 6]");
+  Alcotest.(check bool) "the supervisor stopped waiting at the deadline" true
+    (Unix.gettimeofday () -. started < 5.0)
+
+let test_domain_slow_attempt_late_result_discarded () =
+  (* Unlike chaos Hang, a merely slow job finishes after its deadline;
+     its late result must be discarded, not grafted onto the batch. *)
+  let policy = { Campaign.Pool.default_policy with timeout = Some 0.3 } in
+  (match
+     Campaign.Pool.run ~jobs:2 ~backend:Campaign.Pool.Domains ~policy
+       (fun x ->
+         if x = 0 then Unix.sleepf 1.0;
+         x + 100)
+       [ 0; 1 ]
+   with
+  | [ Campaign.Pool.Failed (Timed_out _); Settled 101 ] -> ()
+  | _ -> Alcotest.fail "expected [Failed (Timed_out _); Settled 101]");
+  (* Give the abandoned attempt time to finish and retire, then run
+     another batch on the same backend: the stale result must not
+     surface. *)
+  Unix.sleepf 1.0;
+  match
+    Campaign.Pool.run ~jobs:2 ~backend:Campaign.Pool.Domains ~policy
+      (fun x -> x + 1)
+      [ 1; 2 ]
+  with
+  | [ Campaign.Pool.Settled 2; Settled 3 ] -> ()
+  | _ -> Alcotest.fail "late result leaked into a later batch"
+
+let test_domain_retry_then_succeed () =
+  let retries = ref [] in
+  let policy =
+    { Campaign.Pool.timeout = Some 5.0; retries = 2; backoff = 0.01 }
+  in
+  with_chaos
+    (fun ~index ~attempt ->
+      if index = 1 && attempt = 1 then Some Campaign.Pool.Crash else None)
+  @@ fun () ->
+  let outcomes =
+    Campaign.Pool.run ~jobs:2 ~backend:Campaign.Pool.Domains ~policy
+      ~on_retry:(fun ~index ~attempt _ -> retries := (index, attempt) :: !retries)
+      (fun x -> x * 10)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check bool)
+    "every job settles despite the first-attempt chaos" true
+    (outcomes = [ Campaign.Pool.Settled 10; Settled 20; Settled 30 ]);
+  Alcotest.(check (list (pair int int)))
+    "exactly one retry, of job 1's first attempt" [ (1, 1) ] !retries
+
+let test_domain_stop_reports_not_run () =
+  let stop = ref false in
+  let outcomes =
+    Campaign.Pool.run ~jobs:1 ~backend:Campaign.Pool.Domains
+      ~stop:(fun () -> !stop)
+      ~on_done:(fun _ -> stop := true)
+      (fun x ->
+        Unix.sleepf 0.05;
+        x)
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "one outcome per input" 8 (List.length outcomes);
+  let settled =
+    List.length
+      (List.filter (function Campaign.Pool.Settled _ -> true | _ -> false)
+         outcomes)
+  in
+  let not_run =
+    List.length
+      (List.filter (function Campaign.Pool.Not_run -> true | _ -> false)
+         outcomes)
+  in
+  Alcotest.(check bool) "the first job settled before the stop" true
+    (settled >= 1);
+  Alcotest.(check bool) "stopping skipped the tail of the batch" true
+    (not_run >= 4);
+  Alcotest.(check int) "settled + skipped covers the batch" 8
+    (settled + not_run)
+
+let test_domain_sweep_with_chaos_quarantines () =
+  (* The CLI-level semantics: a sweep on the domain backend quarantines
+     a hung job at its deadline and still settles the rest. *)
+  with_chaos
+    (fun ~index ~attempt:_ -> if index = 1 then Some Campaign.Pool.Hang else None)
+  @@ fun () ->
+  let policy = { Campaign.Pool.default_policy with timeout = Some 1.0 } in
+  let outcome =
+    Campaign.Sweep.run ~jobs:2 ~backend:Campaign.Pool.Domains ~policy
+      (tiny_grid ())
+  in
+  Alcotest.(check int) "one job quarantined" 1
+    (List.length outcome.Campaign.Sweep.quarantined);
+  Alcotest.(check int) "the rest settled" 3
+    (List.length outcome.Campaign.Sweep.results);
+  match outcome.Campaign.Sweep.quarantined with
+  | [ { q_failure = Campaign.Pool.Timed_out _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single Timed_out quarantine"
+
+let () =
+  Random.self_init ();
+  Alcotest.run "rr-backends"
+    [
+      ( "backend-equivalence",
+        [
+          Alcotest.test_case "serial/fork/domain sweeps are byte-identical"
+            `Quick test_backends_byte_identical;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "fork is unavailable after domains" `Quick
+            test_fork_unavailable_after_domains;
+          Alcotest.test_case "order and worker failures" `Quick
+            test_domain_pool_order_and_failures;
+          Alcotest.test_case "chaos crash/truncate mapping" `Quick
+            test_domain_chaos_mapping;
+          Alcotest.test_case "hang is abandoned at the deadline" `Quick
+            test_domain_hang_times_out_and_is_abandoned;
+          Alcotest.test_case "late result of a slow attempt is discarded"
+            `Quick test_domain_slow_attempt_late_result_discarded;
+          Alcotest.test_case "retry after a chaos-failed attempt" `Quick
+            test_domain_retry_then_succeed;
+          Alcotest.test_case "stop reports the tail Not_run" `Quick
+            test_domain_stop_reports_not_run;
+          Alcotest.test_case "sweep quarantines a hung domain job" `Quick
+            test_domain_sweep_with_chaos_quarantines;
+        ] );
+    ]

@@ -43,7 +43,7 @@ let test_ack_path () =
   let engine, topology = build () in
   let got = ref [] in
   Net.Dumbbell.on_ack topology ~flow:1 (fun p ->
-      match p.Net.Packet.kind with
+      match Net.Packet.kind p with
       | Net.Packet.Ack { ackno; _ } -> got := ackno :: !got
       | Net.Packet.Data _ -> Alcotest.fail "data on ack path");
   Net.Dumbbell.on_ack topology ~flow:0 (fun _ -> Alcotest.fail "wrong flow");

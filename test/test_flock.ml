@@ -113,7 +113,7 @@ let test_receiver_reorder_bitmap () =
     Tcp.Flock.create ~engine ~params ~flows:1
       ~inject_data:(fun ~flow:_ _ -> ())
       ~inject_ack:(fun ~flow:_ p ->
-        match p.Net.Packet.kind with
+        match Net.Packet.kind p with
         | Net.Packet.Ack { ackno; _ } -> acks := ackno :: !acks
         | _ -> ())
       ()

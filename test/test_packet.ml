@@ -13,7 +13,7 @@ let test_ack () =
       ~born:1.0 ()
   in
   Alcotest.(check bool) "not data" false (Net.Packet.is_data p);
-  (match p.Net.Packet.kind with
+  (match Net.Packet.kind p with
   | Net.Packet.Ack { ackno; sack } ->
     Alcotest.(check int) "ackno" 7 ackno;
     Alcotest.(check (list (pair int int))) "sack" [ (9, 12) ] sack

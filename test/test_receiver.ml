@@ -10,7 +10,7 @@ let make ?(sack = false) ?max_sack_blocks () =
   let receiver =
     Tcp.Receiver.create ~engine ~flow:0
       ~emit:(fun p ->
-        match p.Net.Packet.kind with
+        match Net.Packet.kind p with
         | Net.Packet.Ack { ackno; sack } -> acks := { ackno; sack } :: !acks
         | Net.Packet.Data _ -> Alcotest.fail "receiver emitted data")
       ~sack ?max_sack_blocks ()
@@ -88,7 +88,7 @@ let make_delack () =
   let receiver =
     Tcp.Receiver.create ~engine ~flow:0
       ~emit:(fun p ->
-        match p.Net.Packet.kind with
+        match Net.Packet.kind p with
         | Net.Packet.Ack { ackno; sack } -> acks := { ackno; sack } :: !acks
         | Net.Packet.Data _ -> Alcotest.fail "data")
       ~delayed_ack:true ~delack_timeout:0.1 ()

@@ -117,6 +117,7 @@ let test_recovery_episodes_pairing () =
       acks = Stats.Series.create ();
       una = Stats.Series.create ();
       cwnd = Stats.Series.create ();
+      last_una = min_int;
       recovery_entries = [ 5.0; 1.0 ];
       recovery_exits = [ 6.0; 2.0 ];
       timeouts = [];
