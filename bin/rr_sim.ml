@@ -483,8 +483,19 @@ let topology_conv =
 
 let run_term =
   let variant =
-    let doc = "TCP variant (tahoe, reno, newreno, sack, rr)." in
+    let doc =
+      "TCP variant (tahoe, reno, newreno, sack, fack, vegas, rr, relentless, \
+       rrr)."
+    in
     Arg.(value & opt variant_conv Core.Variant.Rr & info [ "variant" ] ~doc)
+  in
+  let rrr_level =
+    let doc =
+      "Target congestion level for the rrr variant: each congestion event \
+       multiplies the window by 1 - LEVEL (0.5 = the Reno half-cut). Other \
+       variants ignore it."
+    in
+    Arg.(value & opt float 0.5 & info [ "rrr-level" ] ~docv:"LEVEL" ~doc)
   in
   let topology =
     let doc =
@@ -595,12 +606,16 @@ let run_term =
     in
     Arg.(value & opt_all cross_conv [] & info [ "cross-traffic" ] ~docv:"BPS[:BYTES][:reverse]" ~doc)
   in
-  let run scheduler variant topology flows duration red buffer loss rwnd
-      ack_loss delack limited_transmit rto tracefile trace trace_format audit
-      audit_sample faults cross seed csv =
+  let run scheduler variant rrr_level topology flows duration red buffer loss
+      rwnd ack_loss delack limited_transmit rto tracefile trace trace_format
+      audit audit_sample faults cross seed csv =
     Sim.Engine.set_default_scheduler scheduler;
     (if audit_sample < 0 then begin
        Printf.eprintf "rr-sim: --audit-sample must be >= 0\n";
+       exit 2
+     end);
+    (if rrr_level <= 0.0 || rrr_level >= 1.0 then begin
+       Printf.eprintf "rr-sim: --rrr-level must be inside (0, 1)\n";
        exit 2
      end);
     if topology = Run_many_flow then begin
@@ -677,6 +692,7 @@ let run_term =
                   rwnd;
                   limited_transmit;
                   rto_estimator = rto;
+                  rrr_level;
                 }
               ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
               ~monitor_queue:0.1 ?trace_out:trace_channel ~trace_format
@@ -763,10 +779,10 @@ let run_term =
     end
   in
   Term.(
-    const run $ scheduler_arg $ variant $ topology $ flows $ duration $ red
-    $ buffer $ loss $ rwnd $ ack_loss $ delack $ limited_transmit $ rto
-    $ tracefile $ trace $ trace_format $ audit $ audit_sample $ faults $ cross
-    $ seed_arg $ csv_arg)
+    const run $ scheduler_arg $ variant $ rrr_level $ topology $ flows
+    $ duration $ red $ buffer $ loss $ rwnd $ ack_loss $ delack
+    $ limited_transmit $ rto $ tracefile $ trace $ trace_format $ audit
+    $ audit_sample $ faults $ cross $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -887,6 +903,16 @@ let sweep_term =
       & opt (list ~sep:',' rto_conv) [ Tcp.Rto.Jacobson ]
       & info [ "rto" ] ~docv:"E,E,..." ~doc)
   in
+  let rrr_levels =
+    let doc =
+      "Comma-separated rrr congestion levels; the axis multiplies only the \
+       rrr variant (others ignore the field). 0.5 = the Reno half-cut."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' float) [ 0.5 ]
+      & info [ "rrr-levels" ] ~docv:"LEVELS" ~doc)
+  in
   let seed_count =
     let doc = "Seeds per grid point (SEED, SEED+1, ...)." in
     Arg.(value & opt int 6 & info [ "seeds" ] ~docv:"N" ~doc)
@@ -966,9 +992,13 @@ let sweep_term =
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
   let run scheduler variants gateways topologies losses ack_losses reorders
-      flap_periods cbr_shares rtos seed_count duration flows rwnd jobs pool
-      cache_dir no_cache json timeout retries backoff resume seed =
+      flap_periods cbr_shares rtos rrr_levels seed_count duration flows rwnd
+      jobs pool cache_dir no_cache json timeout retries backoff resume seed =
     Sim.Engine.set_default_scheduler scheduler;
+    (if List.exists (fun l -> l <= 0.0 || l >= 1.0) rrr_levels then begin
+       Printf.eprintf "rr-sim: --rrr-levels must all be inside (0, 1)\n";
+       exit 2
+     end);
     (* Fail fast on an unparseable chaos spec instead of aborting
        mid-sweep from inside the pool. *)
     (match Sys.getenv_opt Campaign.Pool.chaos_env with
@@ -982,7 +1012,8 @@ let sweep_term =
     let grid =
       Campaign.Sweep.grid ~variants ~gateways ~topologies
         ~uniform_losses:losses ~ack_losses ~reorders ~flap_periods ~cbr_shares
-        ~estimators:rtos ~seed ~seed_count ~duration ~flows ~rwnd ()
+        ~estimators:rtos ~rrr_levels ~seed ~seed_count ~duration ~flows ~rwnd
+        ()
     in
     if resume && no_cache then begin
       Printf.eprintf
@@ -1067,9 +1098,9 @@ let sweep_term =
   in
   Term.(
     const run $ scheduler_arg $ variants $ gateways $ topologies $ losses
-    $ ack_losses $ reorders $ flap_periods $ cbr_shares $ rtos $ seed_count
-    $ duration $ flows $ rwnd $ jobs $ pool $ cache_dir $ no_cache $ json
-    $ timeout $ retries $ backoff $ resume $ seed_arg)
+    $ ack_losses $ reorders $ flap_periods $ cbr_shares $ rtos $ rrr_levels
+    $ seed_count $ duration $ flows $ rwnd $ jobs $ pool $ cache_dir
+    $ no_cache $ json $ timeout $ retries $ backoff $ resume $ seed_arg)
 
 let sweep_cmd =
   Cmd.v
@@ -1138,6 +1169,100 @@ let all_cmd =
          "Regenerate every table and figure of the paper (every registered \
           experiment, or a subset via --only).")
     all_term
+
+(* modelcheck: model-vs-measured validation of the modeled variants *)
+
+let modelcheck_term =
+  let variants =
+    let doc =
+      "Comma-separated variants to validate (default: every modeled one)."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' variant_conv) Experiments.Modelcheck.default_variants
+      & info [ "variants" ] ~docv:"V,V,..." ~doc)
+  in
+  let losses =
+    let doc = "Comma-separated uniform loss rates to validate at." in
+    Arg.(
+      value
+      & opt (list ~sep:',' float) Experiments.Modelcheck.default_loss_rates
+      & info [ "loss" ] ~docv:"RATES" ~doc)
+  in
+  let seeds =
+    let doc = "Number of seeds averaged per cell (1-5)." in
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let duration =
+    let doc = "Per-run simulation length in seconds." in
+    Arg.(value & opt float 100.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let rrr_level =
+    let doc = "Congestion level the rrr variant (and its model) runs at." in
+    Arg.(value & opt float 0.5 & info [ "rrr-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let check =
+    let doc =
+      "Exit non-zero if any cell's |deviation| exceeds $(docv) (e.g. 0.15). \
+       Without it the report is informational."
+    in
+    Arg.(value & opt (some float) None & info [ "check" ] ~docv:"TOL" ~doc)
+  in
+  let run scheduler variants losses seeds duration rrr_level check =
+    Sim.Engine.set_default_scheduler scheduler;
+    (if rrr_level <= 0.0 || rrr_level >= 1.0 then begin
+       Printf.eprintf "rr-sim: --rrr-level must be inside (0, 1)\n";
+       exit 2
+     end);
+    let all_seeds = [ 3L; 17L; 29L; 101L; 2048L ] in
+    (if seeds < 1 || seeds > List.length all_seeds then begin
+       Printf.eprintf "rr-sim: --seeds must be 1-%d\n" (List.length all_seeds);
+       exit 2
+     end);
+    let seeds = List.filteri (fun i _ -> i < seeds) all_seeds in
+    let outcome =
+      Experiments.Modelcheck.run ~variants ~loss_rates:losses ~seeds ~duration
+        ~rrr_level ()
+    in
+    print_string (Experiments.Modelcheck.report outcome);
+    Option.iter
+      (fun tolerance ->
+        let over =
+          List.concat_map
+            (fun point ->
+              List.filter_map
+                (fun row ->
+                  if Float.abs row.Experiments.Modelcheck.deviation > tolerance
+                  then
+                    Some
+                      (Printf.sprintf "%s at p=%g: %+.1f%%"
+                         (Core.Variant.name row.Experiments.Modelcheck.variant)
+                         point.Experiments.Modelcheck.loss_rate
+                         (100.0 *. row.Experiments.Modelcheck.deviation))
+                  else None)
+                point.Experiments.Modelcheck.rows)
+            outcome.Experiments.Modelcheck.points
+        in
+        if over <> [] then begin
+          Printf.printf "\n%d cell(s) beyond the %.0f%% tolerance:\n%s\n"
+            (List.length over) (100.0 *. tolerance)
+            (String.concat "\n" over);
+          exit 1
+        end)
+      check
+  in
+  Term.(
+    const run $ scheduler_arg $ variants $ losses $ seeds $ duration
+    $ rrr_level $ check)
+
+let modelcheck_cmd =
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Validate each modeled variant's measured steady-state window \
+          against its own analytical model (Mathis square-root, Relentless \
+          1/p, RRR generalised AIMD) on the clean uniform-loss dumbbell.")
+    modelcheck_term
 
 (* -- trace: offline tooling for recorded event traces -- *)
 
@@ -1213,6 +1338,7 @@ let main_cmd =
       audit_cmd;
       run_cmd;
       sweep_cmd;
+      modelcheck_cmd;
       trace_cmd;
       list_cmd;
       all_cmd;

@@ -12,6 +12,7 @@ type t = {
   flap_period : float;
   cbr_share : float;
   estimator : Tcp.Rto.estimator;
+  rrr_level : float;
   seed : int64;
   duration : float;
   flows : int;
@@ -57,13 +58,19 @@ let point_label job =
       base ^ Printf.sprintf "/cbr %g%%" (100.0 *. job.cbr_share)
     else base
   in
-  if job.estimator <> Tcp.Rto.Jacobson then
-    base ^ Printf.sprintf "/rto %s" (Tcp.Rto.estimator_name job.estimator)
+  let base =
+    if job.estimator <> Tcp.Rto.Jacobson then
+      base ^ Printf.sprintf "/rto %s" (Tcp.Rto.estimator_name job.estimator)
+    else base
+  in
+  (* The level only matters to (and only labels) the RRR sender. *)
+  if job.variant = Core.Variant.Rrr && job.rrr_level <> 0.5 then
+    base ^ Printf.sprintf "/rrr %g" job.rrr_level
   else base
 
 (* Bump whenever the job layout or the semantics of a run change, so
    stale cache entries can never be mistaken for current ones. *)
-let schema = "rr-sim-campaign/5"
+let schema = "rr-sim-campaign/6"
 
 let to_json job =
   Json.Obj
@@ -77,6 +84,7 @@ let to_json job =
       ("flap_period", Json.Num job.flap_period);
       ("cbr_share", Json.Num job.cbr_share);
       ("rto", Json.Str (Tcp.Rto.estimator_name job.estimator));
+      ("rrr_level", Json.Num job.rrr_level);
       ("seed", Json.Str (Int64.to_string job.seed));
       ("duration", Json.Num job.duration);
       ("flows", Json.Num (float_of_int job.flows));
@@ -141,6 +149,7 @@ let run job =
       Tcp.Params.default with
       rwnd = job.rwnd;
       rto_estimator = job.estimator;
+      rrr_level = job.rrr_level;
     }
   in
   let faults =

@@ -32,6 +32,10 @@ type t = {
   estimator : Tcp.Rto.estimator;
       (** the senders' RTO prediction algorithm
           ({!Tcp.Rto.Jacobson} = classic default) *)
+  rrr_level : float;
+      (** {!Tcp.Params.t.rrr_level} for {!Core.Variant.Rrr} senders;
+          [0.5] = the Reno-equivalent default; other variants ignore
+          it (and it never appears in their point labels) *)
   seed : int64;
   duration : float;  (** seconds *)
   flows : int;  (** same-variant flows sharing the bottleneck *)

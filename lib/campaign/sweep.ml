@@ -8,6 +8,7 @@ type grid = {
   flap_periods : float list;
   cbr_shares : float list;
   estimators : Tcp.Rto.estimator list;
+  rrr_levels : float list;
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -18,7 +19,8 @@ let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     ?(gateways = [ Job.Droptail 8 ]) ?(topologies = [ Job.Dumbbell ])
     ?(uniform_losses = [ 0.02 ])
     ?(ack_losses = [ 0.0 ]) ?(reorders = [ 0.0 ]) ?(flap_periods = [ 0.0 ])
-    ?(cbr_shares = [ 0.0 ]) ?(estimators = [ Tcp.Rto.Jacobson ]) ?seeds
+    ?(cbr_shares = [ 0.0 ]) ?(estimators = [ Tcp.Rto.Jacobson ])
+    ?(rrr_levels = [ 0.5 ]) ?seeds
     ?(seed = 7L) ?(seed_count = 6) ?(duration = 20.0) ?(flows = 2)
     ?(rwnd = 20) () =
   let seeds =
@@ -36,6 +38,7 @@ let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     flap_periods;
     cbr_shares;
     estimators;
+    rrr_levels;
     seeds;
     duration;
     flows;
@@ -61,6 +64,17 @@ let jobs_of_grid grid =
                             (fun cbr_share ->
                               List.concat_map
                                 (fun estimator ->
+                                  (* The level axis multiplies only the
+                                     RRR variant; every other variant
+                                     ignores the field, so expanding it
+                                     per level would duplicate jobs. *)
+                                  let levels =
+                                    if variant = Core.Variant.Rrr then
+                                      grid.rrr_levels
+                                    else [ 0.5 ]
+                                  in
+                                  List.concat_map
+                                    (fun rrr_level ->
                                   List.map
                                     (fun seed ->
                                       {
@@ -73,12 +87,14 @@ let jobs_of_grid grid =
                                         flap_period;
                                         cbr_share;
                                         estimator;
+                                        rrr_level;
                                         seed;
                                         duration = grid.duration;
                                         flows = grid.flows;
                                         rwnd = grid.rwnd;
                                       })
                                     grid.seeds)
+                                    levels)
                                 grid.estimators)
                             grid.cbr_shares)
                         grid.flap_periods)
@@ -267,6 +283,7 @@ let point_to_json point =
       ("cbr_share", Json.Num point.point_job.Job.cbr_share);
       ( "rto",
         Json.Str (Tcp.Rto.estimator_name point.point_job.Job.estimator) );
+      ("rrr_level", Json.Num point.point_job.Job.rrr_level);
       ("seeds", Json.Num (float_of_int point.goodput.Stats.Summary.n));
       ("goodput_bps_mean", Json.Num point.goodput.Stats.Summary.mean);
       ("goodput_bps_ci95", Json.Num point.goodput.Stats.Summary.ci95);
@@ -307,7 +324,7 @@ let report_json outcome =
   Json.pretty
     (Json.Obj
        [
-         ("schema", Json.Str "rr-sim-sweep/3");
+         ("schema", Json.Str "rr-sim-sweep/4");
          ("jobs", Json.Num (float_of_int (total_jobs outcome)));
          ("cache_hits", Json.Num (float_of_int outcome.cache_hits));
          ("workers", Json.Num (float_of_int outcome.workers));
@@ -338,6 +355,13 @@ let report outcome =
       (fun p -> p.point_job.Job.topology <> Job.Dumbbell)
       outcome.points
   in
+  let with_rrr =
+    List.exists
+      (fun p ->
+        p.point_job.Job.variant = Core.Variant.Rrr
+        && p.point_job.Job.rrr_level <> 0.5)
+      outcome.points
+  in
   let opt_cols triples =
     List.concat_map
       (fun (enabled, cell) -> if enabled then [ cell ] else [])
@@ -351,6 +375,7 @@ let report outcome =
         [
           (with_reorder, "reorder");
           (with_flaps, "flap"); (with_cbr, "cbr"); (with_rto, "rto");
+          (with_rrr, "rrr");
         ]
     @ [
         "seeds"; "goodput (Kbps)"; "jain"; "timeouts"; "retx"; "drops";
@@ -374,6 +399,10 @@ let report outcome =
               (with_flaps, Printf.sprintf "%gs" job.Job.flap_period);
               (with_cbr, Printf.sprintf "%g%%" (100.0 *. job.Job.cbr_share));
               (with_rto, Tcp.Rto.estimator_name job.Job.estimator);
+              ( with_rrr,
+                if job.Job.variant = Core.Variant.Rrr then
+                  Printf.sprintf "%g" job.Job.rrr_level
+                else "-" );
             ]
         @ [
             string_of_int point.goodput.Stats.Summary.n;

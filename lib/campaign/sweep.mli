@@ -20,6 +20,10 @@ type grid = {
   cbr_shares : float list;  (** {!Job.t.cbr_share} values; [0.] = off *)
   estimators : Tcp.Rto.estimator list;
       (** {!Job.t.estimator} values; [Jacobson] alone = classic *)
+  rrr_levels : float list;
+      (** {!Job.t.rrr_level} values, expanded only for the
+          {!Core.Variant.Rrr} variant (others would yield duplicate
+          jobs); [0.5] alone = classic *)
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -40,6 +44,7 @@ val grid :
   ?flap_periods:float list ->
   ?cbr_shares:float list ->
   ?estimators:Tcp.Rto.estimator list ->
+  ?rrr_levels:float list ->
   ?seeds:int64 list ->
   ?seed:int64 ->
   ?seed_count:int ->
@@ -133,5 +138,5 @@ val report : outcome -> string
 
 (** [report_json outcome] renders the whole campaign (quarantined jobs,
     points and per-job results) as a JSON document (schema
-    [rr-sim-sweep/3]), newline-terminated. *)
+    [rr-sim-sweep/4]), newline-terminated. *)
 val report_json : outcome -> string

@@ -1,6 +1,6 @@
-type t = Tahoe | Reno | Newreno | Sack | Fack | Vegas | Rr
+type t = Tahoe | Reno | Newreno | Sack | Fack | Vegas | Rr | Relentless | Rrr
 
-let all = [ Tahoe; Reno; Newreno; Sack; Fack; Vegas; Rr ]
+let all = [ Tahoe; Reno; Newreno; Sack; Fack; Vegas; Rr; Relentless; Rrr ]
 
 let name = function
   | Tahoe -> "tahoe"
@@ -10,6 +10,8 @@ let name = function
   | Fack -> "fack"
   | Vegas -> "vegas"
   | Rr -> "rr"
+  | Relentless -> "relentless"
+  | Rrr -> "rrr"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -20,6 +22,8 @@ let of_string s =
   | "fack" -> Ok Fack
   | "vegas" -> Ok Vegas
   | "rr" | "robust" | "robust-recovery" -> Ok Rr
+  | "relentless" -> Ok Relentless
+  | "rrr" | "relative-rate-reduction" -> Ok Rrr
   | other -> Error (Printf.sprintf "unknown TCP variant %S" other)
 
 let create t ~engine ~params ~flow ~emit () =
@@ -31,11 +35,13 @@ let create t ~engine ~params ~flow ~emit () =
   | Fack -> Tcp.Fack.create ~engine ~params ~flow ~emit ()
   | Vegas -> Tcp.Vegas.create ~engine ~params ~flow ~emit ()
   | Rr -> Rr.create ~engine ~params ~flow ~emit ()
+  | Relentless -> Tcp.Relentless.create ~engine ~params ~flow ~emit ()
+  | Rrr -> Tcp.Rrr.create ~engine ~params ~flow ~emit ()
 
 let create_inspected t ~engine ~params ~flow ~emit () =
   match t with
   | Rr ->
     let agent, handle = Rr.create_with_handle ~engine ~params ~flow ~emit () in
     (agent, Some handle)
-  | Tahoe | Reno | Newreno | Sack | Fack | Vegas ->
+  | Tahoe | Reno | Newreno | Sack | Fack | Vegas | Relentless | Rrr ->
     (create t ~engine ~params ~flow ~emit (), None)

@@ -1,12 +1,15 @@
 (** Uniform selection of TCP congestion-control variants.
 
-    The paper compares RR against Tahoe, (New-)Reno and SACK; this
+    The paper compares RR against Tahoe, (New-)Reno and SACK; the bench
+    adds Relentless (exact decrease-by-losses, {!Tcp.Relentless}) and
+    Relative Rate Reduction (adjustable backoff, {!Tcp.Rrr}). This
     module gives experiments, examples and the CLI one switch point for
-    all five. *)
+    all of them. *)
 
-type t = Tahoe | Reno | Newreno | Sack | Fack | Vegas | Rr
+type t = Tahoe | Reno | Newreno | Sack | Fack | Vegas | Rr | Relentless | Rrr
 
-(** All variants, in the paper's presentation order. *)
+(** All variants: the paper's, in presentation order, then the
+    bench additions. *)
 val all : t list
 
 (** [name t] is the lowercase identifier (["rr"], ["newreno"], …). *)

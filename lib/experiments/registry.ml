@@ -179,6 +179,110 @@ let all =
         (fun ~seed ->
           Many_flow.report (Many_flow.run ~flows:2_000 ~duration:5.0 ~seed ()));
     };
+    (* Recovery-algorithm bench (ROADMAP item 3): the artifacts below
+       strictly extend the registry — every pre-existing entry above
+       keeps its default variant list and stays byte-identical. *)
+    {
+      name = "modelcheck";
+      synopsis =
+        "Model validation: each variant's measured window against its own \
+         steady-state model (Mathis sqrt, Relentless 1/p, RRR generalised \
+         AIMD)";
+      run = (fun ~seed:_ -> Modelcheck.report (Modelcheck.run ()));
+    };
+    {
+      name = "fig5-bench";
+      synopsis =
+        "Figure 5's 6-loss burst with the bench variants (Relentless, RRR) \
+         appended to the paper's five";
+      run =
+        (fun ~seed ->
+          Fig5.report
+            (Fig5.run ~drops:6
+               ~variants:
+                 Core.Variant.
+                   [ Tahoe; Reno; Newreno; Sack; Rr; Relentless; Rrr ]
+               ~seed ()));
+    };
+    {
+      name = "fig6-bench";
+      synopsis =
+        "Figure 6's RED recovery dynamics with the bench variants appended";
+      run =
+        (fun ~seed ->
+          Fig6.report
+            (Fig6.run
+               ~variants:
+                 Core.Variant.[ Tahoe; Newreno; Sack; Rr; Relentless; Rrr ]
+               ~seed ()));
+    };
+    {
+      name = "fig7-bench";
+      synopsis =
+        "Figure 7's square-root fit including the bench variants \
+         (Relentless's 1/p steady state visibly departs the sqrt model)";
+      run =
+        (fun ~seed:_ ->
+          Fig7.report
+            (Fig7.run
+               ~variants:Core.Variant.[ Sack; Rr; Relentless; Rrr ]
+               ~seeds:[ 3L; 17L ] ()));
+    };
+    {
+      name = "table5-bench";
+      synopsis =
+        "Table 5's 20-flow fairness machinery for the bench variants: \
+         Relentless and RRR each as a lone target among Renos and as the \
+         background for a Reno target";
+      run =
+        (fun ~seed ->
+          Table5.report
+            (Table5.run ~seed
+               ~cases:
+                 Core.Variant.
+                   [
+                     ("relentless among renos", Reno, Relentless);
+                     ("reno among relentless", Relentless, Reno);
+                     ("rrr among renos", Reno, Rrr);
+                     ("reno among rrrs", Rrr, Reno);
+                   ]
+               ()));
+    };
+    {
+      name = "sync-bench";
+      synopsis =
+        "Drop-tail vs RED synchronization and Jain fairness with the bench \
+         variants appended";
+      run =
+        (fun ~seed ->
+          Sync.report
+            (Sync.run
+               ~variants:Core.Variant.[ Reno; Rr; Relentless; Rrr ]
+               ~seed ()));
+    };
+    {
+      name = "flaps-bench";
+      synopsis =
+        "Link-flap robustness (PR-4 faults) with the bench variants appended";
+      run =
+        (fun ~seed:_ ->
+          Flaps.report
+            (Flaps.run
+               ~variants:Core.Variant.[ Newreno; Sack; Rr; Relentless; Rrr ]
+               ()));
+    };
+    {
+      name = "cross-bench";
+      synopsis =
+        "CBR cross-traffic residual-bandwidth use with the bench variants \
+         appended";
+      run =
+        (fun ~seed:_ ->
+          Cross_traffic.report
+            (Cross_traffic.run
+               ~variants:Core.Variant.[ Newreno; Sack; Rr; Relentless; Rrr ]
+               ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -133,10 +133,11 @@ let run_case ~params ~seed ~deadline (label, background, target) =
       int_of_float (Float.round (mean (fun (_, _, _, t) -> float_of_int t)));
   }
 
-let run ?(seed = 23L) ?(deadline = 160.0) ?(limited_transmit = false) () =
+let run ?(seed = 23L) ?(deadline = 160.0) ?(limited_transmit = false)
+    ?(cases = cases_spec) () =
   let params = { params with Tcp.Params.limited_transmit } in
   {
-    cases = List.map (run_case ~params ~seed ~deadline) cases_spec;
+    cases = List.map (run_case ~params ~seed ~deadline) cases;
     fair_share_bps =
       config.Net.Dumbbell.bottleneck_bandwidth_bps /. float_of_int flows;
   }

@@ -37,9 +37,17 @@ type outcome = { cases : case list; fair_share_bps : float }
     deterministic and strongly phase-biased — see DESIGN.md). With
     [limited_transmit], all senders use RFC 3042, which restores
     fast-retransmit viability at the tiny per-flow windows this
-    20-flow scenario forces. *)
+    20-flow scenario forces. [cases] overrides the paper's four
+    (label, background variant, target variant) combinations — the
+    bench artifacts reuse the same 20-flow fairness machinery for
+    Relentless and RRR against Reno. *)
 val run :
-  ?seed:int64 -> ?deadline:float -> ?limited_transmit:bool -> unit -> outcome
+  ?seed:int64 ->
+  ?deadline:float ->
+  ?limited_transmit:bool ->
+  ?cases:(string * Core.Variant.t * Core.Variant.t) list ->
+  unit ->
+  outcome
 
 (** [report outcome] renders the table plus the §5 bandwidth notes. *)
 val report : outcome -> string

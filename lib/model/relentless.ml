@@ -1,0 +1,13 @@
+let window ~loss_rate =
+  if loss_rate <= 0.0 || loss_rate > 1.0 then
+    invalid_arg "Relentless.window: loss_rate out of (0, 1]";
+  1.0 /. loss_rate
+
+let window_limited ~loss_rate ~rwnd =
+  if rwnd < 1 then invalid_arg "Relentless.window_limited: rwnd < 1";
+  Float.min (window ~loss_rate) (float_of_int rwnd)
+
+let bandwidth_bps ~mss ~rtt ~loss_rate =
+  if mss <= 0 then invalid_arg "Relentless.bandwidth_bps: mss <= 0";
+  if rtt <= 0.0 then invalid_arg "Relentless.bandwidth_bps: rtt <= 0";
+  window ~loss_rate *. float_of_int (8 * mss) /. rtt

@@ -1,0 +1,37 @@
+(** Steady-state model of Relentless Congestion Control (Diana &
+    Lochin, "An analytical model of Relentless Congestion Control",
+    arxiv 1102.3270).
+
+    Relentless recovery subtracts exactly one segment per lost segment
+    instead of halving, so in the fluid steady state the +1 segment per
+    RTT of congestion avoidance balances the [p * W] segments lost (and
+    subtracted) per RTT:
+
+    {[ 1 = p * W   =>   W = 1 / p ]}
+
+    giving the equilibrium window [W = 1/p] and throughput
+    [BW = MSS / (RTT * p)] — a [1 / p] law, in contrast to the Reno
+    family's [1 / sqrt p]. There is no multiplicative sawtooth: the
+    window sits at the equilibrium and the model has no ACK-strategy
+    constant. The {!Experiments.Modelcheck} report validates the
+    simulated sender against this prediction. *)
+
+(** [window ~loss_rate] is the equilibrium window in segments,
+    [1 / p].
+
+    @raise Invalid_argument if [loss_rate] is outside [(0, 1]]. *)
+val window : loss_rate:float -> float
+
+(** [window_limited ~loss_rate ~rwnd] caps the model at the receiver's
+    advertised window, the binding constraint at small loss rates
+    (at [p = 0.01] the unconstrained model already asks for 100
+    segments).
+
+    @raise Invalid_argument if [rwnd < 1]. *)
+val window_limited : loss_rate:float -> rwnd:int -> float
+
+(** [bandwidth_bps ~mss ~rtt ~loss_rate] is the model's predicted
+    throughput, [8 * MSS / (RTT * p)] bits per second.
+
+    @raise Invalid_argument on non-positive [mss] or [rtt]. *)
+val bandwidth_bps : mss:int -> rtt:float -> loss_rate:float -> float

@@ -1,9 +1,11 @@
 (** Uniform handle over a TCP sender of any congestion-control variant.
 
-    Variants ({!Tahoe}, {!Reno}, {!Newreno}, {!Sack}, and [Core.Rr])
-    return this record from their [create] functions; experiment code
-    and applications drive senders exclusively through it, plus the
-    exposed {!Sender_common.t} for statistics and white-box tests. *)
+    Variants ({!Tahoe}, {!Reno}, {!Newreno}, {!Sack}, {!Fack},
+    {!Vegas}, {!Relentless}, {!Rrr}, and [Core.Rr]) return this record
+    from their [create] functions; experiment code and applications
+    drive senders exclusively through it, plus the exposed
+    {!Sender_common.t} for statistics and white-box tests. [Core.Variant]
+    is the uniform way to pick one by name. *)
 
 type t = {
   name : string;  (** variant name, e.g. ["newreno"] *)

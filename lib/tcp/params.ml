@@ -13,6 +13,7 @@ type t = {
   limited_transmit : bool;
   tick : float;
   rto_estimator : Rto.estimator;
+  rrr_level : float;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     limited_transmit = false;
     tick = 0.0;
     rto_estimator = Rto.Jacobson;
+    rrr_level = 0.5;
   }
 
 let validate t =
@@ -45,4 +47,6 @@ let validate t =
     invalid_arg "Params: need 0 < min_rto <= max_rto";
   if t.initial_rto < t.min_rto then invalid_arg "Params: initial_rto < min_rto";
   if t.initial_rto > t.max_rto then invalid_arg "Params: initial_rto > max_rto";
-  if t.tick < 0.0 then invalid_arg "Params: negative tick"
+  if t.tick < 0.0 then invalid_arg "Params: negative tick";
+  if t.rrr_level <= 0.0 || t.rrr_level >= 1.0 then
+    invalid_arg "Params: rrr_level out of (0, 1)"

@@ -1,0 +1,93 @@
+open Sender_common
+
+type state = {
+  mutable recover : int;
+  mutable reduced : float;
+      (* the un-inflated window: what cwnd will be when recovery ends.
+         Dupack inflation (self-clocking) must not contaminate the
+         exact decrease-by-losses arithmetic, so losses are subtracted
+         here and the operational cwnd is rebuilt from it. *)
+}
+
+let enter_recovery base state =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  notify_recovery_enter base;
+  state.recover <- base.maxseq;
+  base.recover_mark <- base.maxseq;
+  (* One hole is known so far; the window comes down by exactly that
+     one segment — no half-cut. *)
+  state.reduced <- Float.max 1.0 (window base -. 1.0);
+  base.ssthresh <- Float.max 2.0 state.reduced;
+  base.cwnd <-
+    state.reduced +. float_of_int base.params.Params.dupack_threshold;
+  base.phase <- Recovery;
+  base.timed <- None;
+  send_segment base ~seq:(base.una + 1) ~retx:true;
+  restart_rtx_timer base
+
+let exit_recovery base state =
+  base.cwnd <- state.reduced;
+  base.ssthresh <- Float.max 2.0 state.reduced;
+  base.phase <- Congestion_avoidance;
+  base.dupacks <- 0;
+  notify_recovery_exit base
+
+let recv_ack base state ~ackno =
+  if ackno > base.una then begin
+    if base.phase = Recovery then begin
+      if ackno >= state.recover then begin
+        (* Full ACK: the window lands on cwnd-at-entry minus the exact
+           number of segments repaired during this recovery. *)
+        exit_recovery base state;
+        advance_una base ~ackno;
+        send_much base
+      end
+      else begin
+        (* Partial ACK: one more hole, one more segment subtracted.
+           Transmission mechanics are New-Reno's — deflate by the
+           amount acknowledged, re-inflate by one, retransmit the next
+           hole, stay in recovery. *)
+        let acked = ackno - base.una in
+        advance_una base ~ackno;
+        state.reduced <- Float.max 1.0 (state.reduced -. 1.0);
+        base.ssthresh <- Float.max 2.0 state.reduced;
+        base.cwnd <- Float.max 1.0 (base.cwnd -. float_of_int acked +. 1.0);
+        send_segment base ~seq:(base.una + 1) ~retx:true;
+        restart_rtx_timer base;
+        send_much base
+      end
+    end
+    else begin
+      base.dupacks <- 0;
+      advance_una base ~ackno;
+      open_cwnd base;
+      send_much base
+    end
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if base.phase = Recovery then begin
+      base.cwnd <- base.cwnd +. 1.0;
+      send_much base
+    end
+    else if
+      base.dupacks = base.params.Params.dupack_threshold
+      && may_fast_retransmit base
+    then enter_recovery base state
+    else limited_transmit base
+  end
+
+let create ~engine ~params ~flow ~emit () =
+  let state = { recover = -1; reduced = 1.0 } in
+  let base =
+    create ~engine ~params ~flow ~emit ~timeout_action:timeout_common ()
+  in
+  let deliver_ack packet =
+    if Net.Packet.is_data packet then
+      invalid_arg "Relentless: data packet delivered to sender"
+    else if not base.completed then
+      recv_ack base state ~ackno:(Net.Packet.ackno_exn packet)
+  in
+  { Agent.name = "relentless"; flow; deliver_ack; base; wants_sack = false }

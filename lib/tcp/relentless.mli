@@ -1,0 +1,29 @@
+(** Relentless Congestion Control sender (Mathis,
+    [draft-mathis-iccrg-relentless-tcp]; analytical model in
+    {!Model.Relentless}, arxiv 1102.3270).
+
+    Relentless replaces fast recovery's multiplicative decrease with an
+    exact one: the window is reduced by precisely the number of
+    segments lost — one at recovery entry for the retransmitted hole,
+    one more per partial ACK as further holes surface — and is
+    otherwise left at its congested size. Steady state therefore sits
+    at the equilibrium [W = 1/p] instead of sawtoothing around
+    [C / sqrt p]: a deliberately non-TCP-friendly design for
+    scavenger-class or fully-provisioned paths.
+
+    Transmission mechanics ride the New-Reno skeleton: recovery is held
+    open across partial ACKs, each retransmitting the next hole;
+    duplicate ACKs inflate the operational window for self-clocking
+    while the exact-decrease arithmetic is tracked un-inflated and
+    reinstated when recovery ends. Timeouts fall back to the standard
+    go-back-N slow start — Relentless modifies only fast recovery. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds a Relentless
+    sender. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

@@ -1,0 +1,91 @@
+open Sender_common
+
+type state = { mutable recover : int }
+
+(* The window after a relative rate reduction: back off to
+   [(1 - level) * W] instead of Reno's hard W/2. *)
+let reduce base =
+  let level = base.params.Params.rrr_level in
+  Float.max ((1.0 -. level) *. window base) 2.0
+
+let enter_recovery base state =
+  base.counters.Counters.fast_retransmits <-
+    base.counters.Counters.fast_retransmits + 1;
+  notify_recovery_enter base;
+  state.recover <- base.maxseq;
+  base.recover_mark <- base.maxseq;
+  base.ssthresh <- reduce base;
+  base.cwnd <-
+    base.ssthresh +. float_of_int base.params.Params.dupack_threshold;
+  base.phase <- Recovery;
+  base.timed <- None;
+  send_segment base ~seq:(base.una + 1) ~retx:true;
+  restart_rtx_timer base
+
+let exit_recovery base =
+  base.cwnd <- base.ssthresh;
+  base.phase <- Congestion_avoidance;
+  base.dupacks <- 0;
+  notify_recovery_exit base
+
+let recv_ack base state ~ackno =
+  if ackno > base.una then begin
+    if base.phase = Recovery then begin
+      if ackno >= state.recover then begin
+        exit_recovery base;
+        advance_una base ~ackno;
+        send_much base
+      end
+      else begin
+        (* Partial ACK: New-Reno mechanics — deflate by the amount
+           acknowledged, re-inflate by one, retransmit the next hole,
+           stay in recovery. *)
+        let acked = ackno - base.una in
+        advance_una base ~ackno;
+        base.cwnd <- Float.max 1.0 (base.cwnd -. float_of_int acked +. 1.0);
+        send_segment base ~seq:(base.una + 1) ~retx:true;
+        restart_rtx_timer base;
+        send_much base
+      end
+    end
+    else begin
+      base.dupacks <- 0;
+      advance_una base ~ackno;
+      open_cwnd base;
+      send_much base
+    end
+  end
+  else if ackno = base.una && outstanding base > 0 then begin
+    note_dupack base;
+    base.dupacks <- base.dupacks + 1;
+    if base.phase = Recovery then begin
+      base.cwnd <- base.cwnd +. 1.0;
+      send_much base
+    end
+    else if
+      base.dupacks = base.params.Params.dupack_threshold
+      && may_fast_retransmit base
+    then enter_recovery base state
+    else limited_transmit base
+  end
+
+(* Timeouts take the same relative reduction: run the standard
+   go-back-N slow-start restart, then overwrite the halved ssthresh
+   with [(1 - level) * W] of the pre-timeout window. At the default
+   level 0.5 this is the identity. *)
+let timeout base =
+  let w = window base in
+  timeout_common base;
+  base.ssthresh <-
+    Float.max ((1.0 -. base.params.Params.rrr_level) *. w) 2.0
+
+let create ~engine ~params ~flow ~emit () =
+  let state = { recover = -1 } in
+  let base = create ~engine ~params ~flow ~emit ~timeout_action:timeout () in
+  let deliver_ack packet =
+    if Net.Packet.is_data packet then
+      invalid_arg "Rrr: data packet delivered to sender"
+    else if not base.completed then
+      recv_ack base state ~ackno:(Net.Packet.ackno_exn packet)
+  in
+  { Agent.name = "rrr"; flow; deliver_ack; base; wants_sack = false }

@@ -1,0 +1,26 @@
+(** Relative Rate Reduction sender (Hága, Tóth, Csabai & Vattay, arxiv
+    1707.07218; steady-state model in {!Model.Rrr}).
+
+    RRR generalises the Reno backoff: every congestion event —
+    fast-recovery entry or timeout — multiplies the window by
+    [1 - level] where [level] is {!Params.t.rrr_level}, the target
+    congestion level. [level = 0.5] reproduces the New-Reno sender
+    exactly (the window halves); smaller levels cut less per event and
+    so hold a larger mean window ([sqrt ((2 - level) / (2 * level *
+    p))] segments under random loss [p]), at the price of draining
+    queues more slowly; larger levels are more conservative than Reno.
+
+    Everything except the backoff factor is New-Reno: fast recovery
+    held open across partial ACKs, one hole retransmitted per partial
+    ACK, dupack inflation for self-clocking, go-back-N slow start after
+    a timeout. *)
+
+(** [create ~engine ~params ~flow ~emit ()] builds an RRR sender
+    honouring [params.rrr_level]. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  flow:int ->
+  emit:(Net.Packet.t -> unit) ->
+  unit ->
+  Agent.t

@@ -331,6 +331,30 @@ let test_ablation_runs () =
         (row.Experiments.Ablation.throughput_bps > 0.0))
     outcome.Experiments.Ablation.rows
 
+let test_modelcheck_relentless_tolerance () =
+  (* Acceptance gate: Relentless sits within 15% of the arxiv
+     1102.3270 prediction on the clean dumbbell at the rwnd-capped
+     operating point (p = 0.002). Two seeds and 30 s keep this quick;
+     the [modelcheck] artifact carries the full grid. *)
+  let outcome =
+    Experiments.Modelcheck.run
+      ~variants:[ Core.Variant.Relentless; Core.Variant.Rrr ]
+      ~loss_rates:[ 0.002 ] ~seeds:[ 3L; 17L ] ~duration:30.0 ()
+  in
+  List.iter
+    (fun variant ->
+      match
+        Experiments.Modelcheck.deviation outcome ~variant ~loss_rate:0.002
+      with
+      | None -> Alcotest.fail "missing grid cell"
+      | Some dev ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s |%+.1f%%| within 15%%"
+             (Core.Variant.name variant) (100.0 *. dev))
+          true
+          (Float.abs dev <= 0.15))
+    [ Core.Variant.Relentless; Core.Variant.Rrr ]
+
 let suite =
   [
     ( "experiments",
@@ -359,5 +383,7 @@ let suite =
         Alcotest.test_case "vegas decomposition" `Quick test_vegas_claim_shape;
         Alcotest.test_case "rtt fairness" `Quick test_rtt_fairness_shape;
         Alcotest.test_case "sensitivity ordering" `Quick test_sensitivity_ordering;
+        Alcotest.test_case "modelcheck tolerance" `Quick
+          test_modelcheck_relentless_tolerance;
       ] );
   ]

@@ -1,4 +1,5 @@
-(* Analytic model tests: Mathis square-root model and Padhye (PFTK). *)
+(* Analytic model tests: Mathis square-root model, Padhye (PFTK),
+   Relentless (1/p) and RRR (generalised AIMD). *)
 
 let close = Alcotest.(check (float 1e-9))
 
@@ -69,6 +70,87 @@ let prop_padhye_decreasing =
       || Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:lo
          >= Model.Padhye.window ~rtt:0.2 ~rto:1.0 ~b:1 ~loss_rate:hi)
 
+let test_relentless_window () =
+  (* arxiv 1102.3270 equilibrium: one loss per RTT balances the
+     one-per-loss decrease, so W = 1/p. *)
+  close "1/p" 100.0 (Model.Relentless.window ~loss_rate:0.01);
+  close "1/p at p=0.1" 10.0 (Model.Relentless.window ~loss_rate:0.1)
+
+let test_relentless_window_limited () =
+  close "model below cap" 10.0
+    (Model.Relentless.window_limited ~loss_rate:0.1 ~rwnd:20);
+  close "cap binds at small p" 20.0
+    (Model.Relentless.window_limited ~loss_rate:0.001 ~rwnd:20)
+
+let test_relentless_bandwidth () =
+  close "bandwidth = W * 8 mss / rtt" (100.0 *. 8000.0 /. 0.2)
+    (Model.Relentless.bandwidth_bps ~mss:1000 ~rtt:0.2 ~loss_rate:0.01)
+
+let test_relentless_invalid () =
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "Relentless.window: loss_rate out of (0, 1]") (fun () ->
+      ignore (Model.Relentless.window ~loss_rate:0.0))
+
+let test_relentless_above_mathis () =
+  (* 1/p > sqrt(3/2)/sqrt(p) whenever p < 2/3: the Relentless
+     equilibrium dominates the Reno-family square-root model over the
+     whole practical loss range. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "1/p above C/sqrt(p) at p=%.3f" p)
+        true
+        (Model.Relentless.window ~loss_rate:p
+        > Model.Mathis.window ~c:Model.Mathis.c_ack_every_packet ~loss_rate:p))
+    [ 0.001; 0.01; 0.1; 0.5 ]
+
+let test_rrr_window_formula () =
+  close "sqrt((2 - l) / (2 l p))"
+    (sqrt (1.8 /. (2.0 *. 0.2 *. 0.01)))
+    (Model.Rrr.window ~level:0.2 ~loss_rate:0.01)
+
+let test_rrr_half_level_is_mathis () =
+  (* l = 0.5 collapses the generalised AIMD mean to the Mathis model:
+     sqrt((2 - 0.5) / (2 * 0.5 * p)) = sqrt(1.5) / sqrt(p). *)
+  List.iter
+    (fun p ->
+      close
+        (Printf.sprintf "anchor at p=%.3f" p)
+        (Model.Mathis.window ~c:Model.Mathis.c_ack_every_packet ~loss_rate:p)
+        (Model.Rrr.window ~level:0.5 ~loss_rate:p))
+    [ 0.001; 0.01; 0.05; 0.1 ]
+
+let test_rrr_window_limited () =
+  close "cap binds at small p" 20.0
+    (Model.Rrr.window_limited ~level:0.5 ~loss_rate:0.001 ~rwnd:20)
+
+let test_rrr_bandwidth () =
+  let window = Model.Rrr.window ~level:0.3 ~loss_rate:0.02 in
+  close "bandwidth consistent" (window *. 8000.0 /. 0.2)
+    (Model.Rrr.bandwidth_bps ~level:0.3 ~mss:1000 ~rtt:0.2 ~loss_rate:0.02)
+
+let test_rrr_invalid () =
+  Alcotest.check_raises "level 0"
+    (Invalid_argument "Rrr: level out of (0, 1)") (fun () ->
+      ignore (Model.Rrr.window ~level:0.0 ~loss_rate:0.01));
+  Alcotest.check_raises "level 1"
+    (Invalid_argument "Rrr: level out of (0, 1)") (fun () ->
+      ignore (Model.Rrr.window ~level:1.0 ~loss_rate:0.01));
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "Rrr.window: loss_rate out of (0, 1]") (fun () ->
+      ignore (Model.Rrr.window ~level:0.5 ~loss_rate:0.0))
+
+let prop_rrr_gentler_level_larger_window =
+  QCheck2.Test.make ~name:"rrr window decreases with level and loss"
+    QCheck2.Gen.(
+      triple (float_range 0.05 0.95) (float_range 0.05 0.95)
+        (float_range 0.001 0.4))
+    (fun (l1, l2, p) ->
+      let lo = Float.min l1 l2 and hi = Float.max l1 l2 in
+      lo = hi
+      || Model.Rrr.window ~level:lo ~loss_rate:p
+         >= Model.Rrr.window ~level:hi ~loss_rate:p)
+
 let suite =
   [
     ( "model",
@@ -84,5 +166,20 @@ let suite =
         Alcotest.test_case "padhye bandwidth" `Quick test_padhye_bandwidth;
         Alcotest.test_case "padhye invalid" `Quick test_padhye_invalid;
         QCheck_alcotest.to_alcotest prop_padhye_decreasing;
+        Alcotest.test_case "relentless window" `Quick test_relentless_window;
+        Alcotest.test_case "relentless window limited" `Quick
+          test_relentless_window_limited;
+        Alcotest.test_case "relentless bandwidth" `Quick
+          test_relentless_bandwidth;
+        Alcotest.test_case "relentless invalid" `Quick test_relentless_invalid;
+        Alcotest.test_case "relentless above mathis" `Quick
+          test_relentless_above_mathis;
+        Alcotest.test_case "rrr window formula" `Quick test_rrr_window_formula;
+        Alcotest.test_case "rrr half level is mathis" `Quick
+          test_rrr_half_level_is_mathis;
+        Alcotest.test_case "rrr window limited" `Quick test_rrr_window_limited;
+        Alcotest.test_case "rrr bandwidth" `Quick test_rrr_bandwidth;
+        Alcotest.test_case "rrr invalid" `Quick test_rrr_invalid;
+        QCheck_alcotest.to_alcotest prop_rrr_gentler_level_larger_window;
       ] );
   ]

@@ -14,7 +14,9 @@ let test_aliases () =
   Alcotest.(check bool) "robust" true
     (Core.Variant.of_string "robust-recovery" = Ok Core.Variant.Rr);
   Alcotest.(check bool) "case" true
-    (Core.Variant.of_string "SACK" = Ok Core.Variant.Sack)
+    (Core.Variant.of_string "SACK" = Ok Core.Variant.Sack);
+  Alcotest.(check bool) "relative-rate-reduction" true
+    (Core.Variant.of_string "relative-rate-reduction" = Ok Core.Variant.Rrr)
 
 let test_unknown () =
   match Core.Variant.of_string "cubic" with

@@ -278,6 +278,152 @@ let test_sack_timeout_during_recovery () =
 let test_reno_timeout_during_recovery () =
   test_timeout_during_recovery_resets Tcp.Reno.create "reno"
 
+(* -- Relentless -- *)
+
+let test_relentless_exact_decrease () =
+  let h = with_loss Tcp.Relentless.create in
+  let b = Harness.base h in
+  let window_before = window b in
+  let una = b.una in
+  Harness.dupacks h 3;
+  (match Harness.sent h with
+  | { seq; retx = true; _ } :: _ ->
+    Alcotest.(check int) "retransmits the hole" (una + 1) seq
+  | _ -> Alcotest.fail "no fast retransmit");
+  (* One loss known so far: the window comes down by exactly one
+     segment, not by half. *)
+  Alcotest.(check (float 1e-9)) "ssthresh = W - 1" (window_before -. 1.0)
+    b.ssthresh;
+  Alcotest.(check (float 1e-9)) "cwnd = W - 1, inflated by 3"
+    (window_before +. 2.0) b.cwnd;
+  Harness.dupack h;
+  Alcotest.(check (float 1e-9)) "further dupacks inflate"
+    (window_before +. 3.0) b.cwnd
+
+let test_relentless_full_ack_exit_window () =
+  let h = with_loss Tcp.Relentless.create in
+  let b = Harness.base h in
+  let window_before = window b in
+  Harness.dupacks h 3;
+  Harness.deliver_ack h b.maxseq;
+  Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "exit at W - 1 after a single loss"
+    (window_before -. 1.0) b.cwnd
+
+let test_relentless_partial_acks_subtract () =
+  let h = with_loss Tcp.Relentless.create in
+  let b = Harness.base h in
+  let window_before = window b in
+  let una = b.una in
+  Harness.dupacks h 3;
+  ignore (Harness.sent h);
+  (* Each partial ACK reveals one more repaired hole; each subtracts
+     exactly one more segment from the eventual exit window. *)
+  Harness.deliver_ack h (una + 2);
+  Alcotest.(check bool) "still recovering" true (b.phase = Recovery);
+  (match Harness.sent h with
+  | { seq; retx = true; _ } :: _ ->
+    Alcotest.(check int) "next hole retransmitted" (una + 3) seq
+  | _ -> Alcotest.fail "expected hole retransmission");
+  Harness.deliver_ack h (una + 4);
+  Alcotest.(check bool) "still recovering after 2nd partial" true
+    (b.phase = Recovery);
+  Harness.deliver_ack h b.maxseq;
+  Alcotest.(check bool) "full ACK exits" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "exit at W - 3 after three losses"
+    (window_before -. 3.0) b.cwnd
+
+(* -- RRR -- *)
+
+let test_rrr_half_level_matches_newreno () =
+  (* At the default level 0.5 the relative reduction (1 - l) * W is
+     exactly New-Reno's half-cut, so the two senders must be
+     observationally identical on any script. *)
+  let trace create =
+    let h = with_loss create in
+    let b = Harness.base h in
+    let una = b.una in
+    let log = ref [] in
+    let snap () = log := (b.cwnd, b.ssthresh, Harness.sent_seqs h) :: !log in
+    Harness.dupacks h 3;
+    snap ();
+    Harness.deliver_ack h (una + 2);
+    snap ();
+    Harness.dupacks h 2;
+    snap ();
+    Harness.deliver_ack h b.maxseq;
+    snap ();
+    List.rev !log
+  in
+  List.iter2
+    (fun (c1, s1, q1) (c2, s2, q2) ->
+      Alcotest.(check (float 1e-9)) "cwnd matches newreno" c1 c2;
+      Alcotest.(check (float 1e-9)) "ssthresh matches newreno" s1 s2;
+      Alcotest.(check (list int)) "sends match newreno" q1 q2)
+    (trace Tcp.Newreno.create) (trace Tcp.Rrr.create)
+
+let test_rrr_custom_level_backoff () =
+  let params = { Harness.params with Tcp.Params.rrr_level = 0.2 } in
+  let h = Harness.make ~params Tcp.Rrr.create in
+  Harness.open_window h ~target:20;
+  ignore (Harness.sent h);
+  let b = Harness.base h in
+  let w = window b in
+  Harness.dupacks h 3;
+  Alcotest.(check (float 1e-9)) "ssthresh = (1 - 0.2) W" (0.8 *. w) b.ssthresh;
+  Alcotest.(check (float 1e-9)) "cwnd = (1 - 0.2) W, inflated by 3"
+    ((0.8 *. w) +. 3.0) b.cwnd;
+  Harness.deliver_ack h b.maxseq;
+  Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
+  Alcotest.(check (float 1e-9)) "exit at (1 - 0.2) W" (0.8 *. w) b.cwnd
+
+let test_rrr_timeout_takes_level () =
+  let params = { Harness.params with Tcp.Params.rrr_level = 0.2 } in
+  let h = Harness.make ~params Tcp.Rrr.create in
+  Harness.open_window h ~target:20;
+  ignore (Harness.sent h);
+  let b = Harness.base h in
+  let w = window b in
+  (* No ACKs at all: the RTO fires, and ssthresh takes the same
+     relative reduction instead of the standard half-cut. *)
+  Harness.advance h ~by:4.0;
+  Alcotest.(check bool) "timeout fired" true
+    (b.counters.Tcp.Counters.timeouts >= 1);
+  Alcotest.(check (float 1e-9)) "ssthresh = (1 - 0.2) W after RTO"
+    (Float.max (0.8 *. w) 2.0) b.ssthresh;
+  Alcotest.(check (float 1e-9)) "cwnd reset to 1" 1.0 b.cwnd;
+  Alcotest.(check bool) "slow start restart" true (b.phase = Slow_start)
+
+(* -- Karn's rule / RTO interaction (both new variants) -- *)
+
+let test_karn_rto_interaction create name =
+  let h = with_loss create in
+  let b = Harness.base h in
+  let una = b.una in
+  Harness.dupacks h 3;
+  ignore (Harness.sent h);
+  (* Karn's rule: the fast retransmission of una+1 must not be timed —
+     if anything is being timed now, it is fresh data beyond it. *)
+  (match b.timed with
+  | Some (seq, _) ->
+    Alcotest.(check bool) (name ^ " retransmit not timed") true (seq > una + 1)
+  | None -> ());
+  (* An RTO inside recovery backs the timer off (no sample arrived to
+     reset it) and restarts in slow start. *)
+  let rto_before = Tcp.Rto.value b.rto in
+  Harness.advance h ~by:8.0;
+  Alcotest.(check bool) (name ^ " rto backed off") true
+    (Tcp.Rto.value b.rto >= rto_before *. 2.0 -. 1e-9);
+  Alcotest.(check bool) (name ^ " left recovery") true (b.phase = Slow_start);
+  (* A clean ACK of fresh (never-retransmitted) data yields a sample
+     again, which resets the backoff. *)
+  Harness.deliver_ack h b.maxseq;
+  ignore (Harness.sent h);
+  Harness.advance h ~by:0.05;
+  Harness.deliver_ack h b.maxseq;
+  Alcotest.(check bool) (name ^ " sample resets backoff") true
+    (Tcp.Rto.value b.rto < rto_before *. 2.0)
+
 (* Cross-variant invariants under arbitrary ACK scripts: no sender may
    transmit beyond the application's data horizon, leave the window in
    an inconsistent state, or crash — whatever the (plausible) ACK
@@ -304,11 +450,13 @@ let variant_makers =
     ("fack", Tcp.Fack.create);
     ("vegas", Tcp.Vegas.create);
     ("rr", Core.Rr.create);
+    ("relentless", Tcp.Relentless.create);
+    ("rrr", Tcp.Rrr.create);
   ]
 
 let prop_sender_invariants =
   QCheck2.Test.make ~name:"all variants keep sender invariants" ~count:200
-    QCheck2.Gen.(pair (int_range 0 6) script_gen)
+    QCheck2.Gen.(pair (int_range 0 8) script_gen)
     (fun (variant_index, ops) ->
       let _, create = List.nth variant_makers variant_index in
       let h = Harness.make create in
@@ -395,6 +543,33 @@ let suite =
         Alcotest.test_case "exit at recover" `Quick test_fack_exit_at_recover;
         Alcotest.test_case "timeout during recovery" `Quick (fun () ->
             test_timeout_during_recovery_resets Tcp.Fack.create "fack");
+      ] );
+    ( "relentless",
+      [
+        Alcotest.test_case "exact decrease on entry" `Quick
+          test_relentless_exact_decrease;
+        Alcotest.test_case "full ack exit window" `Quick
+          test_relentless_full_ack_exit_window;
+        Alcotest.test_case "partial acks subtract" `Quick
+          test_relentless_partial_acks_subtract;
+        Alcotest.test_case "timeout during recovery" `Quick (fun () ->
+            test_timeout_during_recovery_resets Tcp.Relentless.create
+              "relentless");
+        Alcotest.test_case "karn/rto interaction" `Quick (fun () ->
+            test_karn_rto_interaction Tcp.Relentless.create "relentless");
+      ] );
+    ( "rrr",
+      [
+        Alcotest.test_case "level 0.5 matches newreno" `Quick
+          test_rrr_half_level_matches_newreno;
+        Alcotest.test_case "custom level backoff" `Quick
+          test_rrr_custom_level_backoff;
+        Alcotest.test_case "timeout takes level" `Quick
+          test_rrr_timeout_takes_level;
+        Alcotest.test_case "timeout during recovery" `Quick (fun () ->
+            test_timeout_during_recovery_resets Tcp.Rrr.create "rrr");
+        Alcotest.test_case "karn/rto interaction" `Quick (fun () ->
+            test_karn_rto_interaction Tcp.Rrr.create "rrr");
       ] );
     ( "variant invariants",
       [ QCheck_alcotest.to_alcotest prop_sender_invariants ] );
