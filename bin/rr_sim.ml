@@ -393,6 +393,13 @@ let faults_conv =
   let print ppf spec = Format.pp_print_string ppf (Faults.Spec.to_string spec) in
   Arg.conv ~docv:"SPEC" (parse, print)
 
+let timeline_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Faults.Timeline.of_string s)
+  in
+  let print ppf t = Format.pp_print_string ppf (Faults.Timeline.to_string t) in
+  Arg.conv ~docv:"STEPS" (parse, print)
+
 let rto_conv =
   let parse s =
     Result.map_error (fun m -> `Msg m) (Tcp.Rto.estimator_of_string s)
@@ -598,6 +605,19 @@ let run_term =
     in
     Arg.(value & opt faults_conv Faults.Spec.none & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
+  let link_schedule =
+    let doc =
+      "Step the bottleneck link's conditions over time: '@'-prefixed steps \
+       @T+RATE[+DELAY] (absolute bps / seconds, '-' = keep), applied at \
+       packet boundaries. Example: --link-schedule @2+400000@5+-+0.25 halves \
+       the trunk rate at t=2 and raises its one-way delay to 250 ms at t=5. \
+       Composes with --faults (relative fade:/handover:/asym: clauses)."
+    in
+    Arg.(
+      value
+      & opt (some timeline_conv) None
+      & info [ "link-schedule" ] ~docv:"STEPS" ~doc)
+  in
   let cross =
     let doc =
       "Add an unresponsive CBR cross-traffic source of RATE bits per second \
@@ -608,7 +628,7 @@ let run_term =
   in
   let run scheduler variant rrr_level topology flows duration red buffer loss
       rwnd ack_loss delack limited_transmit rto tracefile trace trace_format
-      audit audit_sample faults cross seed csv =
+      audit audit_sample faults link_schedule cross seed csv =
     Sim.Engine.set_default_scheduler scheduler;
     (if audit_sample < 0 then begin
        Printf.eprintf "rr-sim: --audit-sample must be >= 0\n";
@@ -619,6 +639,11 @@ let run_term =
        exit 2
      end);
     if topology = Run_many_flow then begin
+      (if link_schedule <> None then begin
+         Printf.eprintf
+           "rr-sim: --link-schedule does not apply to --topology many-flow\n";
+         exit 2
+       end);
       (* The flock scale path: flat arrays and streaming statistics, no
          per-flow agents — most scenario knobs do not apply. *)
       print_string
@@ -696,7 +721,7 @@ let run_term =
                 }
               ~seed ~duration ~uniform_loss:loss ~ack_loss ~delayed_ack:delack
               ~monitor_queue:0.1 ?trace_out:trace_channel ~trace_format
-              ~audit_sample ~faults ~cross ()
+              ~audit_sample ~faults ?link_schedule ~cross ()
           in
           Experiments.Scenario.run spec)
     in
@@ -742,13 +767,28 @@ let run_term =
       t.Experiments.Scenario.cross_results;
     Option.iter
       (fun injector ->
+        (* The rate/delay suffix appears only when a timeline actually
+           stepped, so pre-timeline fault runs print their exact
+           historical line. *)
+        let steps =
+          match
+            ( Faults.Injector.rate_changes injector,
+              Faults.Injector.delay_changes injector )
+          with
+          | 0, 0 -> ""
+          | rates, 0 -> Printf.sprintf ", %d rate step(s)" rates
+          | 0, delays -> Printf.sprintf ", %d delay step(s)" delays
+          | rates, delays ->
+            Printf.sprintf ", %d rate step(s), %d delay step(s)" rates delays
+        in
         Printf.printf
           "faults: %d link down(s), %d queued packet(s) dropped, %d \
-           reordered, %d jittered\n"
+           reordered, %d jittered%s\n"
           (Faults.Injector.downs injector)
           (Faults.Injector.fault_drops injector)
           (Faults.Injector.reordered injector)
-          (Faults.Injector.jittered injector))
+          (Faults.Injector.jittered injector)
+          steps)
       t.Experiments.Scenario.injector;
     Option.iter
       (fun dir ->
@@ -782,7 +822,7 @@ let run_term =
     const run $ scheduler_arg $ variant $ rrr_level $ topology $ flows
     $ duration $ red $ buffer $ loss $ rwnd $ ack_loss $ delack
     $ limited_transmit $ rto $ tracefile $ trace $ trace_format $ audit
-    $ audit_sample $ faults $ cross $ seed_arg $ csv_arg)
+    $ audit_sample $ faults $ link_schedule $ cross $ seed_arg $ csv_arg)
 
 let run_cmd =
   Cmd.v
@@ -913,6 +953,27 @@ let sweep_term =
       & opt (list ~sep:',' float) [ 0.5 ]
       & info [ "rrr-levels" ] ~docv:"LEVELS" ~doc)
   in
+  let asym_ratios =
+    let doc =
+      "Comma-separated forward:reverse trunk rate ratios (0 = off; the \
+       asym: spec clause; dumbbell topology only)."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' float) [ 0.0 ]
+      & info [ "asym-ratios" ] ~docv:"RATIOS" ~doc)
+  in
+  let handover_periods =
+    let doc =
+      "Comma-separated cellular-handover periods in seconds (0 = off; each \
+       handover darkens the trunk for 400 ms, burst-drops the backlog and \
+       resumes at the next cell rate)."
+    in
+    Arg.(
+      value
+      & opt (list ~sep:',' float) [ 0.0 ]
+      & info [ "handover-period" ] ~docv:"SECONDS" ~doc)
+  in
   let seed_count =
     let doc = "Seeds per grid point (SEED, SEED+1, ...)." in
     Arg.(value & opt int 6 & info [ "seeds" ] ~docv:"N" ~doc)
@@ -992,11 +1053,33 @@ let sweep_term =
     Arg.(value & flag & info [ "resume" ] ~doc)
   in
   let run scheduler variants gateways topologies losses ack_losses reorders
-      flap_periods cbr_shares rtos rrr_levels seed_count duration flows rwnd
+      flap_periods cbr_shares rtos rrr_levels asym_ratios handover_periods
+      seed_count duration flows rwnd
       jobs pool cache_dir no_cache json timeout retries backoff resume seed =
     Sim.Engine.set_default_scheduler scheduler;
     (if List.exists (fun l -> l <= 0.0 || l >= 1.0) rrr_levels then begin
        Printf.eprintf "rr-sim: --rrr-levels must all be inside (0, 1)\n";
+       exit 2
+     end);
+    (if List.exists (fun r -> r <> 0.0 && r < 1.0) asym_ratios then begin
+       Printf.eprintf "rr-sim: --asym-ratios must be 0 (off) or >= 1\n";
+       exit 2
+     end);
+    (if
+       List.exists (fun r -> r > 0.0) asym_ratios
+       && List.exists (fun t -> t <> Campaign.Job.Dumbbell) topologies
+     then begin
+       Printf.eprintf "rr-sim: --asym-ratios requires --topologies dumbbell\n";
+       exit 2
+     end);
+    (if
+       List.exists
+         (fun p -> p <> 0.0 && p <= Campaign.Job.handover_gap)
+         handover_periods
+     then begin
+       Printf.eprintf
+         "rr-sim: --handover-period values must be 0 (off) or > %g s\n"
+         Campaign.Job.handover_gap;
        exit 2
      end);
     (* Fail fast on an unparseable chaos spec instead of aborting
@@ -1012,8 +1095,8 @@ let sweep_term =
     let grid =
       Campaign.Sweep.grid ~variants ~gateways ~topologies
         ~uniform_losses:losses ~ack_losses ~reorders ~flap_periods ~cbr_shares
-        ~estimators:rtos ~rrr_levels ~seed ~seed_count ~duration ~flows ~rwnd
-        ()
+        ~estimators:rtos ~rrr_levels ~asym_ratios ~handover_periods ~seed
+        ~seed_count ~duration ~flows ~rwnd ()
     in
     if resume && no_cache then begin
       Printf.eprintf
@@ -1099,6 +1182,7 @@ let sweep_term =
   Term.(
     const run $ scheduler_arg $ variants $ gateways $ topologies $ losses
     $ ack_losses $ reorders $ flap_periods $ cbr_shares $ rtos $ rrr_levels
+    $ asym_ratios $ handover_periods
     $ seed_count $ duration $ flows $ rwnd $ jobs $ pool $ cache_dir
     $ no_cache $ json $ timeout $ retries $ backoff $ resume $ seed_arg)
 

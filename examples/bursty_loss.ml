@@ -72,7 +72,9 @@ let () =
         Format.printf
           "%.3f  >> fast retransmit: recovery entered (cwnd frozen at %.1f, \
            ssthresh -> %.1f)@."
-          now base.Tcp.Sender_common.cwnd base.Tcp.Sender_common.ssthresh
+          now
+          (Tcp.Sender_common.cwnd base)
+          (Tcp.Sender_common.ssthresh base)
       | Some view, Some old when describe view <> describe old ->
         Format.printf "%.3f     %s@." now (describe view)
       | Some _, Some _ -> ()
@@ -80,7 +82,8 @@ let () =
         Format.printf
           "%.3f  << recovery exited: cwnd <- actnum = %.1f segments, back to \
            congestion avoidance@."
-          now base.Tcp.Sender_common.cwnd
+          now
+          (Tcp.Sender_common.cwnd base)
       | None, None -> ());
       previous := Core.Rr.inspect handle);
 

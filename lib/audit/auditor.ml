@@ -115,9 +115,10 @@ let check_sender_core t (s : sender_state) =
     report_violation t ~subject ~rule:"sender-outstanding"
       ~detail:(Printf.sprintf "outstanding=%d" (outstanding b));
   tally t;
-  if not (b.cwnd >= 1.0 && b.ssthresh >= 2.0) then
+  if not (cwnd b >= 1.0 && ssthresh b >= 2.0) then
     report_violation t ~subject ~rule:"sender-window"
-      ~detail:(Printf.sprintf "cwnd=%.3f ssthresh=%.3f" b.cwnd b.ssthresh);
+      ~detail:
+        (Printf.sprintf "cwnd=%.3f ssthresh=%.3f" (cwnd b) (ssthresh b));
   tally t;
   if not (b.dupacks >= 0) then
     report_violation t ~subject ~rule:"sender-dupacks"

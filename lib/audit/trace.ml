@@ -48,6 +48,8 @@ let default_flush_at = 1 lsl 16
      9  link_up         strref link
      10 fault_drop      strref link, packet
      11 reorder         strref path, extra:i63le(timebits), packet
+     14 rate_change     strref link, bps:f64le bits
+     15 delay_change    strref link, delay:i63le(timebits)
      12 journal         str ev, varint nfields,
                           nfields * (str key, vtag:u8, value)
                           vtag 0 = zigzag int, 1 = float as i64le bits,
@@ -257,6 +259,29 @@ let emit_fault_drop t ~time ~link packet =
     add_packet b.scratch packet;
     bin_end t b
 
+let emit_rate_change t ~time ~link ~bps =
+  match t.mode with
+  | Jsonl ->
+    line t {|{"t":%.6f,"ev":"rate_change","link":"%s","bps":%g}|} time link bps
+  | Binary b ->
+    let id = intern t b link in
+    bin_begin b 14 ~time;
+    add_varint b.scratch id;
+    Buffer.add_int64_le b.scratch (Int64.bits_of_float bps);
+    bin_end t b
+
+let emit_delay_change t ~time ~link ~delay =
+  match t.mode with
+  | Jsonl ->
+    line t {|{"t":%.6f,"ev":"delay_change","link":"%s","delay":%.6f}|} time
+      link delay
+  | Binary b ->
+    let id = intern t b link in
+    bin_begin b 15 ~time;
+    add_varint b.scratch id;
+    add_i63_le b.scratch (Sim.Timebits.of_time delay);
+    bin_end t b
+
 let emit_reorder t ~time ~path ~extra packet =
   match t.mode with
   | Jsonl ->
@@ -307,7 +332,11 @@ let attach_injector t injector =
       | Faults.Injector.Fault_drop { link; packet } ->
         emit_fault_drop t ~time ~link packet
       | Faults.Injector.Reordered { path; packet; extra } ->
-        emit_reorder t ~time ~path ~extra packet)
+        emit_reorder t ~time ~path ~extra packet
+      | Faults.Injector.Rate_change { link; bps } ->
+        emit_rate_change t ~time ~link ~bps
+      | Faults.Injector.Delay_change { link; delay } ->
+        emit_delay_change t ~time ~link ~delay)
 
 (* -- generic journal events --
 
@@ -525,6 +554,16 @@ let export ~input ~output =
         let path = strref cur in
         let extra = cur_time cur in
         emit_reorder jt ~time ~path ~extra (cur_packet cur)
+      | 14 ->
+        let time = cur_time cur in
+        let link = strref cur in
+        let bps = Int64.float_of_bits (cur_i64 cur) in
+        emit_rate_change jt ~time ~link ~bps
+      | 15 ->
+        let time = cur_time cur in
+        let link = strref cur in
+        let delay = cur_time cur in
+        emit_delay_change jt ~time ~link ~delay
       | 12 ->
         let time = cur_time cur in
         let ev = cur_str cur in

@@ -62,6 +62,8 @@ val attach_queue : t -> engine:Sim.Engine.t -> name:string -> Net.Queue_disc.t -
     {"t":4.500000,"ev":"link_up","link":"bottleneck"}
     {"t":4.000000,"ev":"fault_drop","link":"bottleneck","flow":0,"kind":"data","seq":41,"uid":230}
     {"t":2.104510,"ev":"reorder","path":"bottleneck","extra":0.013420,"flow":1,"kind":"data","seq":17,"uid":96}
+    {"t":6.000000,"ev":"rate_change","link":"bottleneck","bps":400000}
+    {"t":6.000000,"ev":"delay_change","link":"bottleneck","delay":0.250000}
     v} *)
 val attach_injector : t -> Faults.Injector.t -> unit
 

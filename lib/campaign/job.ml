@@ -13,6 +13,8 @@ type t = {
   cbr_share : float;
   estimator : Tcp.Rto.estimator;
   rrr_level : float;
+  asym_ratio : float;  (* forward:reverse trunk rate ratio; 0 = off *)
+  handover_period : float;  (* seconds between handovers; 0 = off *)
   seed : int64;
   duration : float;
   flows : int;
@@ -20,6 +22,8 @@ type t = {
 }
 
 let flap_down_for = 0.3
+
+let handover_gap = 0.4
 
 let gateway_name = function
   | Droptail capacity -> Printf.sprintf "droptail:%d" capacity
@@ -63,6 +67,16 @@ let point_label job =
       base ^ Printf.sprintf "/rto %s" (Tcp.Rto.estimator_name job.estimator)
     else base
   in
+  let base =
+    if job.asym_ratio > 0.0 then
+      base ^ Printf.sprintf "/asym %g" job.asym_ratio
+    else base
+  in
+  let base =
+    if job.handover_period > 0.0 then
+      base ^ Printf.sprintf "/handover %gs" job.handover_period
+    else base
+  in
   (* The level only matters to (and only labels) the RRR sender. *)
   if job.variant = Core.Variant.Rrr && job.rrr_level <> 0.5 then
     base ^ Printf.sprintf "/rrr %g" job.rrr_level
@@ -70,7 +84,7 @@ let point_label job =
 
 (* Bump whenever the job layout or the semantics of a run change, so
    stale cache entries can never be mistaken for current ones. *)
-let schema = "rr-sim-campaign/6"
+let schema = "rr-sim-campaign/7"
 
 let to_json job =
   Json.Obj
@@ -85,6 +99,8 @@ let to_json job =
       ("cbr_share", Json.Num job.cbr_share);
       ("rto", Json.Str (Tcp.Rto.estimator_name job.estimator));
       ("rrr_level", Json.Num job.rrr_level);
+      ("asym_ratio", Json.Num job.asym_ratio);
+      ("handover_period", Json.Num job.handover_period);
       ("seed", Json.Str (Int64.to_string job.seed));
       ("duration", Json.Num job.duration);
       ("flows", Json.Num (float_of_int job.flows));
@@ -167,14 +183,33 @@ let run job =
         }
       else spec
     in
-    if job.flap_period > 0.0 then
-      {
-        spec with
-        Faults.Spec.flaps =
-          Some
-            (Faults.Spec.Periodic
-               { period = job.flap_period; down_for = flap_down_for });
-      }
+    let spec =
+      if job.flap_period > 0.0 then
+        {
+          spec with
+          Faults.Spec.flaps =
+            Some
+              (Faults.Spec.Periodic
+                 { period = job.flap_period; down_for = flap_down_for });
+        }
+      else spec
+    in
+    let spec =
+      if job.handover_period > 0.0 then
+        {
+          spec with
+          Faults.Spec.handover =
+            Some
+              {
+                Faults.Spec.ho_period = job.handover_period;
+                ho_gap = handover_gap;
+                ho_levels = Faults.Spec.default_handover_levels;
+              };
+        }
+      else spec
+    in
+    if job.asym_ratio > 0.0 then
+      { spec with Faults.Spec.asym = Some job.asym_ratio }
     else spec
   in
   let cross =

@@ -36,6 +36,14 @@ type t = {
       (** {!Tcp.Params.t.rrr_level} for {!Core.Variant.Rrr} senders;
           [0.5] = the Reno-equivalent default; other variants ignore
           it (and it never appears in their point labels) *)
+  asym_ratio : float;
+      (** forward:reverse trunk rate ratio ([asym:R] spec clause),
+          0 = off; dumbbell only *)
+  handover_period : float;
+      (** seconds between cellular handovers ([handover:] spec
+          clause), 0 = off; each handover darkens the trunk for
+          {!handover_gap} and resumes at the next
+          {!Faults.Spec.default_handover_levels} cell rate *)
   seed : int64;
   duration : float;  (** seconds *)
   flows : int;  (** same-variant flows sharing the bottleneck *)
@@ -45,6 +53,10 @@ type t = {
 (** [flap_down_for] is the fixed outage length of the [flap_period]
     axis: 300 ms. *)
 val flap_down_for : float
+
+(** [handover_gap] is the fixed dark-gap length of the
+    [handover_period] axis: 400 ms. *)
+val handover_gap : float
 
 val gateway_name : gateway -> string
 

@@ -9,6 +9,8 @@ type grid = {
   cbr_shares : float list;
   estimators : Tcp.Rto.estimator list;
   rrr_levels : float list;
+  asym_ratios : float list;
+  handover_periods : float list;
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -20,7 +22,8 @@ let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     ?(uniform_losses = [ 0.02 ])
     ?(ack_losses = [ 0.0 ]) ?(reorders = [ 0.0 ]) ?(flap_periods = [ 0.0 ])
     ?(cbr_shares = [ 0.0 ]) ?(estimators = [ Tcp.Rto.Jacobson ])
-    ?(rrr_levels = [ 0.5 ]) ?seeds
+    ?(rrr_levels = [ 0.5 ]) ?(asym_ratios = [ 0.0 ])
+    ?(handover_periods = [ 0.0 ]) ?seeds
     ?(seed = 7L) ?(seed_count = 6) ?(duration = 20.0) ?(flows = 2)
     ?(rwnd = 20) () =
   let seeds =
@@ -39,6 +42,8 @@ let grid ?(variants = Core.Variant.[ Reno; Newreno; Sack; Rr ])
     cbr_shares;
     estimators;
     rrr_levels;
+    asym_ratios;
+    handover_periods;
     seeds;
     duration;
     flows;
@@ -75,6 +80,10 @@ let jobs_of_grid grid =
                                   in
                                   List.concat_map
                                     (fun rrr_level ->
+                                  List.concat_map
+                                    (fun asym_ratio ->
+                                  List.concat_map
+                                    (fun handover_period ->
                                   List.map
                                     (fun seed ->
                                       {
@@ -88,12 +97,16 @@ let jobs_of_grid grid =
                                         cbr_share;
                                         estimator;
                                         rrr_level;
+                                        asym_ratio;
+                                        handover_period;
                                         seed;
                                         duration = grid.duration;
                                         flows = grid.flows;
                                         rwnd = grid.rwnd;
                                       })
                                     grid.seeds)
+                                    grid.handover_periods)
+                                    grid.asym_ratios)
                                     levels)
                                 grid.estimators)
                             grid.cbr_shares)
@@ -284,6 +297,8 @@ let point_to_json point =
       ( "rto",
         Json.Str (Tcp.Rto.estimator_name point.point_job.Job.estimator) );
       ("rrr_level", Json.Num point.point_job.Job.rrr_level);
+      ("asym_ratio", Json.Num point.point_job.Job.asym_ratio);
+      ("handover_period", Json.Num point.point_job.Job.handover_period);
       ("seeds", Json.Num (float_of_int point.goodput.Stats.Summary.n));
       ("goodput_bps_mean", Json.Num point.goodput.Stats.Summary.mean);
       ("goodput_bps_ci95", Json.Num point.goodput.Stats.Summary.ci95);
@@ -324,7 +339,7 @@ let report_json outcome =
   Json.pretty
     (Json.Obj
        [
-         ("schema", Json.Str "rr-sim-sweep/4");
+         ("schema", Json.Str "rr-sim-sweep/5");
          ("jobs", Json.Num (float_of_int (total_jobs outcome)));
          ("cache_hits", Json.Num (float_of_int outcome.cache_hits));
          ("workers", Json.Num (float_of_int outcome.workers));
@@ -345,6 +360,8 @@ let report outcome =
   let with_reorder = any (fun j -> j.Job.reorder) in
   let with_flaps = any (fun j -> j.Job.flap_period) in
   let with_cbr = any (fun j -> j.Job.cbr_share) in
+  let with_asym = any (fun j -> j.Job.asym_ratio) in
+  let with_handover = any (fun j -> j.Job.handover_period) in
   let with_rto =
     List.exists
       (fun p -> p.point_job.Job.estimator <> Tcp.Rto.Jacobson)
@@ -374,7 +391,9 @@ let report outcome =
     @ opt_cols
         [
           (with_reorder, "reorder");
-          (with_flaps, "flap"); (with_cbr, "cbr"); (with_rto, "rto");
+          (with_flaps, "flap"); (with_cbr, "cbr");
+          (with_asym, "asym"); (with_handover, "handover");
+          (with_rto, "rto");
           (with_rrr, "rrr");
         ]
     @ [
@@ -398,6 +417,14 @@ let report outcome =
                 Printf.sprintf "%g%%" (100.0 *. job.Job.reorder) );
               (with_flaps, Printf.sprintf "%gs" job.Job.flap_period);
               (with_cbr, Printf.sprintf "%g%%" (100.0 *. job.Job.cbr_share));
+              ( with_asym,
+                if job.Job.asym_ratio > 0.0 then
+                  Printf.sprintf "%g:1" job.Job.asym_ratio
+                else "-" );
+              ( with_handover,
+                if job.Job.handover_period > 0.0 then
+                  Printf.sprintf "%gs" job.Job.handover_period
+                else "-" );
               (with_rto, Tcp.Rto.estimator_name job.Job.estimator);
               ( with_rrr,
                 if job.Job.variant = Core.Variant.Rrr then

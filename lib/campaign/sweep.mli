@@ -24,6 +24,10 @@ type grid = {
       (** {!Job.t.rrr_level} values, expanded only for the
           {!Core.Variant.Rrr} variant (others would yield duplicate
           jobs); [0.5] alone = classic *)
+  asym_ratios : float list;
+      (** {!Job.t.asym_ratio} values; [0.] = off (dumbbell only) *)
+  handover_periods : float list;
+      (** {!Job.t.handover_period} values; [0.] = off *)
   seeds : int64 list;
   duration : float;
   flows : int;
@@ -45,6 +49,8 @@ val grid :
   ?cbr_shares:float list ->
   ?estimators:Tcp.Rto.estimator list ->
   ?rrr_levels:float list ->
+  ?asym_ratios:float list ->
+  ?handover_periods:float list ->
   ?seeds:int64 list ->
   ?seed:int64 ->
   ?seed_count:int ->
@@ -138,5 +144,5 @@ val report : outcome -> string
 
 (** [report_json outcome] renders the whole campaign (quarantined jobs,
     points and per-job results) as a JSON document (schema
-    [rr-sim-sweep/4]), newline-terminated. *)
+    [rr-sim-sweep/5]), newline-terminated. *)
 val report_json : outcome -> string

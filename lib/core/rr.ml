@@ -81,12 +81,12 @@ let enter_recovery base state =
    (no big-ACK burst). *)
 let exit_recovery ~ablation base state r ~ackno =
   advance_una base ~ackno;
-  base.cwnd <-
-    (if ablation.exit_to_ssthresh then base.ssthresh
+  set_cwnd base
+    (if ablation.exit_to_ssthresh then ssthresh base
      else float_of_int (max r.actnum 1));
   base.dupacks <- 0;
   base.phase <-
-    (if base.cwnd < base.ssthresh then Slow_start else Congestion_avoidance);
+    (if cwnd base < ssthresh base then Slow_start else Congestion_avoidance);
   state.recovery <- None;
   state.completed_recoveries <- state.completed_recoveries + 1;
   notify_recovery_exit base;

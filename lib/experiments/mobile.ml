@@ -1,0 +1,126 @@
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;
+  timeouts : float;
+  fault_drops : float;
+}
+
+type point = { label : string; buffer : int; faults : Faults.Spec.t; cells : cell list }
+
+type outcome = { duration : float; points : point list }
+
+let duration = 30.0
+
+(* The hostile conditions, as spec-DSL strings so the experiment
+   exercises exactly what `rr-sim run --faults` would: a four-level
+   fading cycle (full, half, quarter rates) and a cellular handover
+   (400 ms dark gap, alternate full-/half-rate cells) every 5 s. *)
+let fade_spec = "fade:2+1+0.5+0.25"
+
+let handover_spec = "handover:5+0.4"
+
+let spec_of s =
+  match Faults.Spec.of_string s with
+  | Ok spec -> spec
+  | Error m -> invalid_arg ("Mobile: bad spec " ^ s ^ ": " ^ m)
+
+let run_one ~seed ~buffer ~faults variant =
+  let config =
+    {
+      (Net.Dumbbell.paper_config ~flows:1) with
+      gateway = Net.Dumbbell.Droptail { capacity = buffer };
+    }
+  in
+  let t =
+    Scenario.run
+      (Scenario.make
+         ~topology:(Scenario.dumbbell config)
+         ~flows:[ Scenario.flow variant ]
+         ~params:{ Tcp.Params.default with rwnd = 64 }
+         ~seed ~duration ~faults ())
+  in
+  let result = t.Scenario.results.(0) in
+  let throughput =
+    Stats.Metrics.effective_throughput_bps result.Scenario.trace
+      ~mss:Tcp.Params.default.Tcp.Params.mss ~t0:2.0 ~t1:duration
+  in
+  let timeouts =
+    result.Scenario.agent.Tcp.Agent.base.Tcp.Sender_common.counters
+      .Tcp.Counters.timeouts
+  in
+  let fault_drops =
+    match t.Scenario.injector with
+    | Some injector -> Faults.Injector.fault_drops injector
+    | None -> 0
+  in
+  (throughput, timeouts, fault_drops)
+
+let cells ~buffer ~faults ~variants ~seeds =
+  List.map
+    (fun variant ->
+      let runs =
+        List.map (fun seed -> run_one ~seed ~buffer ~faults variant) seeds
+      in
+      {
+        variant;
+        throughput_bps = Stats.Metrics.mean (List.map (fun (x, _, _) -> x) runs);
+        timeouts =
+          Stats.Metrics.mean (List.map (fun (_, t, _) -> float_of_int t) runs);
+        fault_drops =
+          Stats.Metrics.mean (List.map (fun (_, _, d) -> float_of_int d) runs);
+      })
+    variants
+
+let run ?(variants = Core.Variant.[ Newreno; Sack; Rr ]) ?(seeds = [ 7L; 29L ])
+    () =
+  let fade = spec_of fade_spec and handover = spec_of handover_spec in
+  let points =
+    List.map
+      (fun (label, buffer, faults) ->
+        { label; buffer; faults; cells = cells ~buffer ~faults ~variants ~seeds })
+      [
+        ("clean, paper buffer", 8, Faults.Spec.none);
+        ("fading, paper buffer", 8, fade);
+        ("handover, paper buffer", 8, handover);
+        ("fading, deep buffer", 64, fade);
+        ("handover, deep buffer", 64, handover);
+      ]
+  in
+  { duration; points }
+
+let report outcome =
+  let variants =
+    match outcome.points with
+    | [] -> []
+    | point :: _ -> List.map (fun c -> c.variant) point.cells
+  in
+  let header =
+    "Condition (buffer)"
+    :: List.concat_map
+         (fun v ->
+           let n = Core.Variant.name v in
+           [ n ^ " goodput (Kbps)"; n ^ " timeouts"; n ^ " fault drops" ])
+         variants
+  in
+  let rows =
+    List.map
+      (fun point ->
+        Printf.sprintf "%s (%d)" point.label point.buffer
+        :: List.concat_map
+             (fun cell ->
+               [
+                 Printf.sprintf "%.1f" (cell.throughput_bps /. 1000.0);
+                 Printf.sprintf "%.1f" cell.timeouts;
+                 Printf.sprintf "%.1f" cell.fault_drops;
+               ])
+             point.cells)
+      outcome.points
+  in
+  Printf.sprintf
+    "Mobile-channel robustness: time-varying trunk rate over the dumbbell\n\
+     fading = rate cycle 1x/0.5x/0.25x every 2 s (%s)\n\
+     handover = 400 ms dark gap + burst loss + cell-rate step every 5 s (%s)\n\
+     deep buffer = 64-packet gateway (bufferbloat regime; paper's is 8)\n\n\
+     %s"
+    fade_spec handover_spec
+    (Stats.Text_table.render ~header rows)

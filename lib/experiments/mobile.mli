@@ -1,0 +1,36 @@
+(** Mobile-channel robustness: fading, handover and bufferbloat
+    (beyond the paper; ROADMAP item 4).
+
+    A cellular link does not fail cleanly — its rate wanders across
+    fading levels, and a handover is a short dark gap that burst-drops
+    the queued backlog and resumes at the {e next} cell's rate. This
+    experiment drives the dumbbell's trunk with the spec-DSL hostile
+    clauses ([fade:...], [handover:...], realized through
+    {!Faults.Timeline} and {!Faults.Injector.vary_link}) and compares
+    variants under the paper's tight 8-packet gateway and a 64-packet
+    deep-buffer (bufferbloat) regime, where rate down-steps translate
+    into queueing delay instead of prompt loss. *)
+
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;  (** mean goodput over seeds *)
+  timeouts : float;  (** mean RTO expiries *)
+  fault_drops : float;  (** mean packets burst-lost at handovers *)
+}
+
+type point = {
+  label : string;
+  buffer : int;  (** gateway capacity, packets *)
+  faults : Faults.Spec.t;
+  cells : cell list;
+}
+
+type outcome = { duration : float; points : point list }
+
+(** [run ()] measures New-Reno, SACK and RR across clean / fading /
+    handover conditions, each under paper and deep buffers. *)
+val run :
+  ?variants:Core.Variant.t list -> ?seeds:int64 list -> unit -> outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

@@ -283,6 +283,35 @@ let all =
                ~variants:Core.Variant.[ Newreno; Sack; Rr; Relentless; Rrr ]
                ()));
     };
+    (* The hostile-network pack (PR 10) and the RRR frontier follow. *)
+    {
+      name = "mobile";
+      synopsis =
+        "Mobile-channel robustness: fading and handover rate timelines under \
+         paper and deep (bufferbloat) gateways";
+      run = (fun ~seed:_ -> Mobile.report (Mobile.run ()));
+    };
+    {
+      name = "satellite";
+      synopsis =
+        "Long-RTT satellite path (500 ms one-way, BDP-deep buffers): \
+         slow-start cost vs dupack-clocked recovery";
+      run = (fun ~seed:_ -> Satellite.report (Satellite.run ()));
+    };
+    {
+      name = "asym";
+      synopsis =
+        "Asymmetric ACK channels: forward:reverse trunk ratios 1:1 to 50:1 \
+         starving the ACK clock";
+      run = (fun ~seed:_ -> Asym.report (Asym.run ()));
+    };
+    {
+      name = "rrr-levels";
+      synopsis =
+        "RRR fairness-vs-throughput frontier across the backoff level: pod \
+         fairness and the share taken from Renos";
+      run = (fun ~seed:_ -> Rrr_frontier.report (Rrr_frontier.run ()));
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,29 @@
+(** RRR's fairness-vs-throughput frontier across its backoff level
+    (ROADMAP item 3 remaining depth).
+
+    RRR (relative rate reduction, arxiv 1707.07218) parameterizes the
+    multiplicative decrease: each congestion event scales the window by
+    [1 - level], so [0.5] is the Reno half-cut and smaller levels back
+    off more gently. The model predicts steady-state throughput
+    [sqrt((2-l)/(2*l*p))] — monotone in gentleness — but gentleness is
+    exactly what competing Reno-style flows pay for. This experiment
+    quantifies both sides of that trade per level: aggregate throughput
+    and Jain fairness inside a homogeneous RRR pod, and the
+    goodput share one RRR flow takes against Reno competitors. *)
+
+type point = {
+  level : float;  (** the backoff level l, [Tcp.Params.rrr_level] *)
+  aggregate_bps : float;  (** summed goodput of the 4-flow RRR pod *)
+  jain : float;  (** Jain fairness index inside the pod *)
+  rrr_bps : float;  (** the lone RRR flow's goodput among Renos *)
+  reno_bps : float;  (** its Reno competitors' mean goodput *)
+  share : float;  (** rrr_bps / reno_bps; 1.0 = perfectly fair *)
+}
+
+type outcome = { duration : float; loss : float; points : point list }
+
+(** [run ()] sweeps levels 0.1, 0.3, 0.5, 0.7 and 0.9. *)
+val run : ?levels:float list -> ?seeds:int64 list -> unit -> outcome
+
+(** [report outcome] renders the frontier. *)
+val report : outcome -> string

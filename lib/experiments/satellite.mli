@@ -1,0 +1,38 @@
+(** Long-RTT satellite paths (beyond the paper; ROADMAP item 4,
+    PAPERS.md cs/9809066).
+
+    A geostationary hop puts 500+ ms of one-way propagation under the
+    paper's 0.8 Mbps trunk: a ~1.2 s RTT and a >100-packet
+    bandwidth-delay product. Loss recovery dominates everything at that
+    scale — a single timeout idles the pipe for seconds while slow-start
+    rebuilds the window one RTT at a time, whereas dupack-clocked
+    recovery retransmits within a round trip. This experiment compares
+    variants on the paper's terrestrial path and on the satellite path
+    (deep gateway and receiver window sized to the BDP) under light
+    uniform loss. *)
+
+type cell = {
+  variant : Core.Variant.t;
+  throughput_bps : float;  (** mean goodput over seeds *)
+  utilization : float;  (** goodput / bottleneck rate *)
+  timeouts : float;
+  retransmits : float;
+}
+
+type point = {
+  label : string;
+  one_way_delay : float;  (** bottleneck one-way propagation, seconds *)
+  buffer : int;  (** gateway capacity, packets *)
+  rwnd : int;  (** receiver window, segments *)
+  cells : cell list;
+}
+
+type outcome = { duration : float; loss : float; points : point list }
+
+(** [run ()] measures Tahoe, New-Reno, SACK and RR on the paper's
+    96 ms path and a 500 ms satellite path. *)
+val run :
+  ?variants:Core.Variant.t list -> ?seeds:int64 list -> unit -> outcome
+
+(** [report outcome] renders the comparison. *)
+val report : outcome -> string

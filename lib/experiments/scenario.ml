@@ -91,6 +91,7 @@ type spec = {
   trace_out : out_channel option;
   trace_format : [ `Jsonl | `Binary ];
   faults : Faults.Spec.t;
+  link_schedule : Faults.Timeline.t option;
   cross : cross list;
   watch_divergence : bool;
   audit_sample : int;
@@ -100,7 +101,7 @@ let make ~topology ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     ?(duration = 30.0) ?(forced_drops = []) ?(uniform_loss = 0.0)
     ?(ack_loss = 0.0) ?(delayed_ack = false) ?monitor_queue ?side_delays
     ?trace_out ?(trace_format = `Jsonl) ?(faults = Faults.Spec.none)
-    ?(cross = [])
+    ?link_schedule ?(cross = [])
     ?(watch_divergence = false) ?(audit_sample = 1) () =
   if audit_sample < 0 then
     invalid_arg "Scenario.make: audit_sample must be >= 0";
@@ -119,6 +120,7 @@ let make ~topology ~flows ?(params = Tcp.Params.default) ?(seed = 7L)
     trace_out;
     trace_format;
     faults;
+    link_schedule;
     cross;
     watch_divergence;
     audit_sample;
@@ -203,7 +205,11 @@ let run spec =
      fault-free spec draws exactly the same stream sequence as before
      lib/faults existed — existing artifacts stay byte-identical. The
      split order (flap, forward, reverse) is part of the reproducibility
-     contract. *)
+     contract. Link timelines (fade/handover/asym, --link-schedule) are
+     pure data and draw no RNG at all, so they add nothing to this
+     sequence: a spec whose only extras are timelines consumes exactly
+     the same streams as a flap-only spec, and an empty timeline is
+     indistinguishable from no timeline. *)
   let fault_streams =
     if Faults.Spec.is_none spec.faults then None
     else
@@ -212,8 +218,16 @@ let run spec =
       let reverse = Sim.Rng.split rng in
       Some (flap, forward, reverse)
   in
+  let link_schedule =
+    match spec.link_schedule with
+    | Some timeline when not (Faults.Timeline.is_empty timeline) ->
+      Some timeline
+    | _ -> None
+  in
   let injector =
-    Option.map (fun _ -> Faults.Injector.create ~engine ()) fault_streams
+    if fault_streams <> None || link_schedule <> None then
+      Some (Faults.Injector.create ~engine ())
+    else None
   in
   let drop_log = ref [] in
   let log_drop packet =
@@ -366,6 +380,83 @@ let run spec =
               (Net.Topology.link topology name)
               schedule)
           g.flap_links))
+  | _ -> ());
+  (* Time-varying link conditions. Targets mirror the flap convention:
+     the dumbbell's forward trunk, or the graph spec's [flap_links].
+     Each vary_link is applied before any flap_link it composes with
+     (handover), so a restore coinciding with a rate step restarts
+     service at the new rate. *)
+  (match injector with
+  | Some inj
+    when link_schedule <> None || Faults.Spec.has_timeline spec.faults ->
+    let targets =
+      match net with
+      | Dumbbell_net topology ->
+        [ ("bottleneck", Net.Dumbbell.bottleneck_link topology) ]
+      | Graph_net (topology, g) ->
+        if g.flap_links = [] then
+          invalid_arg
+            "Scenario.run: graph topology needs flap_links for link \
+             timelines";
+        List.map
+          (fun name -> (name, Net.Topology.link topology name))
+          g.flap_links
+    in
+    Option.iter
+      (fun timeline ->
+        List.iter
+          (fun (name, link) ->
+            Faults.Injector.vary_link inj ~name link timeline)
+          targets)
+      link_schedule;
+    (match spec.faults.Faults.Spec.fade with
+    | Some { Faults.Spec.fade_period; fade_levels } ->
+      List.iter
+        (fun (name, link) ->
+          Faults.Injector.vary_link inj ~name link
+            (Faults.Timeline.fading ~period:fade_period
+               ~base_bps:(Net.Link.rate_bps link) ~levels:fade_levels
+               ~until:spec.duration ()))
+        targets
+    | None -> ());
+    (match spec.faults.Faults.Spec.handover with
+    | Some { Faults.Spec.ho_period; ho_gap; ho_levels } ->
+      List.iter
+        (fun (name, link) ->
+          let timeline, schedule =
+            Faults.Timeline.handover ~period:ho_period ~gap:ho_gap
+              ~base_bps:(Net.Link.rate_bps link) ~levels:ho_levels
+              ~until:spec.duration ()
+          in
+          Faults.Injector.vary_link inj ~name link timeline;
+          (* The down-gap always burst-loses the backlog: a handover is
+             a cell change, not a pause — the old cell's queue does not
+             follow the mobile. *)
+          Faults.Injector.flap_link inj ~name ~policy:`Drop_queued
+            ~on_drop:injected_drop link schedule)
+        targets
+    | None -> ());
+    (match spec.faults.Faults.Spec.asym with
+    | Some ratio -> (
+      match net with
+      | Dumbbell_net topology ->
+        let forward = Net.Dumbbell.bottleneck_link topology in
+        let reverse = Net.Dumbbell.reverse_trunk_link topology in
+        (* One step at t = 0 rather than a direct set_rate at setup, so
+           the change is evented and traced like any other timeline
+           step. *)
+        Faults.Injector.vary_link inj ~name:"reverse" reverse
+          (Faults.Timeline.of_steps
+             [
+               {
+                 Faults.Timeline.at = 0.0;
+                 rate = Some (Net.Link.rate_bps forward /. ratio);
+                 delay = None;
+               };
+             ])
+      | Graph_net _ ->
+        invalid_arg "Scenario.run: asym requires a dumbbell topology")
+    | None -> ())
   | _ -> ());
   (* [audit_sample = 0] turns auditing off entirely — the clean-run
      reference for measuring audit overhead. The auditor object still

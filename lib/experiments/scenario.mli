@@ -143,11 +143,20 @@ type spec = {
       (** trace encoding: JSONL lines (default) or the compact binary
           container that [rr-sim trace export] converts back *)
   faults : Faults.Spec.t;
-      (** link flaps / reordering / jitter to inject
-          ({!Faults.Spec.none} = clean network). Flaps cut both trunk
-          directions under one schedule; reordering and jitter wrap the
-          forward bottleneck entry, plus the reverse entry when the spec
-          says [reverse]. *)
+      (** link flaps / reordering / jitter / time-varying conditions to
+          inject ({!Faults.Spec.none} = clean network). Flaps cut both
+          trunk directions under one schedule; reordering and jitter
+          wrap the forward bottleneck entry, plus the reverse entry when
+          the spec says [reverse]. Fade and handover timelines step the
+          forward trunk's rate (on a graph: every [flap_links] link);
+          [asym] re-rates the dumbbell's reverse trunk to [forward/R] at
+          t = 0. *)
+  link_schedule : Faults.Timeline.t option;
+      (** an explicit value timeline applied verbatim to the same links
+          the fade clause would target (the dumbbell trunk, or the graph
+          spec's [flap_links]) — the [rr-sim run --link-schedule] path.
+          [None] or an empty timeline schedules nothing, byte-identical
+          to a clean run. *)
   cross : cross list;
       (** CBR cross-traffic sources; they occupy topology flow slots
           [List.length flows ..] in order, so
@@ -182,6 +191,7 @@ val make :
   ?trace_out:out_channel ->
   ?trace_format:[ `Jsonl | `Binary ] ->
   ?faults:Faults.Spec.t ->
+  ?link_schedule:Faults.Timeline.t ->
   ?cross:cross list ->
   ?watch_divergence:bool ->
   ?audit_sample:int ->
@@ -238,7 +248,7 @@ type t = {
           caller to read, never printed by the runner *)
   injector : Faults.Injector.t option;
       (** the run's fault injector and its counters, when [spec.faults]
-          injected anything *)
+          or [spec.link_schedule] injected anything *)
 }
 
 (** [run spec] builds and executes the scenario to [spec.duration].

@@ -3,6 +3,8 @@ type event =
   | Link_up of { link : string }
   | Fault_drop of { link : string; packet : Net.Packet.t }
   | Reordered of { path : string; packet : Net.Packet.t; extra : float }
+  | Rate_change of { link : string; bps : float }
+  | Delay_change of { link : string; delay : float }
 
 type t = {
   engine : Sim.Engine.t;
@@ -11,10 +13,21 @@ type t = {
   mutable fault_drops : int;
   mutable reordered : int;
   mutable jittered : int;
+  mutable rate_changes : int;
+  mutable delay_changes : int;
 }
 
 let create ~engine () =
-  { engine; hooks = []; downs = 0; fault_drops = 0; reordered = 0; jittered = 0 }
+  {
+    engine;
+    hooks = [];
+    downs = 0;
+    fault_drops = 0;
+    reordered = 0;
+    jittered = 0;
+    rate_changes = 0;
+    delay_changes = 0;
+  }
 
 let subscribe t f = t.hooks <- f :: t.hooks
 
@@ -29,6 +42,10 @@ let fault_drops t = t.fault_drops
 let reordered t = t.reordered
 
 let jittered t = t.jittered
+
+let rate_changes t = t.rate_changes
+
+let delay_changes t = t.delay_changes
 
 let flap_link t ~name ~policy ?(on_drop = fun _ -> ()) link schedule =
   let drain () =
@@ -58,6 +75,30 @@ let flap_link t ~name ~policy ?(on_drop = fun _ -> ()) link schedule =
             drain ()
           end))
     (Schedule.transitions schedule)
+
+(* Apply a value timeline to a live link. Each step is one scheduled
+   event that sets the new rate and/or delay (packet-boundary binding
+   is the link's own contract) and announces the change. When a rate
+   step coincides with a flap restore — the handover pattern — apply
+   [vary_link] before [flap_link]: same-time events fire in scheduling
+   order, so the restarted service then serializes at the new rate. *)
+let vary_link t ~name link timeline =
+  List.iter
+    (fun { Timeline.at; rate; delay } ->
+      Sim.Engine.schedule_unit_at t.engine ~time:at (fun () ->
+          (match rate with
+          | Some bps ->
+            Net.Link.set_rate link bps;
+            t.rate_changes <- t.rate_changes + 1;
+            emit t (Rate_change { link = name; bps })
+          | None -> ());
+          match delay with
+          | Some d ->
+            Net.Link.set_delay link d;
+            t.delay_changes <- t.delay_changes + 1;
+            emit t (Delay_change { link = name; delay = d })
+          | None -> ()))
+    (Timeline.steps timeline)
 
 let reorder t ~path ~rng ~prob ~max_extra next =
   if prob < 0.0 || prob > 1.0 then invalid_arg "Injector.reorder: bad prob";

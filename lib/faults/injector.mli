@@ -7,7 +7,7 @@
     {!Sim.Rng.t} streams and all timing from the run's engine, so a
     faulted run is byte-reproducible from its seed.
 
-    The three mechanisms:
+    The four mechanisms:
 
     - {!flap_link} applies a {!Schedule} to a {!Net.Link}: at each
       transition the link is cut or restored ({!Net.Link.set_up}).
@@ -15,6 +15,10 @@
       the outage model — think route withdrawal) or held in place
       ([`Hold_queued], the handoff model — the buffer survives and
       drains on restore).
+    - {!vary_link} applies a {!Timeline} to a {!Net.Link}: at each step
+      the link's serialization rate and/or propagation delay changes
+      ({!Net.Link.set_rate} / {!Net.Link.set_delay}), binding at packet
+      boundaries — the fading/handover model.
     - {!reorder} wraps a packet consumer: each packet is independently
       held back for a bounded random extra delay with probability
       [prob]; unheld packets overtake held ones, producing genuine
@@ -27,14 +31,17 @@
 (** What happened. [Link_down]/[Link_up] are schedule transitions;
     [Fault_drop] is a queued packet discarded by a [`Drop_queued] flap;
     [Reordered] is a packet held back by {!reorder} for [extra]
-    seconds. Jitter is counted ({!jittered}) but not evented — it
-    touches every packet, and the per-packet story is already told by
-    the queue events around it. *)
+    seconds. [Rate_change]/[Delay_change] are timeline steps executed by
+    {!vary_link}, carrying the *new* value. Jitter is counted
+    ({!jittered}) but not evented — it touches every packet, and the
+    per-packet story is already told by the queue events around it. *)
 type event =
   | Link_down of { link : string }
   | Link_up of { link : string }
   | Fault_drop of { link : string; packet : Net.Packet.t }
   | Reordered of { path : string; packet : Net.Packet.t; extra : float }
+  | Rate_change of { link : string; bps : float }
+  | Delay_change of { link : string; delay : float }
 
 type t
 
@@ -63,6 +70,15 @@ val flap_link :
   Net.Link.t ->
   Schedule.t ->
   unit
+
+(** [vary_link t ~name link timeline] schedules every step of
+    [timeline] on the engine against [link], setting the new rate
+    and/or delay and announcing {!Rate_change}/{!Delay_change}. When a
+    rate step coincides with a flap restore (the handover pattern),
+    call [vary_link] before [flap_link]: same-time events fire in
+    scheduling order, so restored service starts at the new rate. Must
+    be called before the engine passes the timeline's first step. *)
+val vary_link : t -> name:string -> Net.Link.t -> Timeline.t -> unit
 
 (** [reorder t ~path ~rng ~prob ~max_extra next] is a consumer feeding
     [next], holding each packet with probability [prob] for a uniform
@@ -107,3 +123,9 @@ val reordered : t -> int
 
 (** [jittered t] counts packets delayed by {!jitter}. *)
 val jittered : t -> int
+
+(** [rate_changes t] counts rate steps executed by {!vary_link}. *)
+val rate_changes : t -> int
+
+(** [delay_changes t] counts delay steps executed by {!vary_link}. *)
+val delay_changes : t -> int

@@ -26,9 +26,17 @@ let periodic ?first ~period ~down_for ~until () =
     invalid_arg "Schedule.periodic: need 0 < down_for < period";
   let first = Option.value first ~default:period in
   if first < 0.0 then invalid_arg "Schedule.periodic: negative first";
+  (* An outage straddling [until] still emits its restore, clamped to
+     [until]: a driver that runs the engine exactly to the schedule
+     horizon (Scenario runs [run_until ~time:duration]) then executes
+     the restore as its last event, so the link never ends a schedule
+     administratively down. A restore strictly past the horizon would
+     be emitted but never fire. *)
   let rec build down_at =
     if down_at >= until then []
-    else (down_at, down_at +. down_for) :: build (down_at +. period)
+    else
+      (down_at, Float.min (down_at +. down_for) until)
+      :: build (down_at +. period)
   in
   of_flaps (build first)
 
@@ -40,6 +48,8 @@ let random ~rng ~mean_up ~mean_down ~until () =
     if down_at >= until then []
     else
       let up_at = down_at +. Sim.Rng.exponential rng ~mean:mean_down in
-      (down_at, up_at) :: build up_at
+      (* Clamp a straddling restore as in [periodic]; recursion on the
+         unclamped time ends the schedule either way. *)
+      (down_at, Float.min up_at until) :: build up_at
   in
   of_flaps (build 0.0)

@@ -33,10 +33,11 @@ val of_flaps : (float * float) list -> t
 (** [periodic ?first ~period ~down_for ~until ()] takes the link down
     for [down_for] seconds once every [period] seconds, starting at
     [first] (default [period]), until [until] — e.g. a cellular handoff
-    every few seconds. The last outage is truncated at [until] only in
-    the sense that no transition is emitted at or after [until]; an
-    outage whose restore time falls past [until] still emits it, so the
-    link never ends a schedule stuck down.
+    every few seconds. No outage *starts* at or after [until]; an
+    outage that straddles [until] still emits its matching restore,
+    clamped to [until] itself, so a driver that runs the engine to the
+    schedule horizon always executes it — the link never ends a
+    schedule administratively down.
 
     @raise Invalid_argument unless [0 < down_for < period] and
     [first >= 0]. *)

@@ -5,12 +5,19 @@ type flap =
 
 type reorder = { prob : float; max_extra : float }
 
+type fade = { fade_period : float; fade_levels : float list }
+
+type handover = { ho_period : float; ho_gap : float; ho_levels : float list }
+
 type t = {
   flaps : flap option;
   flap_policy : [ `Drop_queued | `Hold_queued ];
   reorder : reorder option;
   jitter : float option;
   reverse : bool;
+  fade : fade option;
+  handover : handover option;
+  asym : float option;
 }
 
 let none =
@@ -20,11 +27,20 @@ let none =
     reorder = None;
     jitter = None;
     reverse = false;
+    fade = None;
+    handover = None;
+    asym = None;
   }
 
-let is_none t = t.flaps = None && t.reorder = None && t.jitter = None
+let is_none t =
+  t.flaps = None && t.reorder = None && t.jitter = None && t.fade = None
+  && t.handover = None && t.asym = None
+
+let has_timeline t = t.fade <> None || t.handover <> None || t.asym <> None
 
 let default_reorder_extra = 0.05
+
+let default_handover_levels = [ 1.0; 0.5 ]
 
 let flap_schedule t ~rng ~until =
   match t.flaps with
@@ -42,6 +58,31 @@ let float_str f = Printf.sprintf "%.12g" f
 let to_string t =
   let clauses = ref [] in
   let add c = clauses := c :: !clauses in
+  (* New hostile-network clauses are added first so they render *after*
+     every pre-existing clause: specs without them keep their exact
+     historical string (labels, cache keys). *)
+  (match t.asym with
+  | Some ratio -> add (Printf.sprintf "asym:%s" (float_str ratio))
+  | None -> ());
+  (match t.handover with
+  | Some { ho_period; ho_gap; ho_levels } ->
+    let levels =
+      if ho_levels = default_handover_levels then ""
+      else
+        String.concat ""
+          (List.map (fun l -> "+" ^ float_str l) ho_levels)
+    in
+    add
+      (Printf.sprintf "handover:%s+%s%s" (float_str ho_period)
+         (float_str ho_gap) levels)
+  | None -> ());
+  (match t.fade with
+  | Some { fade_period; fade_levels } ->
+    add
+      (Printf.sprintf "fade:%s%s" (float_str fade_period)
+         (String.concat ""
+            (List.map (fun l -> "+" ^ float_str l) fade_levels)))
+  | None -> ());
   if t.reverse then add "reverse";
   (match t.jitter with
   | Some m -> add (Printf.sprintf "jitter:%s" (float_str m))
@@ -103,6 +144,21 @@ let parse_explicit body =
     Ok (Explicit pairs)
   | _ -> Error (Printf.sprintf "faults: bad explicit flap list %S" body)
 
+let parse_floats ~what s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest ->
+      let* f = parse_float ~what part in
+      go (f :: acc) rest
+  in
+  go [] (String.split_on_char '+' s)
+
+let parse_levels ~what levels =
+  if levels = [] then Error (Printf.sprintf "faults: %s needs levels" what)
+  else if List.exists (fun l -> l <= 0.0) levels then
+    Error (Printf.sprintf "faults: %s levels must be > 0" what)
+  else Ok levels
+
 let parse_clause spec clause =
   match String.split_on_char ':' clause with
   | [ "" ] -> Ok spec
@@ -137,6 +193,37 @@ let parse_clause spec clause =
     if not (0.0 < down_for && down_for < period) then
       Error "faults: flap needs 0 < DOWN < PERIOD"
     else Ok { spec with flaps = Some (Periodic { period; down_for }) }
+  | [ "fade"; body ] -> (
+    let* parts = parse_floats ~what:"fade" body in
+    match parts with
+    | period :: levels ->
+      if period <= 0.0 then Error "faults: fade period must be > 0"
+      else
+        let* fade_levels = parse_levels ~what:"fade" levels in
+        Ok { spec with fade = Some { fade_period = period; fade_levels } }
+    | [] -> Error "faults: fade needs PERIOD+L1[+L2...]")
+  | [ "handover"; body ] -> (
+    let* parts = parse_floats ~what:"handover" body in
+    match parts with
+    | period :: gap :: levels ->
+      if not (0.0 < gap && gap < period) then
+        Error "faults: handover needs 0 < GAP < PERIOD"
+      else
+        let* ho_levels =
+          match levels with
+          | [] -> Ok default_handover_levels
+          | levels -> parse_levels ~what:"handover" levels
+        in
+        Ok
+          {
+            spec with
+            handover = Some { ho_period = period; ho_gap = gap; ho_levels };
+          }
+    | _ -> Error "faults: handover needs PERIOD+GAP[+L1+L2...]")
+  | [ "asym"; ratio ] ->
+    let* ratio = parse_float ~what:"asym ratio" ratio in
+    if ratio < 1.0 then Error "faults: asym ratio must be >= 1"
+    else Ok { spec with asym = Some ratio }
   | _ -> Error (Printf.sprintf "faults: unknown clause %S" clause)
 
 let of_string s =

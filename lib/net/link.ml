@@ -14,15 +14,27 @@ type delivery = {
   mutable next_free : delivery option;
 }
 
+(* A one-field all-float record is stored flat: updating [v] is a plain
+   float store, where a float field in the mixed link record below
+   would allocate a box per write — and [last_arrival] is written once
+   per packet. *)
+type fcell = { mutable v : float }
+
 type t = {
   engine : Sim.Engine.t;
-  bandwidth_bps : float;
-  delay : float;
+  mutable bandwidth_bps : float;
+  mutable delay : float;
   queue : Queue_disc.t;
   dst : Packet.t -> unit;
   mutable busy : bool;
   mutable up : bool;
   mutable delivered : int;
+  (* Latest wire-exit time scheduled so far. A delay *decrease* mid-run
+     could otherwise let a packet entering the wire overtake one already
+     propagating; clamping to this keeps deliveries FIFO per link. With
+     a constant delay the clamp never binds, so static links schedule
+     exactly the times they always did. *)
+  last_arrival : fcell;
   mutable free : delivery option;
 }
 
@@ -38,6 +50,7 @@ let create ~engine ~bandwidth_bps ~delay ~queue ~dst () =
     busy = false;
     up = true;
     delivered = 0;
+    last_arrival = { v = neg_infinity };
     free = None;
   }
 
@@ -80,7 +93,12 @@ let rec transmit_next t =
 and fire_delivery t d =
   if not d.in_flight then begin
     d.in_flight <- true;
-    Sim.Engine.schedule_unit t.engine ~delay:t.delay d.fire;
+    (* Open-coded [Float.max]: a function call would box per packet.
+       Neither operand is ever NaN. *)
+    let exit = Sim.Engine.now t.engine +. t.delay in
+    let at = if exit > t.last_arrival.v then exit else t.last_arrival.v in
+    t.last_arrival.v <- at;
+    Sim.Engine.schedule_unit_at t.engine ~time:at d.fire;
     transmit_next t
   end
   else begin
@@ -101,3 +119,23 @@ let set_up t up =
     t.up <- up;
     if up && not t.busy then transmit_next t
   end
+
+(* Rate and delay changes bind at packet boundaries, like [set_up]: the
+   serialization time of the packet currently on the interface was
+   computed when it started, so it finishes at the old rate; [t.delay]
+   is read the moment a packet leaves the interface, so a delay change
+   applies from the next wire entry on. Neither setter reschedules
+   anything, which keeps the setters O(1) and the event stream of an
+   unchanged link byte-identical. *)
+
+let rate_bps t = t.bandwidth_bps
+
+let delay t = t.delay
+
+let set_rate t bandwidth_bps =
+  if bandwidth_bps <= 0.0 then invalid_arg "Link.set_rate: bandwidth <= 0";
+  t.bandwidth_bps <- bandwidth_bps
+
+let set_delay t delay =
+  if delay < 0.0 then invalid_arg "Link.set_delay: negative delay";
+  t.delay <- delay

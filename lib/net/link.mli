@@ -56,3 +56,33 @@ val set_up : t -> bool -> unit
 
 (** [is_up t] reports the current administrative state. *)
 val is_up : t -> bool
+
+(** {1 Time-varying conditions (hostile-network scenarios)}
+
+    A link's rate and propagation delay may change while it runs —
+    fading radio channels, cellular handover, path migration.  Changes
+    bind at packet boundaries, mirroring [set_up]: the packet being
+    serialized when [set_rate] is called finishes its transmission at
+    the rate in force when it started, and [set_delay] applies to
+    packets entering the wire from that moment on.  Bits already
+    propagating are never re-timed, so delivery order per link is
+    preserved under any step pattern.  [Faults.Injector] drives these
+    from a deterministic {!Faults.Timeline}. *)
+
+(** [rate_bps t] is the current serialization rate. *)
+val rate_bps : t -> float
+
+(** [delay t] is the current one-way propagation delay. *)
+val delay : t -> float
+
+(** [set_rate t bps] changes the serialization rate for packets whose
+    transmission starts after this call.
+
+    @raise Invalid_argument if [bps <= 0]. *)
+val set_rate : t -> float -> unit
+
+(** [set_delay t d] changes the propagation delay for packets entering
+    the wire after this call.
+
+    @raise Invalid_argument if [d < 0]. *)
+val set_delay : t -> float -> unit

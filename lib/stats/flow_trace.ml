@@ -33,7 +33,7 @@ let attach agent =
       if retx then Series.add t.retransmissions ~time ~value:(float_of_int seq));
   Tcp.Sender_common.on_ack base (fun ~time ~ackno ->
       Series.add t.acks ~time ~value:(float_of_int ackno);
-      Series.add t.cwnd ~time ~value:base.Tcp.Sender_common.cwnd;
+      Series.add t.cwnd ~time ~value:(Tcp.Sender_common.cwnd base);
       if ackno > t.last_una then begin
         t.last_una <- ackno;
         Series.add t.una ~time ~value:(float_of_int ackno)

@@ -42,7 +42,7 @@ let send_while_awnd_allows base state =
     else base.params.Params.max_burst
   in
   let rec loop sent =
-    if sent >= budget || float_of_int (awnd base state) >= base.cwnd then ()
+    if sent >= budget || float_of_int (awnd base state) >= cwnd base then ()
     else
       match next_hole base state with
       | Some seq ->
@@ -65,8 +65,7 @@ let enter_recovery base state =
   notify_recovery_enter base;
   state.recover <- base.maxseq;
   Seqset.clear state.retransmitted;
-  ignore (halve_ssthresh base : float);
-  base.cwnd <- base.ssthresh;
+  set_cwnd base (halve_ssthresh base);
   base.phase <- Recovery;
   base.timed <- None;
   (* The first hole goes out unconditionally; awnd gates the rest. *)
@@ -79,7 +78,7 @@ let enter_recovery base state =
   restart_rtx_timer base
 
 let exit_recovery base state =
-  base.cwnd <- base.ssthresh;
+  set_cwnd base (ssthresh base);
   base.phase <- Congestion_avoidance;
   base.dupacks <- 0;
   Seqset.clear state.retransmitted;

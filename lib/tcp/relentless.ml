@@ -18,17 +18,17 @@ let enter_recovery base state =
   (* One hole is known so far; the window comes down by exactly that
      one segment — no half-cut. *)
   state.reduced <- Float.max 1.0 (window base -. 1.0);
-  base.ssthresh <- Float.max 2.0 state.reduced;
-  base.cwnd <-
-    state.reduced +. float_of_int base.params.Params.dupack_threshold;
+  set_ssthresh base (Float.max 2.0 state.reduced);
+  set_cwnd base
+    (state.reduced +. float_of_int base.params.Params.dupack_threshold);
   base.phase <- Recovery;
   base.timed <- None;
   send_segment base ~seq:(base.una + 1) ~retx:true;
   restart_rtx_timer base
 
 let exit_recovery base state =
-  base.cwnd <- state.reduced;
-  base.ssthresh <- Float.max 2.0 state.reduced;
+  set_cwnd base state.reduced;
+  set_ssthresh base (Float.max 2.0 state.reduced);
   base.phase <- Congestion_avoidance;
   base.dupacks <- 0;
   notify_recovery_exit base
@@ -51,8 +51,8 @@ let recv_ack base state ~ackno =
         let acked = ackno - base.una in
         advance_una base ~ackno;
         state.reduced <- Float.max 1.0 (state.reduced -. 1.0);
-        base.ssthresh <- Float.max 2.0 state.reduced;
-        base.cwnd <- Float.max 1.0 (base.cwnd -. float_of_int acked +. 1.0);
+        set_ssthresh base (Float.max 2.0 state.reduced);
+        set_cwnd base (Float.max 1.0 (cwnd base -. float_of_int acked +. 1.0));
         send_segment base ~seq:(base.una + 1) ~retx:true;
         restart_rtx_timer base;
         send_much base
@@ -69,7 +69,7 @@ let recv_ack base state ~ackno =
     note_dupack base;
     base.dupacks <- base.dupacks + 1;
     if base.phase = Recovery then begin
-      base.cwnd <- base.cwnd +. 1.0;
+      set_cwnd base (cwnd base +. 1.0);
       send_much base
     end
     else if

@@ -5,17 +5,17 @@ let enter_recovery base =
     base.counters.Counters.fast_retransmits + 1;
   base.recover_mark <- base.maxseq;
   notify_recovery_enter base;
-  let ssthresh = halve_ssthresh base in
-  base.cwnd <- ssthresh +. float_of_int base.params.Params.dupack_threshold;
+  let target = halve_ssthresh base in
+  set_cwnd base (target +. float_of_int base.params.Params.dupack_threshold);
   base.phase <- Recovery;
   base.timed <- None;
   send_segment base ~seq:(base.una + 1) ~retx:true;
   restart_rtx_timer base
 
 let exit_recovery base =
-  base.cwnd <- base.ssthresh;
+  set_cwnd base (ssthresh base);
   base.phase <-
-    (if base.cwnd < base.ssthresh then Slow_start else Congestion_avoidance);
+    (if cwnd base < ssthresh base then Slow_start else Congestion_avoidance);
   base.dupacks <- 0;
   notify_recovery_exit base
 
@@ -39,7 +39,7 @@ let recv_ack base ~ackno =
     base.dupacks <- base.dupacks + 1;
     if base.phase = Recovery then begin
       (* Window inflation: each dup ACK signals a departure. *)
-      base.cwnd <- base.cwnd +. 1.0;
+      set_cwnd base (cwnd base +. 1.0);
       send_much base
     end
     else if

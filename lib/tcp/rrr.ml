@@ -14,16 +14,16 @@ let enter_recovery base state =
   notify_recovery_enter base;
   state.recover <- base.maxseq;
   base.recover_mark <- base.maxseq;
-  base.ssthresh <- reduce base;
-  base.cwnd <-
-    base.ssthresh +. float_of_int base.params.Params.dupack_threshold;
+  set_ssthresh base (reduce base);
+  set_cwnd base
+    (ssthresh base +. float_of_int base.params.Params.dupack_threshold);
   base.phase <- Recovery;
   base.timed <- None;
   send_segment base ~seq:(base.una + 1) ~retx:true;
   restart_rtx_timer base
 
 let exit_recovery base =
-  base.cwnd <- base.ssthresh;
+  set_cwnd base (ssthresh base);
   base.phase <- Congestion_avoidance;
   base.dupacks <- 0;
   notify_recovery_exit base
@@ -42,7 +42,7 @@ let recv_ack base state ~ackno =
            stay in recovery. *)
         let acked = ackno - base.una in
         advance_una base ~ackno;
-        base.cwnd <- Float.max 1.0 (base.cwnd -. float_of_int acked +. 1.0);
+        set_cwnd base (Float.max 1.0 (cwnd base -. float_of_int acked +. 1.0));
         send_segment base ~seq:(base.una + 1) ~retx:true;
         restart_rtx_timer base;
         send_much base
@@ -59,7 +59,7 @@ let recv_ack base state ~ackno =
     note_dupack base;
     base.dupacks <- base.dupacks + 1;
     if base.phase = Recovery then begin
-      base.cwnd <- base.cwnd +. 1.0;
+      set_cwnd base (cwnd base +. 1.0);
       send_much base
     end
     else if
@@ -76,8 +76,8 @@ let recv_ack base state ~ackno =
 let timeout base =
   let w = window base in
   timeout_common base;
-  base.ssthresh <-
-    Float.max ((1.0 -. base.params.Params.rrr_level) *. w) 2.0
+  set_ssthresh base
+    (Float.max ((1.0 -. base.params.Params.rrr_level) *. w) 2.0)
 
 let create ~engine ~params ~flow ~emit () =
   let state = { recover = -1 } in

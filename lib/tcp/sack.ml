@@ -39,7 +39,7 @@ let send_while_pipe_allows base state =
     else base.params.Params.max_burst
   in
   let rec loop sent =
-    if sent >= budget || float_of_int state.pipe >= base.cwnd then ()
+    if sent >= budget || float_of_int state.pipe >= cwnd base then ()
     else
       match next_hole base state with
       | Some seq ->
@@ -71,8 +71,7 @@ let enter_recovery base state =
   state.pipe <-
     max 0
       (int_of_float (window base) - base.params.Params.dupack_threshold);
-  let ssthresh = halve_ssthresh base in
-  base.cwnd <- ssthresh;
+  set_cwnd base (halve_ssthresh base);
   base.phase <- Recovery;
   base.timed <- None;
   send_segment base ~seq:(base.una + 1) ~retx:true;
@@ -81,7 +80,7 @@ let enter_recovery base state =
   restart_rtx_timer base
 
 let exit_recovery base state =
-  base.cwnd <- base.ssthresh;
+  set_cwnd base (ssthresh base);
   base.phase <- Congestion_avoidance;
   base.dupacks <- 0;
   state.pipe <- 0;

@@ -11,13 +11,21 @@ type hooks = {
   mutable timeout_hooks : (time:float -> unit) list;
 }
 
+(* A single-field float record is stored flat, so writing [v] is a
+   plain float store. [cwnd]/[ssthresh] live in these dedicated cells
+   because the sender record below mixes ints and floats — there every
+   float store allocates a fresh box, and these two fields are written
+   on every ACK. (A [float ref] would not do: ['a ref] is generic and
+   boxes its contents.) *)
+type fcell = { mutable v : float }
+
 type t = {
   engine : Sim.Engine.t;
   params : Params.t;
   flow : int;
   emit : Net.Packet.t -> unit;
-  mutable cwnd : float;
-  mutable ssthresh : float;
+  cwnd : fcell;
+  ssthresh : fcell;
   mutable una : int;
   mutable t_seqno : int;
   mutable maxseq : int;
@@ -96,8 +104,8 @@ let create ~engine ~params ~flow ~emit ~timeout_action () =
       params;
       flow;
       emit;
-      cwnd = params.Params.initial_cwnd;
-      ssthresh = params.Params.initial_ssthresh;
+      cwnd = { v = params.Params.initial_cwnd };
+      ssthresh = { v = params.Params.initial_ssthresh };
       una = -1;
       t_seqno = 0;
       maxseq = -1;
@@ -128,7 +136,21 @@ let timer_exn t =
   | Some timer -> timer
   | None -> assert false
 
-let window t = Float.min t.cwnd (float_of_int t.params.Params.rwnd)
+let[@inline always] cwnd t = t.cwnd.v
+
+let[@inline always] set_cwnd t value = t.cwnd.v <- value
+
+let[@inline always] ssthresh t = t.ssthresh.v
+
+let[@inline always] set_ssthresh t value = t.ssthresh.v <- value
+
+(* Open-coded [Float.min]: a function call would box the freshly
+   loaded cwnd, and this runs once per send-window check. Neither
+   operand is ever NaN. *)
+let[@inline always] window t =
+  let c = t.cwnd.v in
+  let r = float_of_int t.params.Params.rwnd in
+  if r > c then c else r
 
 let outstanding t = t.t_seqno - t.una - 1
 
@@ -203,25 +225,25 @@ let open_cwnd t =
   match t.phase with
   | Recovery -> ()
   | Slow_start ->
-    if t.cwnd < t.ssthresh then begin
+    if cwnd t < ssthresh t then begin
       (* Smooth-Start (the paper's [21]): once past ssthresh/2, grow at
          half the exponential rate so the final doubling does not blast
          a burst into the bottleneck queue. *)
       let increment =
-        if t.params.Params.smooth_start && t.cwnd >= t.ssthresh /. 2.0 then 0.5
+        if t.params.Params.smooth_start && cwnd t >= ssthresh t /. 2.0 then 0.5
         else 1.0
       in
-      t.cwnd <- t.cwnd +. increment
+      set_cwnd t (cwnd t +. increment)
     end
     else begin
       t.phase <- Congestion_avoidance;
-      t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+      set_cwnd t (cwnd t +. (1.0 /. cwnd t))
     end
-  | Congestion_avoidance -> t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+  | Congestion_avoidance -> set_cwnd t (cwnd t +. (1.0 /. cwnd t))
 
 let halve_ssthresh t =
-  t.ssthresh <- Float.max (window t /. 2.0) 2.0;
-  t.ssthresh
+  set_ssthresh t (Float.max (window t /. 2.0) 2.0);
+  ssthresh t
 
 let check_complete t =
   match t.app_limit with
@@ -275,8 +297,8 @@ let timeout_common t =
   t.counters.Counters.timeouts <- t.counters.Counters.timeouts + 1;
   fire_timeout t ~time:now;
   Rto.backoff t.rto;
-  t.ssthresh <- Float.max (window t /. 2.0) 2.0;
-  t.cwnd <- 1.0;
+  set_ssthresh t (Float.max (window t /. 2.0) 2.0);
+  set_cwnd t 1.0;
   t.phase <- Slow_start;
   t.dupacks <- 0;
   t.timed <- None;

@@ -11,7 +11,10 @@
     - [t_seqno] is the next never-yet-sent segment.
     - [maxseq] is the highest segment ever transmitted.
     - [cwnd] and [ssthresh] are in segments; the usable window is
-      [min cwnd rwnd]. *)
+      [min cwnd rwnd]. Both live in dedicated flat float cells
+      ({!fcell}) because a float field in this mixed record would be
+      boxed on every ACK's store — read and write them through
+      {!cwnd}/{!set_cwnd} and {!ssthresh}/{!set_ssthresh}. *)
 
 type phase = Slow_start | Congestion_avoidance | Recovery
 
@@ -19,13 +22,18 @@ type phase = Slow_start | Congestion_avoidance | Recovery
     every subscriber sees every event, in subscription order. *)
 type hooks
 
+(** A one-field all-float record is stored flat, so writing [v] is a
+    plain float store — no box per update, unlike a float field in the
+    mixed sender record below. *)
+type fcell = { mutable v : float }
+
 type t = {
   engine : Sim.Engine.t;
   params : Params.t;
   flow : int;
   emit : Net.Packet.t -> unit;
-  mutable cwnd : float;
-  mutable ssthresh : float;
+  cwnd : fcell;  (** use the {!cwnd}/{!set_cwnd} accessors *)
+  ssthresh : fcell;  (** use the {!ssthresh}/{!set_ssthresh} accessors *)
   mutable una : int;
   mutable t_seqno : int;
   mutable maxseq : int;
@@ -62,6 +70,18 @@ val create :
   timeout_action:(t -> unit) ->
   unit ->
   t
+
+(** [cwnd t] is the congestion window in segments. *)
+val cwnd : t -> float
+
+(** [set_cwnd t v] stores a new congestion window. *)
+val set_cwnd : t -> float -> unit
+
+(** [ssthresh t] is the slow-start threshold in segments. *)
+val ssthresh : t -> float
+
+(** [set_ssthresh t v] stores a new slow-start threshold. *)
+val set_ssthresh : t -> float -> unit
 
 (** [window t] is the usable send window in segments. *)
 val window : t -> float

@@ -5,7 +5,7 @@ let fast_retransmit base =
     base.counters.Counters.fast_retransmits + 1;
   base.recover_mark <- base.maxseq;
   ignore (halve_ssthresh base : float);
-  base.cwnd <- 1.0;
+  set_cwnd base 1.0;
   base.phase <- Slow_start;
   base.timed <- None;
   (* Tahoe goes back to the loss point and slow-starts from there. *)

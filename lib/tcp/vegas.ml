@@ -42,7 +42,7 @@ let fresh_state ~mechanisms ~thresholds =
    (expected - actual) * baseRTT = cwnd * (rtt - baseRTT) / rtt. *)
 let backlog state base =
   if state.last_rtt <= 0.0 || state.base_rtt = infinity then 0.0
-  else base.cwnd *. (state.last_rtt -. state.base_rtt) /. state.last_rtt
+  else cwnd base *. (state.last_rtt -. state.base_rtt) /. state.last_rtt
 
 (* The fine-grained timeout comes from the sender's own RTO estimator
    ([Rto.fine_timeout]): no backoff and no [min_rto] floor — acting
@@ -69,8 +69,8 @@ let cut_window state base =
   in
   if now -. state.last_cut > rtt then begin
     state.last_cut <- now;
-    base.cwnd <- Float.max (base.cwnd *. 0.75) 2.0;
-    base.ssthresh <- Float.max base.cwnd 2.0;
+    set_cwnd base (Float.max (cwnd base *. 0.75) 2.0);
+    set_ssthresh base (Float.max (cwnd base) 2.0);
     if base.phase = Slow_start then base.phase <- Congestion_avoidance
   end
 
@@ -111,13 +111,13 @@ let epoch_actions state base =
   let diff = backlog state base in
   (match base.phase with
   | Congestion_avoidance when state.mechanisms.rtt_based_avoidance ->
-    if diff < state.thresholds.alpha then base.cwnd <- base.cwnd +. 1.0
+    if diff < state.thresholds.alpha then set_cwnd base (cwnd base +. 1.0)
     else if diff > state.thresholds.beta then
-      base.cwnd <- Float.max (base.cwnd -. 1.0) 2.0
+      set_cwnd base (Float.max (cwnd base -. 1.0) 2.0)
   | Slow_start when state.mechanisms.cautious_slow_start ->
     if diff > state.thresholds.gamma then begin
       (* The pipe is filling: leave slow start now. *)
-      base.ssthresh <- Float.max base.cwnd 2.0;
+      set_ssthresh base (Float.max (cwnd base) 2.0);
       base.phase <- Congestion_avoidance
     end
     else state.ss_grow <- not state.ss_grow

@@ -62,5 +62,5 @@ let start ?(segments = 1000) t =
    acknowledged. White-box tests then script losses against a full
    window, the situation every recovery algorithm is specified in. *)
 let open_window t ~target =
-  (base t).Tcp.Sender_common.cwnd <- float_of_int target;
+  Tcp.Sender_common.set_cwnd (base t) (float_of_int target);
   start ~segments:1_000_000 t

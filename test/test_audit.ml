@@ -79,7 +79,7 @@ let test_detects_corrupt_cwnd () =
   Alcotest.(check bool) "healthy so far" true (Audit.Auditor.ok auditor);
   (* Corrupt the window below the floor; the next event must trip the
      sender-window rule. *)
-  (Harness.base h).Tcp.Sender_common.cwnd <- 0.25;
+  Tcp.Sender_common.set_cwnd (Harness.base h) 0.25;
   Harness.deliver_ack h 2;
   Alcotest.(check bool) "corruption caught" false (Audit.Auditor.ok auditor);
   Alcotest.(check bool) "as sender-window" true

@@ -45,6 +45,8 @@ let test_digest_stability () =
       cbr_share = 0.0;
       estimator = Tcp.Rto.Jacobson;
       rrr_level = 0.5;
+      asym_ratio = 0.0;
+      handover_period = 0.0;
       seed = 7L;
       duration = 20.0;
       flows = 2;
@@ -344,7 +346,7 @@ let test_sweep_quarantines_failures () =
   | Error message -> Alcotest.failf "report_json unparseable: %s" message
   | Ok parsed ->
     Alcotest.(check (option string))
-      "schema is bumped" (Some "rr-sim-sweep/4")
+      "schema is bumped" (Some "rr-sim-sweep/5")
       (Option.bind (Campaign.Json.member "schema" parsed) Campaign.Json.to_str);
     (match
        Option.bind (Campaign.Json.member "quarantined" parsed) Campaign.Json.to_list

@@ -40,15 +40,44 @@ let test_periodic () =
   let s = Faults.Schedule.periodic ~period:5.0 ~down_for:0.3 ~until:12.0 () in
   Alcotest.(check (list (float 1e-9))) "handoff every 5 s" [ 5.0; 5.3; 10.0; 10.3 ]
     (times s);
-  (* A restore falling past [until] is still emitted: the link never
+  (* A restore falling past [until] is still emitted, clamped to
+     [until] so it fires within a horizon-bounded run: the link never
      ends a schedule stuck down. *)
   let s = Faults.Schedule.periodic ~period:5.0 ~down_for:2.0 ~until:11.5 () in
-  Alcotest.(check (list (float 1e-9))) "restore past until kept"
-    [ 5.0; 7.0; 10.0; 12.0 ] (times s);
+  Alcotest.(check (list (float 1e-9))) "straddling restore clamped to until"
+    [ 5.0; 7.0; 10.0; 11.5 ] (times s);
   Alcotest.check_raises "down_for >= period"
     (Invalid_argument "Schedule.periodic: need 0 < down_for < period")
     (fun () ->
       ignore (Faults.Schedule.periodic ~period:1.0 ~down_for:1.0 ~until:5.0 ()))
+
+(* Regression for the truncation edge: with an outage straddling the
+   schedule horizon, a link flapped under the schedule and run exactly
+   to that horizon must end the run administratively up — the clamped
+   restore is the run's final event. Same shape for [random]. *)
+let test_truncated_schedule_restores_link () =
+  let check_restored name schedule ~until =
+    let engine = Sim.Engine.create () in
+    let injector = Faults.Injector.create ~engine () in
+    let link =
+      Net.Link.create ~engine ~bandwidth_bps:(Sim.Units.mbps 0.8) ~delay:0.001
+        ~queue:(Net.Droptail.create ~capacity:8 ())
+        ~dst:ignore ()
+    in
+    Faults.Injector.flap_link injector ~name ~policy:`Hold_queued link schedule;
+    Sim.Engine.run_until engine ~time:until;
+    Alcotest.(check bool) (name ^ ": link up at horizon") true
+      (Net.Link.is_up link)
+  in
+  (* Periodic: down at 10, down_for 2 straddles until = 11.5. *)
+  check_restored "periodic"
+    (Faults.Schedule.periodic ~period:5.0 ~down_for:2.0 ~until:11.5 ())
+    ~until:11.5;
+  (* Random: long mean_down forces the first outage to straddle. *)
+  let rng = Sim.Rng.create 7L in
+  check_restored "random"
+    (Faults.Schedule.random ~rng ~mean_up:1.0 ~mean_down:1000.0 ~until:10.0 ())
+    ~until:10.0
 
 let test_random_schedule () =
   let build seed =
@@ -249,6 +278,11 @@ let test_spec_roundtrip () =
       "reorder:0.05:0.1";
       "jitter:0.01";
       "reverse,jitter:0.01,reorder:0.02,flap:5+0.3";
+      "fade:2+1+0.5+0.25";
+      "handover:10+0.5";
+      "handover:10+0.5+1+0.3";
+      "asym:20";
+      "fade:2+0.5,handover:8+0.4,asym:10,flap:4+0.5,drop";
     ]
 
 let test_spec_rejects_garbage () =
@@ -271,6 +305,91 @@ let test_spec_rejects_garbage () =
       "reorder:-0.1";
       "jitter:0";
       "jitter:-1";
+      "fade:2" (* needs at least one level *);
+      "fade:0+0.5" (* period must be positive *);
+      "fade:2+0" (* levels must be positive *);
+      "handover:10" (* needs a gap *);
+      "handover:1+2" (* gap must be < period *);
+      "handover:10+0.5+0" (* levels must be positive *);
+      "asym:0.5" (* ratio must be >= 1 *);
+      "asym:zzz";
+    ]
+
+let test_spec_hostile_parse () =
+  let spec = spec_of "fade:2+1+0.5+0.25" in
+  (match spec.Faults.Spec.fade with
+  | Some { Faults.Spec.fade_period; fade_levels } ->
+    Alcotest.(check (float 1e-9)) "fade period" 2.0 fade_period;
+    Alcotest.(check int) "fade levels" 3 (List.length fade_levels)
+  | None -> Alcotest.fail "expected a fade clause");
+  (match (spec_of "handover:10+0.5").Faults.Spec.handover with
+  | Some { Faults.Spec.ho_period; ho_gap; ho_levels } ->
+    Alcotest.(check (float 1e-9)) "handover period" 10.0 ho_period;
+    Alcotest.(check (float 1e-9)) "handover gap" 0.5 ho_gap;
+    Alcotest.(check bool) "default levels" true
+      (ho_levels = Faults.Spec.default_handover_levels)
+  | None -> Alcotest.fail "expected a handover clause");
+  (match (spec_of "asym:20").Faults.Spec.asym with
+  | Some ratio -> Alcotest.(check (float 1e-9)) "asym ratio" 20.0 ratio
+  | None -> Alcotest.fail "expected an asym clause");
+  Alcotest.(check bool) "hostile clauses are not none" false
+    (Faults.Spec.is_none (spec_of "asym:20"));
+  Alcotest.(check bool) "has_timeline on fade" true
+    (Faults.Spec.has_timeline (spec_of "fade:2+0.5"));
+  Alcotest.(check bool) "has_timeline off for flaps" false
+    (Faults.Spec.has_timeline (spec_of "flap:4+0.5"))
+
+(* -- the timeline step form (--link-schedule) -- *)
+
+let timeline_of s =
+  match Faults.Timeline.of_string s with
+  | Ok t -> t
+  | Error message -> Alcotest.failf "%S failed to parse: %s" s message
+
+let test_timeline_string_form () =
+  Alcotest.(check bool) "empty string is the empty timeline" true
+    (Faults.Timeline.is_empty (timeline_of ""));
+  let t = timeline_of "@2+400000@5+-+0.25@8+1e6+0.1" in
+  (match Faults.Timeline.steps t with
+  | [ s1; s2; s3 ] ->
+    Alcotest.(check (float 1e-9)) "step 1 at" 2.0 s1.Faults.Timeline.at;
+    Alcotest.(check bool) "step 1 rate" true
+      (s1.Faults.Timeline.rate = Some 400000.0);
+    Alcotest.(check bool) "step 1 delay unchanged" true
+      (s1.Faults.Timeline.delay = None);
+    Alcotest.(check bool) "step 2 rate unchanged" true
+      (s2.Faults.Timeline.rate = None);
+    Alcotest.(check bool) "step 2 delay" true
+      (s2.Faults.Timeline.delay = Some 0.25);
+    Alcotest.(check bool) "step 3 both" true
+      (s3.Faults.Timeline.rate = Some 1e6
+      && s3.Faults.Timeline.delay = Some 0.1)
+  | steps -> Alcotest.failf "expected 3 steps, got %d" (List.length steps));
+  List.iter
+    (fun s ->
+      let rendered = Faults.Timeline.to_string (timeline_of s) in
+      Alcotest.(check string)
+        (Printf.sprintf "%S: render is idempotent" s)
+        rendered
+        (Faults.Timeline.to_string (timeline_of rendered)))
+    [ "@2+400000"; "@2+400000@5+-+0.25"; "@1+500000+0.05@2+250000" ];
+  List.iter
+    (fun s ->
+      match Faults.Timeline.of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error message ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error is descriptive" s)
+          true
+          (String.length message > 0))
+    [
+      "5+400000" (* missing '@' *);
+      "@zzz+400000";
+      "@5" (* no fields *);
+      "@5+-" (* changes nothing *);
+      "@5+0" (* rate must be positive *);
+      "@5+-+-1" (* delay must be non-negative *);
+      "@5+400000@2+500000" (* times must increase *);
     ]
 
 (* -- properties over whole scenarios -- *)
@@ -371,6 +490,96 @@ let test_faulted_trace_deterministic () =
          scan 0))
     [ "link_down"; "link_up"; "fault_drop"; "reorder" ]
 
+(* Property: under an arbitrary rate/delay timeline, a link neither
+   loses a packet (except by queue drop, which is counted) nor
+   duplicates one, and deliveries stay FIFO — the [last_arrival] clamp
+   must prevent a packet entering the wire after a delay *decrease*
+   from overtaking one already propagating. *)
+let prop_timeline_link_exactly_once_fifo =
+  QCheck2.Test.make
+    ~name:"time-varying link delivers exactly once, in FIFO order" ~count:30
+    QCheck2.Gen.(
+      tup3
+        (list_size (int_range 1 6)
+           (tup3
+              (float_range 0.05 3.0)
+              (float_range 20_000.0 2_000_000.0)
+              (float_range 0.0 0.4)))
+        (int_range 2 10) (int_range 10 60))
+    (fun (steps, capacity, offered) ->
+      let engine = Sim.Engine.create () in
+      let dropped = ref 0 in
+      let queue =
+        Net.Droptail.create ~capacity ~on_drop:(fun _ -> incr dropped) ()
+      in
+      let delivered = ref [] in
+      let link =
+        Net.Link.create ~engine ~bandwidth_bps:(Sim.Units.mbps 0.8)
+          ~delay:0.05 ~queue
+          ~dst:(fun p -> delivered := Net.Packet.seq_exn p :: !delivered)
+          ()
+      in
+      List.iter
+        (fun (at, rate, delay) ->
+          Sim.Engine.schedule_unit_at engine ~time:at (fun () ->
+              Net.Link.set_rate link rate;
+              Net.Link.set_delay link delay))
+        steps;
+      for i = 0 to offered - 1 do
+        Sim.Engine.schedule_unit_at engine
+          ~time:(0.004 *. float_of_int i)
+          (fun () -> Net.Link.send link (packet i))
+      done;
+      Sim.Engine.run engine;
+      let got = List.rev !delivered in
+      List.length got + !dropped = offered
+      (* Strictly increasing seqs = no duplicate, no overtaking; drops
+         happen at enqueue, so deliveries are a subsequence of the
+         offered order. *)
+      && got = List.sort_uniq compare got)
+
+(* The hostile-network machinery must cost nothing when unused: a run
+   with no fault spec and no link schedule produces the same trace
+   bytes as before the time-varying link work. The digest pins the
+   CLI's [run --variant rr --flows 2 --duration 10 --loss 0.01 --seed
+   7 --trace ...] output; if an intentional trace-format change breaks
+   it, re-record with [md5sum] on that command's output. *)
+let clean_trace_digest = "907898842d385974aba2bb8934e5ac3a"
+
+let test_clean_trace_byte_identity () =
+  let trace =
+    with_scheduler `Calendar (fun () ->
+        let path = Filename.temp_file "rr-clean" ".jsonl" in
+        let out = open_out path in
+        let config = Net.Dumbbell.paper_config ~flows:2 in
+        ignore
+          (Experiments.Scenario.run
+             (Experiments.Scenario.make
+                ~topology:(Experiments.Scenario.dumbbell config)
+                ~flows:
+                  [
+                    Experiments.Scenario.flow Core.Variant.Rr;
+                    Experiments.Scenario.flow Core.Variant.Rr;
+                  ]
+                ~params:{ Tcp.Params.default with rwnd = 20 }
+                ~seed:7L ~duration:10.0 ~uniform_loss:0.01 ~ack_loss:0.0
+                ~delayed_ack:false ~monitor_queue:0.1 ~trace_out:out
+                ~trace_format:`Jsonl ~faults:Faults.Spec.none ~audit_sample:1
+                ())
+            : Experiments.Scenario.t);
+        close_out out;
+        let ic = open_in_bin path in
+        let contents =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        Sys.remove path;
+        contents)
+  in
+  Alcotest.(check string) "clean trace digest unchanged" clean_trace_digest
+    (Digest.to_hex (Digest.string trace))
+
 let suite =
   [
     ( "faults",
@@ -378,6 +587,8 @@ let suite =
         Alcotest.test_case "schedule of_flaps" `Quick test_of_flaps;
         Alcotest.test_case "schedule periodic" `Quick test_periodic;
         Alcotest.test_case "schedule random" `Quick test_random_schedule;
+        Alcotest.test_case "truncated schedule restores link" `Quick
+          test_truncated_schedule_restores_link;
         Alcotest.test_case "flap drops backlog" `Quick test_flap_drop_queued;
         Alcotest.test_case "flap holds backlog" `Quick test_flap_hold_queued;
         Alcotest.test_case "reorder bound + determinism" `Quick test_reorder;
@@ -387,10 +598,17 @@ let suite =
         Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
         Alcotest.test_case "spec rejects garbage" `Quick
           test_spec_rejects_garbage;
+        Alcotest.test_case "spec hostile clauses" `Quick
+          test_spec_hostile_parse;
+        Alcotest.test_case "timeline string form" `Quick
+          test_timeline_string_form;
         Alcotest.test_case "faulted scenarios stay clean" `Slow
           test_faulted_scenarios_stay_clean;
         QCheck_alcotest.to_alcotest prop_random_faults_stay_clean;
+        QCheck_alcotest.to_alcotest prop_timeline_link_exactly_once_fifo;
         Alcotest.test_case "faulted trace deterministic" `Quick
           test_faulted_trace_deterministic;
+        Alcotest.test_case "clean trace byte-identical" `Slow
+          test_clean_trace_byte_identity;
       ] );
   ]

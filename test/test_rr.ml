@@ -23,7 +23,7 @@ let enter_recovery () =
   Harness.open_window h ~target:20;
   ignore (Harness.sent h);
   let b = Harness.base h in
-  let cwnd_at_loss = b.cwnd in
+  let cwnd_at_loss = (cwnd b) in
   Harness.dupacks h 3;
   (h, handle, b, cwnd_at_loss)
 
@@ -40,9 +40,9 @@ let test_entry () =
   Alcotest.(check int) "exit point = maxseq at entry" b.maxseq v.Core.Rr.exit_point;
   (* cwnd is frozen, not used for control (§2.2: "cwnd remains
      unchanged until the end of congestion recovery"). *)
-  Alcotest.(check (float 1e-9)) "cwnd frozen" cwnd_at_loss b.cwnd;
+  Alcotest.(check (float 1e-9)) "cwnd frozen" cwnd_at_loss (cwnd b);
   Alcotest.(check bool) "ssthresh halved" true
-    (Float.abs (b.ssthresh -. Float.max (cwnd_at_loss /. 2.0) 2.0) < 1e-9);
+    (Float.abs ((ssthresh b) -. Float.max (cwnd_at_loss /. 2.0) 2.0) < 1e-9);
   match Harness.sent h with
   | [ { seq; retx = true; _ } ] ->
     Alcotest.(check int) "first lost packet retransmitted" (b.una + 1) seq
@@ -134,7 +134,7 @@ let test_exit_sets_cwnd_to_actnum () =
   (* The full ACK covering the exit point terminates recovery. *)
   Harness.deliver_ack h exit_point;
   Alcotest.(check bool) "out of recovery" true (Core.Rr.inspect handle = None);
-  Alcotest.(check (float 1e-9)) "cwnd <- actnum" (float_of_int actnum) b.cwnd;
+  Alcotest.(check (float 1e-9)) "cwnd <- actnum" (float_of_int actnum) (cwnd b);
   Alcotest.(check int) "clean exit counted" 1 (Core.Rr.recoveries handle)
 
 let test_exit_no_big_ack_burst () =
@@ -163,7 +163,7 @@ let test_single_loss_exits_after_retreat () =
   (* Full ACK straight away: the only loss was repaired in retreat. *)
   Harness.deliver_ack h b.maxseq;
   Alcotest.(check bool) "recovery over" true (Core.Rr.inspect handle = None);
-  Alcotest.(check (float 1e-9)) "cwnd = retreat send count" 4.0 b.cwnd
+  Alcotest.(check (float 1e-9)) "cwnd = retreat send count" 4.0 (cwnd b)
 
 let test_timeout_clears_recovery () =
   let h, handle, b, _ = enter_recovery () in
@@ -171,7 +171,7 @@ let test_timeout_clears_recovery () =
   Alcotest.(check bool) "recovery cleared" true (Core.Rr.inspect handle = None);
   Alcotest.(check bool) "timeout counted" true
     (b.counters.Tcp.Counters.timeouts >= 1);
-  Alcotest.(check (float 1e-9)) "slow start restart" 1.0 b.cwnd
+  Alcotest.(check (float 1e-9)) "slow start restart" 1.0 (cwnd b)
 
 let test_ack_loss_tolerance () =
   (* Lost dup ACKs make ndup undercount: RR treats it as further loss
@@ -294,7 +294,7 @@ let prop_invariants_under_any_script =
         in
         if
           not
-            (b.cwnd >= 1.0 && b.ssthresh >= 2.0
+            ((cwnd b) >= 1.0 && (ssthresh b) >= 2.0
             && b.t_seqno >= b.una + 1
             && b.una <= b.maxseq && recovery_ok)
         then ok := false

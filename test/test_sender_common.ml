@@ -29,9 +29,9 @@ let test_congestion_avoidance_growth () =
   Harness.start h;
   ignore (Harness.sent h);
   Harness.deliver_ack h 0;
-  let cwnd_before = (Harness.base h).cwnd in
+  let cwnd_before = cwnd (Harness.base h) in
   Harness.deliver_ack h 1;
-  let cwnd_after = (Harness.base h).cwnd in
+  let cwnd_after = cwnd (Harness.base h) in
   Alcotest.(check bool)
     (Printf.sprintf "linear growth %.3f -> %.3f" cwnd_before cwnd_after)
     true
@@ -89,15 +89,15 @@ let test_timeout_go_back_n () =
   let h = make () in
   Harness.open_window h ~target:10;
   ignore (Harness.sent h);
-  let before = (Harness.base h).cwnd in
+  let before = cwnd (Harness.base h) in
   Alcotest.(check bool) "window grew" true (before > 1.0);
   (* Nothing comes back: the initial 3 s RTO fires exactly once within
      4 s (the backed-off second expiry would be at 9 s). *)
   Harness.advance h ~by:4.0;
   let b = Harness.base h in
   Alcotest.(check int) "timeout counted" 1 b.counters.Tcp.Counters.timeouts;
-  Alcotest.(check (float 1e-9)) "cwnd collapsed" 1.0 b.cwnd;
-  Alcotest.(check bool) "ssthresh halved" true (b.ssthresh <= before /. 2.0 +. 1e-9);
+  Alcotest.(check (float 1e-9)) "cwnd collapsed" 1.0 (cwnd b);
+  Alcotest.(check bool) "ssthresh halved" true ((ssthresh b) <= before /. 2.0 +. 1e-9);
   (match Harness.sent h with
   | { seq; retx = true; _ } :: _ -> Alcotest.(check int) "resends una+1" (b.una + 1) seq
   | _ -> Alcotest.fail "expected retransmission");
@@ -167,13 +167,13 @@ let test_smooth_start () =
   let b = Harness.base h in
   (* Below ssthresh/2: full exponential growth. *)
   Harness.deliver_ack h 0;
-  Alcotest.(check (float 1e-9)) "full growth below half" 2.0 b.cwnd;
+  Alcotest.(check (float 1e-9)) "full growth below half" 2.0 (cwnd b);
   Harness.deliver_ack h 1;
   Harness.deliver_ack h 2;
-  Alcotest.(check (float 1e-9)) "at half" 4.0 b.cwnd;
+  Alcotest.(check (float 1e-9)) "at half" 4.0 (cwnd b);
   (* From ssthresh/2 = 4 onward: half-rate growth. *)
   Harness.deliver_ack h 3;
-  Alcotest.(check (float 1e-9)) "damped growth" 4.5 b.cwnd
+  Alcotest.(check (float 1e-9)) "damped growth" 4.5 (cwnd b)
 
 let test_karn_rule () =
   let h = make () in

@@ -27,9 +27,9 @@ let test_tahoe_fast_retransmit () =
   | { seq; retx = true; _ } :: _ ->
     Alcotest.(check int) "retransmits the hole" (una + 1) seq
   | _ -> Alcotest.fail "no fast retransmit");
-  Alcotest.(check (float 1e-9)) "cwnd collapses to 1" 1.0 b.cwnd;
+  Alcotest.(check (float 1e-9)) "cwnd collapses to 1" 1.0 (cwnd b);
   Alcotest.(check bool) "ssthresh = win/2" true
-    (Float.abs (b.ssthresh -. Float.max (window_before /. 2.0) 2.0) < 1e-9);
+    (Float.abs ((ssthresh b) -. Float.max (window_before /. 2.0) 2.0) < 1e-9);
   Alcotest.(check int) "no timeout involved" 0 b.counters.Tcp.Counters.timeouts
 
 let test_tahoe_slow_start_after_loss () =
@@ -40,15 +40,15 @@ let test_tahoe_slow_start_after_loss () =
   ignore (Harness.sent h);
   (* The retransmission fills the hole; receiver had buffered the rest. *)
   Harness.deliver_ack h (una + 1);
-  Alcotest.(check (float 1e-9)) "slow start growth" 2.0 b.cwnd
+  Alcotest.(check (float 1e-9)) "slow start growth" 2.0 (cwnd b)
 
 let test_tahoe_two_dupacks_no_action () =
   let h = with_loss Tcp.Tahoe.create in
   let b = Harness.base h in
-  let cwnd = b.cwnd in
+  let cwnd_before = cwnd b in
   Harness.dupacks h 2;
   Alcotest.(check (list int)) "nothing sent" [] (Harness.sent_seqs h);
-  Alcotest.(check (float 1e-9)) "cwnd unchanged" cwnd b.cwnd
+  Alcotest.(check (float 1e-9)) "cwnd unchanged" cwnd_before (cwnd b)
 
 let test_tahoe_bugfix_guard () =
   let h = with_loss Tcp.Tahoe.create in
@@ -70,11 +70,11 @@ let test_reno_fast_recovery_inflation () =
   Harness.dupacks h 3;
   ignore (Harness.sent h);
   let halved = Float.max (window_before /. 2.0) 2.0 in
-  Alcotest.(check (float 1e-9)) "cwnd = ssthresh + 3" (halved +. 3.0) b.cwnd;
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh + 3" (halved +. 3.0) (cwnd b);
   Alcotest.(check bool) "in recovery" true (b.phase = Recovery);
   (* Each further dup ACK inflates by one. *)
   Harness.dupack h;
-  Alcotest.(check (float 1e-9)) "inflated" (halved +. 4.0) b.cwnd
+  Alcotest.(check (float 1e-9)) "inflated" (halved +. 4.0) (cwnd b)
 
 let test_reno_partial_ack_exits () =
   let h = with_loss Tcp.Reno.create in
@@ -85,9 +85,9 @@ let test_reno_partial_ack_exits () =
      leaves recovery: Reno's multi-loss weakness. *)
   Harness.deliver_ack h (una + 2);
   Alcotest.(check bool) "left recovery" true (b.phase <> Recovery);
-  Alcotest.(check (float 1e-9)) "deflated to ssthresh+growth" b.cwnd b.cwnd;
+  Alcotest.(check (float 1e-9)) "deflated to ssthresh+growth" (cwnd b) (cwnd b);
   Alcotest.(check bool) "cwnd near ssthresh" true
-    (b.cwnd <= b.ssthresh +. 1.0 +. 1e-9)
+    ((cwnd b) <= (ssthresh b) +. 1.0 +. 1e-9)
 
 (* -- New-Reno -- *)
 
@@ -115,7 +115,7 @@ let test_newreno_full_ack_exits () =
   let recover = b.maxseq in
   Harness.deliver_ack h recover;
   Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
-  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" b.ssthresh b.cwnd
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" (ssthresh b) (cwnd b)
 
 let test_newreno_sends_on_dupacks_in_recovery () =
   let h = with_loss Tcp.Newreno.create in
@@ -178,7 +178,7 @@ let test_sack_exit_at_recover () =
   Harness.dupacks ~sack:[ (una + 2, recover + 1) ] h 3;
   Harness.deliver_ack h recover;
   Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
-  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" b.ssthresh b.cwnd
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" (ssthresh b) (cwnd b)
 
 let test_sack_pipe_decrement_on_partial () =
   let h = with_loss Tcp.Sack.create in
@@ -243,7 +243,7 @@ let test_fack_exit_at_recover () =
   Alcotest.(check bool) "in recovery" true (b.phase = Recovery);
   Harness.deliver_ack h recover;
   Alcotest.(check bool) "out of recovery" true (b.phase <> Recovery);
-  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" b.ssthresh b.cwnd
+  Alcotest.(check (float 1e-9)) "cwnd = ssthresh" (ssthresh b) (cwnd b)
 
 (* -- timeout during recovery (all recovery-capable variants) -- *)
 
@@ -256,7 +256,7 @@ let test_timeout_during_recovery_resets create name =
      and restart in slow start. *)
   Harness.advance h ~by:4.0;
   Alcotest.(check bool) (name ^ " left recovery") true (b.phase = Slow_start);
-  Alcotest.(check (float 1e-9)) (name ^ " cwnd reset") 1.0 b.cwnd;
+  Alcotest.(check (float 1e-9)) (name ^ " cwnd reset") 1.0 (cwnd b);
   Alcotest.(check bool) (name ^ " timeout counted") true
     (b.counters.Tcp.Counters.timeouts >= 1);
   (* Recovery must work again afterwards: deliver everything, lose one
@@ -293,12 +293,12 @@ let test_relentless_exact_decrease () =
   (* One loss known so far: the window comes down by exactly one
      segment, not by half. *)
   Alcotest.(check (float 1e-9)) "ssthresh = W - 1" (window_before -. 1.0)
-    b.ssthresh;
+    (ssthresh b);
   Alcotest.(check (float 1e-9)) "cwnd = W - 1, inflated by 3"
-    (window_before +. 2.0) b.cwnd;
+    (window_before +. 2.0) (cwnd b);
   Harness.dupack h;
   Alcotest.(check (float 1e-9)) "further dupacks inflate"
-    (window_before +. 3.0) b.cwnd
+    (window_before +. 3.0) (cwnd b)
 
 let test_relentless_full_ack_exit_window () =
   let h = with_loss Tcp.Relentless.create in
@@ -308,7 +308,7 @@ let test_relentless_full_ack_exit_window () =
   Harness.deliver_ack h b.maxseq;
   Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
   Alcotest.(check (float 1e-9)) "exit at W - 1 after a single loss"
-    (window_before -. 1.0) b.cwnd
+    (window_before -. 1.0) (cwnd b)
 
 let test_relentless_partial_acks_subtract () =
   let h = with_loss Tcp.Relentless.create in
@@ -331,7 +331,7 @@ let test_relentless_partial_acks_subtract () =
   Harness.deliver_ack h b.maxseq;
   Alcotest.(check bool) "full ACK exits" true (b.phase <> Recovery);
   Alcotest.(check (float 1e-9)) "exit at W - 3 after three losses"
-    (window_before -. 3.0) b.cwnd
+    (window_before -. 3.0) (cwnd b)
 
 (* -- RRR -- *)
 
@@ -344,7 +344,7 @@ let test_rrr_half_level_matches_newreno () =
     let b = Harness.base h in
     let una = b.una in
     let log = ref [] in
-    let snap () = log := (b.cwnd, b.ssthresh, Harness.sent_seqs h) :: !log in
+    let snap () = log := ((cwnd b), (ssthresh b), Harness.sent_seqs h) :: !log in
     Harness.dupacks h 3;
     snap ();
     Harness.deliver_ack h (una + 2);
@@ -370,12 +370,12 @@ let test_rrr_custom_level_backoff () =
   let b = Harness.base h in
   let w = window b in
   Harness.dupacks h 3;
-  Alcotest.(check (float 1e-9)) "ssthresh = (1 - 0.2) W" (0.8 *. w) b.ssthresh;
+  Alcotest.(check (float 1e-9)) "ssthresh = (1 - 0.2) W" (0.8 *. w) (ssthresh b);
   Alcotest.(check (float 1e-9)) "cwnd = (1 - 0.2) W, inflated by 3"
-    ((0.8 *. w) +. 3.0) b.cwnd;
+    ((0.8 *. w) +. 3.0) (cwnd b);
   Harness.deliver_ack h b.maxseq;
   Alcotest.(check bool) "recovery over" true (b.phase <> Recovery);
-  Alcotest.(check (float 1e-9)) "exit at (1 - 0.2) W" (0.8 *. w) b.cwnd
+  Alcotest.(check (float 1e-9)) "exit at (1 - 0.2) W" (0.8 *. w) (cwnd b)
 
 let test_rrr_timeout_takes_level () =
   let params = { Harness.params with Tcp.Params.rrr_level = 0.2 } in
@@ -390,8 +390,8 @@ let test_rrr_timeout_takes_level () =
   Alcotest.(check bool) "timeout fired" true
     (b.counters.Tcp.Counters.timeouts >= 1);
   Alcotest.(check (float 1e-9)) "ssthresh = (1 - 0.2) W after RTO"
-    (Float.max (0.8 *. w) 2.0) b.ssthresh;
-  Alcotest.(check (float 1e-9)) "cwnd reset to 1" 1.0 b.cwnd;
+    (Float.max (0.8 *. w) 2.0) (ssthresh b);
+  Alcotest.(check (float 1e-9)) "cwnd reset to 1" 1.0 (cwnd b);
   Alcotest.(check bool) "slow start restart" true (b.phase = Slow_start)
 
 (* -- Karn's rule / RTO interaction (both new variants) -- *)
@@ -468,7 +468,7 @@ let prop_sender_invariants =
       let check () =
         if
           not
-            (b.cwnd >= 1.0 && b.ssthresh >= 2.0
+            ((cwnd b) >= 1.0 && (ssthresh b) >= 2.0
             && b.t_seqno >= b.una + 1
             && b.una <= b.maxseq
             && b.maxseq < limit)

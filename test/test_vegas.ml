@@ -37,13 +37,13 @@ let test_fine_retransmit_quarter_cut () =
   let h = make () in
   warm_up h ~rtt:0.2;
   let b = Harness.base h in
-  let cwnd_before = b.cwnd in
+  let cwnd_before = (cwnd b) in
   Harness.advance h ~by:0.8;
   Harness.dupack h;
-  Alcotest.(check (float 1e-9)) "cwnd cut to 3/4" (cwnd_before *. 0.75) b.cwnd;
+  Alcotest.(check (float 1e-9)) "cwnd cut to 3/4" (cwnd_before *. 0.75) (cwnd b);
   (* A second loss signal within the same RTT must not cut again. *)
   Harness.dupack h;
-  Alcotest.(check (float 1e-9)) "single cut per RTT" (cwnd_before *. 0.75) b.cwnd
+  Alcotest.(check (float 1e-9)) "single cut per RTT" (cwnd_before *. 0.75) (cwnd b)
 
 let test_no_fine_retransmit_when_fresh () =
   let h = make () in
@@ -72,7 +72,7 @@ let test_rtt_based_avoidance_holds_when_backlogged () =
   let h = make () in
   let b = Harness.base h in
   b.phase <- Congestion_avoidance;
-  b.cwnd <- 10.0;
+  set_cwnd b 10.0;
   Harness.start ~segments:1_000_000 h;
   ignore (Harness.sent h);
   (* baseRTT 0.2 established, then RTTs inflate to 0.4: backlog
@@ -80,27 +80,27 @@ let test_rtt_based_avoidance_holds_when_backlogged () =
   Harness.advance h ~by:0.2;
   Harness.deliver_ack h 0;
   ignore (Harness.sent h);
-  let before = b.cwnd in
+  let before = (cwnd b) in
   Harness.advance h ~by:0.4;
   Harness.deliver_ack h (b.t_seqno - 1);
   Alcotest.(check bool)
-    (Printf.sprintf "window shrinks under queueing (%.1f -> %.1f)" before b.cwnd)
-    true (b.cwnd < before)
+    (Printf.sprintf "window shrinks under queueing (%.1f -> %.1f)" before (cwnd b))
+    true ((cwnd b) < before)
 
 let test_rtt_based_avoidance_grows_when_clear () =
   let h = make () in
   let b = Harness.base h in
   b.phase <- Congestion_avoidance;
-  b.cwnd <- 5.0;
+  set_cwnd b 5.0;
   Harness.start ~segments:1_000_000 h;
   ignore (Harness.sent h);
   (* RTT stays at baseRTT: backlog 0 < alpha: grow one per epoch. *)
   Harness.advance h ~by:0.2;
   Harness.deliver_ack h 0;
-  let before = b.cwnd in
+  let before = (cwnd b) in
   Harness.advance h ~by:0.2;
   Harness.deliver_ack h (b.t_seqno - 1);
-  Alcotest.(check (float 1e-9)) "plus one per RTT" (before +. 1.0) b.cwnd
+  Alcotest.(check (float 1e-9)) "plus one per RTT" (before +. 1.0) (cwnd b)
 
 let test_cautious_slow_start_every_other_rtt () =
   let h = make () in
@@ -110,15 +110,15 @@ let test_cautious_slow_start_every_other_rtt () =
   (* Epoch 1 grows, epoch 2 holds (or vice versa): over two clean RTT
      epochs the window must grow strictly less than plain doubling
      twice would. *)
-  let cwnd0 = b.cwnd in
+  let cwnd0 = (cwnd b) in
   Harness.advance h ~by:0.2;
   Harness.deliver_ack h 0;
   Harness.advance h ~by:0.2;
   Harness.deliver_ack h (b.t_seqno - 1);
   Alcotest.(check bool)
-    (Printf.sprintf "damped slow start (%.1f -> %.1f)" cwnd0 b.cwnd)
+    (Printf.sprintf "damped slow start (%.1f -> %.1f)" cwnd0 (cwnd b))
     true
-    (b.cwnd < cwnd0 *. 4.0)
+    ((cwnd b) < cwnd0 *. 4.0)
 
 let test_fine_timeout_follows_estimator () =
   (* The fine-grained timer is routed through the sender's RTO
@@ -157,10 +157,10 @@ let test_cut_window_before_first_measurement () =
     (Tcp.Rto.srtt b.rto = None);
   Harness.dupacks h 3;
   Alcotest.(check (float 1e-9)) "quarter cut from the fallback clock" 6.0
-    b.cwnd;
+    (cwnd b);
   (* Further dupacks in the same burst must not cut again. *)
   Harness.dupacks h 2;
-  Alcotest.(check (float 1e-9)) "still one cut" 6.0 b.cwnd
+  Alcotest.(check (float 1e-9)) "still one cut" 6.0 (cwnd b)
 
 let test_vegas_name_and_registry () =
   let h = make () in
